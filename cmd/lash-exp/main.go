@@ -1,0 +1,76 @@
+// Command lash-exp regenerates the tables and figures of the LASH paper's
+// evaluation (§6) on synthetic stand-in corpora.
+//
+// Usage:
+//
+//	lash-exp                       # everything at the default (small) scale
+//	lash-exp -scale tiny -exp fig4a,fig4c
+//	lash-exp -list
+//
+// See DESIGN.md §4 for the experiment ↔ module mapping and EXPERIMENTS.md
+// for paper-vs-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lash/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "scale: tiny, small or medium")
+		expList   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		outPath   = flag.String("out", "", "write results to file (default stdout)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-8s %-10s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	var ids []string
+	if *expList != "" {
+		for _, id := range strings.Split(*expList, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	fmt.Fprintf(out, "LASH experiment harness — scale=%s (σ map: 10000→%d, 1000→%d, 100→%d, 10→%d)\n\n",
+		scale.Name, scale.SigmaXHi, scale.SigmaHi, scale.SigmaLo, scale.SigmaXLo)
+	start := time.Now()
+	ctx := experiments.NewContext(scale)
+	if err := experiments.RunAndFormat(ctx, ids, out); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(out, "total harness time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lash-exp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command lash mines frequent generalized sequences from text files.
+//
+// Usage:
+//
+//	lash -input sequences.txt [-hierarchy edges.txt] [flags]
+//
+// The sequences file holds one input sequence per line (items separated by
+// whitespace). The optional hierarchy file holds one "child parent" edge
+// per line. Output is one pattern per line: support, TAB, items.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lash"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "sequence file (one sequence per line; '-' = stdin)")
+		hier      = flag.String("hierarchy", "", "hierarchy file (one 'child parent' edge per line)")
+		support   = flag.Int64("support", 2, "minimum support σ")
+		gap       = flag.Int("gap", 0, "maximum gap γ")
+		length    = flag.Int("length", 5, "maximum pattern length λ")
+		algorithm = flag.String("algorithm", "lash", "algorithm: lash, naive, seminaive, mgfsm, lashflat")
+		localMnr  = flag.String("miner", "psm", "local miner for lash: psm, psm-noindex, bfs, dfs")
+		output    = flag.String("output", "", "output file (default stdout)")
+		items     = flag.Bool("items", false, "also print frequent single items")
+		quiet     = flag.Bool("quiet", false, "suppress the run summary on stderr")
+	)
+	flag.Parse()
+
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "lash: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	b := lash.NewDatabaseBuilder()
+	if *hier != "" {
+		f, err := os.Open(*hier)
+		if err != nil {
+			fatal(err)
+		}
+		err = b.ReadHierarchy(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *input == "-" {
+		if err := b.ReadSequences(os.Stdin); err != nil {
+			fatal(err)
+		}
+	} else {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		err = b.ReadSequences(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	db, err := b.Build()
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := lash.Options{MinSupport: *support, MaxGap: *gap, MaxLength: *length}
+	switch strings.ToLower(*algorithm) {
+	case "lash":
+		opt.Algorithm = lash.AlgorithmLASH
+	case "naive":
+		opt.Algorithm = lash.AlgorithmNaive
+	case "seminaive", "semi-naive":
+		opt.Algorithm = lash.AlgorithmSemiNaive
+	case "mgfsm", "mg-fsm":
+		opt.Algorithm = lash.AlgorithmMGFSM
+	case "lashflat", "lash-flat":
+		opt.Algorithm = lash.AlgorithmLASHFlat
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algorithm))
+	}
+	switch strings.ToLower(*localMnr) {
+	case "psm":
+		opt.LocalMiner = lash.MinerPSM
+	case "psm-noindex":
+		opt.LocalMiner = lash.MinerPSMNoIndex
+	case "bfs":
+		opt.LocalMiner = lash.MinerBFS
+	case "dfs":
+		opt.LocalMiner = lash.MinerDFS
+	default:
+		fatal(fmt.Errorf("unknown miner %q", *localMnr))
+	}
+
+	start := time.Now()
+	res, err := lash.Mine(db, opt)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	out := os.Stdout
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	if *items {
+		for _, p := range res.FrequentItems {
+			fmt.Fprintf(w, "%d\t%s\n", p.Support, p.Items[0])
+		}
+	}
+	for _, p := range res.Patterns {
+		fmt.Fprintf(w, "%d\t%s\n", p.Support, strings.Join(p.Items, " "))
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "lash: %d sequences, %d frequent items, %d patterns, %d partitions, %s shuffled, %v\n",
+			db.NumSequences(), len(res.FrequentItems), len(res.Patterns),
+			res.NumPartitions, byteCount(res.Stats.MapOutputBytes), elapsed.Round(time.Millisecond))
+	}
+}
+
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lash:", err)
+	os.Exit(1)
+}

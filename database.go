@@ -1,0 +1,125 @@
+package lash
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+)
+
+// Database is an immutable sequence database over an item hierarchy, ready
+// for mining. Build one with a DatabaseBuilder.
+type Database struct {
+	db *gsm.Database
+}
+
+// NumSequences returns the number of input sequences.
+func (d *Database) NumSequences() int { return len(d.db.Seqs) }
+
+// NumItems returns the vocabulary size (including hierarchy-only items).
+func (d *Database) NumItems() int { return d.db.Forest.Size() }
+
+// HierarchyDepth returns the number of hierarchy levels (1 = flat).
+func (d *Database) HierarchyDepth() int { return d.db.Forest.Depth() }
+
+// Sequence returns the i-th input sequence as item names.
+func (d *Database) Sequence(i int) []string {
+	seq := d.db.Seqs[i]
+	out := make([]string, len(seq))
+	for j, w := range seq {
+		out[j] = d.db.Forest.Name(w)
+	}
+	return out
+}
+
+// DatabaseBuilder assembles a Database from sequences and hierarchy edges.
+// Items are interned by name; items that never receive a parent are
+// hierarchy roots. The zero value is not usable — call NewDatabaseBuilder.
+type DatabaseBuilder struct {
+	b    *hierarchy.Builder
+	seqs [][]hierarchy.Item
+}
+
+// NewDatabaseBuilder returns an empty builder.
+func NewDatabaseBuilder() *DatabaseBuilder {
+	return &DatabaseBuilder{b: hierarchy.NewBuilder()}
+}
+
+// AddParent declares that child directly generalizes to parent
+// (child → parent). Both items are interned. Declaring two different
+// parents for the same child is an error reported by Build (the hierarchy
+// must be a forest).
+func (d *DatabaseBuilder) AddParent(child, parent string) *DatabaseBuilder {
+	d.b.AddEdge(child, parent)
+	return d
+}
+
+// AddItem interns an item without a parent (a root, unless AddParent later
+// gives it one).
+func (d *DatabaseBuilder) AddItem(name string) *DatabaseBuilder {
+	d.b.Add(name)
+	return d
+}
+
+// AddSequence appends one input sequence; unknown items are interned as
+// roots.
+func (d *DatabaseBuilder) AddSequence(items ...string) *DatabaseBuilder {
+	seq := make([]hierarchy.Item, len(items))
+	for i, name := range items {
+		seq[i] = d.b.Add(name)
+	}
+	d.seqs = append(d.seqs, seq)
+	return d
+}
+
+// NumSequences returns the number of sequences added so far.
+func (d *DatabaseBuilder) NumSequences() int { return len(d.seqs) }
+
+// Build validates the hierarchy (forest shape, no cycles) and returns the
+// immutable database.
+func (d *DatabaseBuilder) Build() (*Database, error) {
+	f, err := d.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: &gsm.Database{Seqs: d.seqs, Forest: f}}, nil
+}
+
+// ReadSequences adds one sequence per line (items separated by spaces or
+// tabs) from r. Blank lines and lines starting with '#' are skipped.
+func (d *DatabaseBuilder) ReadSequences(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d.AddSequence(strings.Fields(line)...)
+	}
+	return sc.Err()
+}
+
+// ReadHierarchy adds one edge per line ("child<TAB>parent" or
+// "child parent") from r. Blank lines and '#' comments are skipped.
+func (d *DatabaseBuilder) ReadHierarchy(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("lash: hierarchy line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		d.AddParent(fields[0], fields[1])
+	}
+	return sc.Err()
+}

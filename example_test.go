@@ -1,0 +1,114 @@
+package lash_test
+
+import (
+	"fmt"
+	"strings"
+
+	"lash"
+)
+
+// The running example of the LASH paper (Fig. 1): six sequences over a
+// two-level product hierarchy, mined with σ=2, γ=1, λ=3.
+func ExampleMine() {
+	b := lash.NewDatabaseBuilder()
+	for _, edge := range [][2]string{
+		{"b1", "B"}, {"b2", "B"}, {"b3", "B"},
+		{"b11", "b1"}, {"b12", "b1"}, {"b13", "b1"},
+		{"d1", "D"}, {"d2", "D"},
+	} {
+		b.AddParent(edge[0], edge[1])
+	}
+	for _, seq := range []string{
+		"a b1 a b1", "a b3 c c b2", "a c", "b11 a e a", "a b12 d1 c", "b13 f d2",
+	} {
+		b.AddSequence(strings.Fields(seq)...)
+	}
+	db, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := lash.Mine(db, lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Patterns), "patterns")
+	for _, p := range res.Patterns {
+		if len(p.Items) == 3 {
+			fmt.Println(strings.Join(p.Items, " "), p.Support)
+		}
+	}
+	// Output:
+	// 10 patterns
+	// a B c 2
+}
+
+// Maximal patterns only: the most specific frequent behaviour, with all
+// redundant sub- and super-level patterns removed (§6.7).
+func ExampleMine_maximal() {
+	b := lash.NewDatabaseBuilder()
+	b.AddParent("eos70d", "camera")
+	b.AddParent("d750", "camera")
+	b.AddSequence("eos70d", "bag")
+	b.AddSequence("d750", "bag")
+	b.AddSequence("eos70d", "bag")
+	db, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := lash.Mine(db, lash.Options{
+		MinSupport:  3,
+		MaxGap:      0,
+		MaxLength:   2,
+		Restriction: lash.RestrictMaximal,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range res.Patterns {
+		fmt.Println(strings.Join(p.Items, " "), p.Support)
+	}
+	// Output:
+	// camera bag 3
+}
+
+// SessionBuilder turns timestamped events into per-user sequences (§6.1).
+func ExampleSessionBuilder() {
+	s := lash.NewSessionBuilder()
+	s.Add("alice", 300, "flash")
+	s.Add("alice", 100, "camera")
+	s.Add("alice", 200, "photo-book")
+	b := lash.NewDatabaseBuilder()
+	s.AppendTo(b)
+	db, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(strings.Join(db.Sequence(0), " → "))
+	// Output:
+	// camera → photo-book → flash
+}
+
+// A Miner caches item frequencies across parameter sweeps (§3.4).
+func ExampleMiner() {
+	db, err := lash.GenerateMarketDatabase(lash.MarketConfig{Users: 500, Products: 300, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	m, err := lash.NewMiner(db)
+	if err != nil {
+		panic(err)
+	}
+	for _, sigma := range []int64{20, 10, 5} {
+		res, err := m.Mine(lash.Options{MinSupport: sigma, MaxGap: 1, MaxLength: 3})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("σ=%d: %d patterns\n", sigma, len(res.Patterns))
+	}
+	fmt.Println("frequency jobs run:", m.FrequencyJobsRun())
+	// Output:
+	// σ=20: 185 patterns
+	// σ=10: 979 patterns
+	// σ=5: 3681 patterns
+	// frequency jobs run: 1
+}

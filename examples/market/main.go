@@ -1,0 +1,66 @@
+// Market-basket sequence mining with a product hierarchy (the paper's AMZN
+// use case, §6.1): "users may first buy some camera, then some photography
+// book, and finally some flash" — patterns over categories rather than
+// individual products.
+//
+// A synthetic purchase-session corpus is generated with an 8-level category
+// hierarchy and mined with γ=1 (one unrelated purchase may intervene). The
+// program contrasts hierarchy-aware mining with flat mining on the same
+// data.
+//
+// Run: go run ./examples/market
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"lash"
+)
+
+func main() {
+	cfg := lash.MarketConfig{Users: 8000, Products: 3000, HierarchyLevels: 8, Seed: 7}
+	db, err := lash.GenerateMarketDatabase(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d sessions, %d items, hierarchy depth %d\n",
+		db.NumSequences(), db.NumItems(), db.HierarchyDepth())
+
+	opt := lash.Options{MinSupport: 40, MaxGap: 1, MaxLength: 4}
+
+	res, err := lash.Mine(db, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flatOpt := opt
+	flatOpt.Algorithm = lash.AlgorithmMGFSM
+	flat, err := lash.Mine(db, flatOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nhierarchy-aware (LASH): %d patterns; flat (MG-FSM): %d patterns\n",
+		len(res.Patterns), len(flat.Patterns))
+	fmt.Println("the extra patterns are category-level behaviours invisible to flat mining:")
+
+	shown := 0
+	for _, p := range res.Patterns {
+		// Category items contain '/' or start with 'c'; products are prodN.
+		categories := 0
+		for _, it := range p.Items {
+			if !strings.HasPrefix(it, "prod") {
+				categories++
+			}
+		}
+		if categories == len(p.Items) && shown < 10 {
+			fmt.Printf("  %-40s %d\n", strings.Join(p.Items, " → "), p.Support)
+			shown++
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  (no all-category patterns at this support; rerun with lower MinSupport)")
+	}
+}

@@ -1,0 +1,92 @@
+package lash
+
+import (
+	"fmt"
+
+	"lash/internal/datagen"
+)
+
+// TextConfig parameterizes GenerateTextDatabase. Zero values select
+// reasonable defaults.
+type TextConfig struct {
+	// Sentences is the number of input sequences (default 1000).
+	Sentences int
+	// Lemmas is the lemma vocabulary size (default 1000).
+	Lemmas int
+	// Hierarchy selects the syntactic hierarchy variant: "L" (word→lemma),
+	// "P" (word→POS), "LP" (word→lemma→POS) or "CLP"
+	// (word→case→lemma→POS). Default "CLP".
+	Hierarchy string
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateTextDatabase builds a synthetic natural-language-like corpus with
+// a syntactic item hierarchy, in the style of the LASH paper's New York
+// Times experiments: Zipf-distributed lemmas, inflected surface forms,
+// sentence-initial capitalization, and part-of-speech roots.
+func GenerateTextDatabase(cfg TextConfig) (*Database, error) {
+	variant, err := parseTextHierarchy(cfg.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	corpus := datagen.GenerateText(datagen.TextConfig{
+		Sentences: cfg.Sentences,
+		Lemmas:    cfg.Lemmas,
+		Seed:      cfg.Seed,
+	})
+	db, err := corpus.Build(variant)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
+}
+
+func parseTextHierarchy(s string) (datagen.TextHierarchy, error) {
+	switch s {
+	case "L":
+		return datagen.HierarchyL, nil
+	case "P":
+		return datagen.HierarchyP, nil
+	case "LP":
+		return datagen.HierarchyLP, nil
+	case "CLP", "":
+		return datagen.HierarchyCLP, nil
+	}
+	return 0, fmt.Errorf("lash: unknown text hierarchy %q (want L, P, LP or CLP)", s)
+}
+
+// MarketConfig parameterizes GenerateMarketDatabase. Zero values select
+// reasonable defaults.
+type MarketConfig struct {
+	// Users is the number of sessions (default 1000).
+	Users int
+	// Products is the catalogue size (default 2000).
+	Products int
+	// HierarchyLevels is the category hierarchy depth, 2..8 (default 8,
+	// the paper's h8).
+	HierarchyLevels int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateMarketDatabase builds a synthetic product-session corpus with a
+// category hierarchy, in the style of the LASH paper's Amazon experiments:
+// Zipf-distributed product popularity, heavy-tailed session lengths, and
+// products attached at varying category depths.
+func GenerateMarketDatabase(cfg MarketConfig) (*Database, error) {
+	levels := cfg.HierarchyLevels
+	if levels == 0 {
+		levels = datagen.MaxLevels
+	}
+	corpus := datagen.GenerateMarket(datagen.MarketConfig{
+		Users:    cfg.Users,
+		Products: cfg.Products,
+		Seed:     cfg.Seed,
+	})
+	db, err := corpus.Build(levels)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
+}

@@ -1,0 +1,223 @@
+package lash_test
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"testing"
+
+	"lash"
+	"lash/internal/datagen"
+)
+
+// Full pipeline over the file interchange format: generate a corpus, write
+// it out, read it back through the public API, and verify that mining the
+// round-tripped database gives exactly the same patterns as mining the
+// original.
+func TestFileFormatRoundTrip(t *testing.T) {
+	corpus := datagen.GenerateText(datagen.TextConfig{Sentences: 250, Lemmas: 150, Seed: 19})
+	db, err := corpus.Build(datagen.HierarchyLP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqBuf, hierBuf bytes.Buffer
+	if err := datagen.WriteSequences(&seqBuf, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := datagen.WriteHierarchy(&hierBuf, db.Forest); err != nil {
+		t.Fatal(err)
+	}
+
+	b := lash.NewDatabaseBuilder()
+	if err := b.ReadHierarchy(&hierBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReadSequences(&seqBuf); err != nil {
+		t.Fatal(err)
+	}
+	roundTripped, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roundTripped.NumSequences() != len(db.Seqs) {
+		t.Fatalf("round trip lost sequences: %d vs %d", roundTripped.NumSequences(), len(db.Seqs))
+	}
+
+	opt := lash.Options{MinSupport: 8, MaxGap: 1, MaxLength: 4}
+	got, err := lash.Mine(roundTripped, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mine the original through the generator façade path for comparison.
+	direct := lash.NewDatabaseBuilder()
+	for _, seq := range db.Seqs {
+		items := make([]string, len(seq))
+		for i, w := range seq {
+			items[i] = db.Forest.Name(w)
+		}
+		direct.AddSequence(items...)
+	}
+	var hier2 bytes.Buffer
+	if err := datagen.WriteHierarchy(&hier2, db.Forest); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.ReadHierarchy(&hier2); err != nil {
+		t.Fatal(err)
+	}
+	directDB, err := direct.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lash.Mine(directDB, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patternChecksum(got.Patterns) != patternChecksum(want.Patterns) {
+		t.Fatalf("round-tripped mining differs: %d vs %d patterns", len(got.Patterns), len(want.Patterns))
+	}
+}
+
+// patternChecksum summarizes a pattern list independently of its order
+// (canonical ordering depends on item interning order, which may differ
+// between equivalent databases).
+func patternChecksum(ps []lash.Pattern) uint64 {
+	rows := make([]string, len(ps))
+	for i, p := range ps {
+		rows[i] = fmt.Sprintf("%s=%d", strings.Join(p.Items, " "), p.Support)
+	}
+	sort.Strings(rows)
+	h := fnv.New64a()
+	for _, r := range rows {
+		h.Write([]byte(r))
+		h.Write([]byte{';'})
+	}
+	return h.Sum64()
+}
+
+// Golden regression: mining a fixed generated corpus must produce a fixed
+// pattern count and checksum, whatever the parallelism. Guards against
+// nondeterminism sneaking into any stage.
+func TestGoldenSnapshot(t *testing.T) {
+	db, err := lash.GenerateMarketDatabase(lash.MarketConfig{Users: 600, Products: 400, HierarchyLevels: 4, Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := lash.Options{MinSupport: 10, MaxGap: 1, MaxLength: 4}
+	var first uint64
+	var count int
+	for trial, workers := range []int{1, 2, 4} {
+		opt.Workers = workers
+		res, err := lash.Mine(db, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := patternChecksum(res.Patterns)
+		if trial == 0 {
+			first = sum
+			count = len(res.Patterns)
+			if count == 0 {
+				t.Fatal("golden corpus mined nothing; fixture broken")
+			}
+		} else if sum != first {
+			t.Fatalf("workers=%d changed the output (checksum %x vs %x)", workers, sum, first)
+		}
+	}
+	// Algorithms must agree on it too.
+	for _, alg := range []lash.Algorithm{lash.AlgorithmSemiNaive} {
+		opt.Algorithm = alg
+		res, err := lash.Mine(db, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if patternChecksum(res.Patterns) != first {
+			t.Fatalf("%s disagrees with LASH on the golden corpus", alg)
+		}
+	}
+}
+
+// The database is a multiset: duplicated input sequences count once each.
+func TestMultisetSemantics(t *testing.T) {
+	b := lash.NewDatabaseBuilder()
+	b.AddParent("x1", "X")
+	for i := 0; i < 5; i++ {
+		b.AddSequence("x1", "y")
+	}
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lash.Mine(db, lash.Options{MinSupport: 5, MaxGap: 0, MaxLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"x1 y": 5, "X y": 5}
+	if len(res.Patterns) != len(want) {
+		t.Fatalf("patterns = %v", res.Patterns)
+	}
+	for _, p := range res.Patterns {
+		if want[strings.Join(p.Items, " ")] != p.Support {
+			t.Errorf("%v: support %d", p.Items, p.Support)
+		}
+	}
+}
+
+// Mining twice must not mutate the database (immutability contract).
+func TestDatabaseImmutable(t *testing.T) {
+	db := paperDB(t)
+	before := strings.Join(db.Sequence(0), " ")
+	for i := 0; i < 2; i++ {
+		if _, err := lash.Mine(db, lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := strings.Join(db.Sequence(0), " "); after != before {
+		t.Fatalf("database mutated: %q → %q", before, after)
+	}
+}
+
+// Degenerate databases behave gracefully through the whole pipeline.
+func TestDegenerateDatabases(t *testing.T) {
+	empty, err := lash.NewDatabaseBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lash.Mine(empty, lash.Options{MinSupport: 1, MaxGap: 0, MaxLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 0 || len(res.FrequentItems) != 0 {
+		t.Fatalf("empty database mined %v", res.Patterns)
+	}
+
+	single := lash.NewDatabaseBuilder()
+	single.AddSequence("a")
+	sdb, err := single.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = lash.Mine(sdb, lash.Options{MinSupport: 1, MaxGap: 0, MaxLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 0 {
+		t.Fatalf("single-item database mined %v", res.Patterns)
+	}
+	if len(res.FrequentItems) != 1 {
+		t.Fatalf("frequent items = %v", res.FrequentItems)
+	}
+}
+
+// σ larger than the database size yields nothing but still succeeds.
+func TestSupportAboveDatabaseSize(t *testing.T) {
+	db := paperDB(t)
+	res, err := lash.Mine(db, lash.Options{MinSupport: 100, MaxGap: 1, MaxLength: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 0 || len(res.FrequentItems) != 0 {
+		t.Fatalf("patterns at impossible σ: %v", res.Patterns)
+	}
+}

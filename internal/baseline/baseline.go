@@ -1,0 +1,191 @@
+// Package baseline implements the two distributed comparison algorithms of
+// §3 of the LASH paper:
+//
+//   - Naïve (§3.2): "word counting" over G_λ(T) — every generalized
+//     subsequence of every input sequence is emitted and counted. Its
+//     intermediate data is exponential in λ and the hierarchy depth.
+//   - Semi-naïve (§3.3): a generalized f-list is computed first; every item
+//     is replaced by its closest frequent ancestor (or a blank), and only
+//     blank-free subsequences are enumerated.
+//
+// Both support an emission cap standing in for the paper's 12-hour abort on
+// NYT-CLP ("> 12 hrs" in Fig. 4a): runs exceeding MaxEmit return
+// ErrEmitCapExceeded and are reported as DNF by the harness.
+package baseline
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"lash/internal/core"
+	"lash/internal/flist"
+	"lash/internal/gsm"
+	"lash/internal/mapreduce"
+	"lash/internal/seqenc"
+)
+
+// ErrEmitCapExceeded reports that a run produced more intermediate records
+// than Options.MaxEmit and was aborted.
+var ErrEmitCapExceeded = errors.New("baseline: intermediate output exceeded MaxEmit; run aborted (DNF)")
+
+// Options configures a baseline run.
+type Options struct {
+	Params gsm.Params
+	MR     mapreduce.Config
+	// MaxEmit caps the total number of emitted generalized subsequences
+	// across all mappers (0 = unlimited).
+	MaxEmit int64
+}
+
+// MineNaive runs the naïve algorithm.
+func MineNaive(db *gsm.Database, opt Options) (*core.Result, error) {
+	if err := opt.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	var emitted atomic.Int64
+	capped := opt.MaxEmit > 0
+
+	type pat struct {
+		key     string
+		support int64
+	}
+	out, stats := mapreduce.Run(opt.MR, db.Seqs, mapreduce.Job[gsm.Sequence, string, int64, pat]{
+		Name: "naive",
+		Map: func(t gsm.Sequence, emit func(string, int64)) {
+			gsm.EnumerateGenSubseqs(db.Forest, t, opt.Params.Gamma, 2, opt.Params.Lambda, nil,
+				func(s gsm.Sequence) bool {
+					if capped && emitted.Add(1) > opt.MaxEmit {
+						return false
+					}
+					emit(string(seqenc.AppendVocabSeq(nil, s)), 1)
+					return true
+				})
+		},
+		Combine: func(a, b int64) int64 { return a + b },
+		Hash:    mapreduce.HashString,
+		Size:    func(k string, v int64) int { return len(k) + seqenc.UvarintLen(uint64(v)) },
+		Reduce: func(k string, vs []int64, emit func(pat)) {
+			var sum int64
+			for _, v := range vs {
+				sum += v
+			}
+			if sum >= opt.Params.Sigma {
+				emit(pat{k, sum})
+			}
+		},
+	})
+	if capped && emitted.Load() > opt.MaxEmit {
+		return nil, ErrEmitCapExceeded
+	}
+	res := &core.Result{Jobs: core.JobStats{Mine: stats}}
+	for _, p := range out {
+		items, err := seqenc.DecodeVocabSeq(nil, []byte(p.key))
+		if err != nil {
+			return nil, err
+		}
+		res.Patterns = append(res.Patterns, gsm.Pattern{Items: items, Support: p.support})
+	}
+	gsm.SortPatterns(res.Patterns)
+	return res, nil
+}
+
+// MineSemiNaive runs the semi-naïve algorithm: an f-list job, then the
+// counting job over generalized sequences with frequent items only.
+func MineSemiNaive(db *gsm.Database, opt Options) (*core.Result, error) {
+	if err := opt.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	fl, flStats, err := core.FListJob(db, opt.Params.Sigma, opt.MR)
+	if err != nil {
+		return nil, err
+	}
+	var emitted atomic.Int64
+	capped := opt.MaxEmit > 0
+
+	type pat struct {
+		key     string // rank-space encoding — frequent items have small ids
+		support int64
+	}
+	out, stats := mapreduce.Run(opt.MR, db.Seqs, mapreduce.Job[gsm.Sequence, string, int64, pat]{
+		Name: "semi-naive",
+		Map: func(t gsm.Sequence, emit func(string, int64)) {
+			// Generalize each item to its closest frequent ancestor; items
+			// without one become blanks (skipped positions that still
+			// consume gap budget).
+			ranks := make([]flist.Rank, len(t))
+			gen := make(gsm.Sequence, len(t))
+			for i, w := range t {
+				r := fl.FrequentRank(w)
+				ranks[i] = r
+				if r != flist.NoRank {
+					gen[i] = fl.VocabOf(r)
+				}
+			}
+			accept := func(i int) bool { return ranks[i] != flist.NoRank }
+			buf := make([]flist.Rank, 0, opt.Params.Lambda)
+			gsm.EnumerateGenSubseqs(db.Forest, gen, opt.Params.Gamma, 2, opt.Params.Lambda, accept,
+				func(s gsm.Sequence) bool {
+					if capped && emitted.Add(1) > opt.MaxEmit {
+						return false
+					}
+					buf = buf[:0]
+					for _, w := range s {
+						buf = append(buf, fl.RankOf(w))
+					}
+					emit(string(seqenc.AppendSeq(nil, buf)), 1)
+					return true
+				})
+		},
+		Combine: func(a, b int64) int64 { return a + b },
+		Hash:    mapreduce.HashString,
+		Size:    func(k string, v int64) int { return len(k) + seqenc.UvarintLen(uint64(v)) },
+		Reduce: func(k string, vs []int64, emit func(pat)) {
+			var sum int64
+			for _, v := range vs {
+				sum += v
+			}
+			if sum >= opt.Params.Sigma {
+				emit(pat{k, sum})
+			}
+		},
+	})
+	if capped && emitted.Load() > opt.MaxEmit {
+		return nil, ErrEmitCapExceeded
+	}
+	res := &core.Result{Jobs: core.JobStats{FList: flStats, Mine: stats}, FList: fl}
+	for _, p := range out {
+		ranks, err := seqenc.DecodeSeq(nil, []byte(p.key))
+		if err != nil {
+			return nil, err
+		}
+		items, err := fl.TranslateFromRanks(nil, ranks)
+		if err != nil {
+			return nil, err
+		}
+		res.Patterns = append(res.Patterns, gsm.Pattern{Items: items, Support: p.support})
+	}
+	gsm.SortPatterns(res.Patterns)
+	for r := 0; r < fl.NumFrequent(); r++ {
+		res.FrequentItems = append(res.FrequentItems, gsm.Pattern{
+			Items:   gsm.Sequence{fl.VocabOf(flist.Rank(r))},
+			Support: fl.FreqOfRank(flist.Rank(r)),
+		})
+	}
+	return res, nil
+}
+
+// CountG1 returns |G1(T)| summed over the database — the replication factor
+// of the naïve partitioning discussion (§4). Exposed for experiments.
+func CountG1(db *gsm.Database) int64 {
+	var n int64
+	for _, t := range db.Seqs {
+		n += int64(len(gsm.ItemGeneralizations(db.Forest, t)))
+	}
+	return n
+}

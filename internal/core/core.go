@@ -1,0 +1,320 @@
+// Package core wires LASH together (§3.4, Alg. 1 of the paper): a
+// preprocessing MapReduce job computes the generalized f-list and the total
+// item order; a second job partitions the database with the hierarchy-aware
+// rewrites of internal/rewrite (map side) and mines every partition locally
+// with a pluggable sequential miner (reduce side).
+//
+// The same engine also provides the paper's comparison points:
+//
+//   - MG-FSM (§6.3): sequence mining without hierarchies — the identical
+//     pipeline run on a flattened vocabulary with the BFS local miner.
+//   - "flat LASH": MG-FSM's pipeline with PSM as the local miner
+//     (footnote 3 of the paper).
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lash/internal/flist"
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+	"lash/internal/mapreduce"
+	"lash/internal/miner"
+	"lash/internal/rewrite"
+	"lash/internal/seqenc"
+)
+
+// Options configures a LASH run.
+type Options struct {
+	Params gsm.Params
+
+	// Miner selects the local mining algorithm (default: PSM with the
+	// right-expansion index).
+	Miner miner.Kind
+
+	// Flat disables the hierarchy: items are mined as-is (MG-FSM mode when
+	// combined with Miner = KindBFS).
+	Flat bool
+
+	// Rewrites selects the partition-construction strength (default: the
+	// full pipeline). The weaker modes are correct but wasteful; they exist
+	// for the ablation study of the §4 discussion.
+	Rewrites rewrite.Mode
+
+	// Freqs, when non-nil, supplies precomputed hierarchy-aware item
+	// frequencies (indexed by vocabulary item) and skips the f-list job —
+	// the reuse the paper describes in §3.4 ("item frequencies and total
+	// order can be reused when LASH is run with different parameters; only
+	// the generalized f-list needs to be adapted"). Must match the database
+	// and hierarchy mode (flat or not) of this run.
+	Freqs []int64
+
+	// MR configures the MapReduce substrate.
+	MR mapreduce.Config
+}
+
+// JobStats carries the per-job MapReduce statistics.
+type JobStats struct {
+	FList *mapreduce.Stats
+	Mine  *mapreduce.Stats
+}
+
+// Result is the output of a LASH run.
+type Result struct {
+	// Patterns are the frequent generalized sequences, 2 ≤ |S| ≤ λ, in
+	// canonical order.
+	Patterns []gsm.Pattern
+	// FrequentItems are the length-1 frequent items with their generalized
+	// f-list frequencies (determined during preprocessing; the problem
+	// statement excludes them from Patterns).
+	FrequentItems []gsm.Pattern
+	// NumPartitions is the number of non-empty partitions mined.
+	NumPartitions int
+	// PartitionSeqs is the total number of (aggregated) sequences across all
+	// partitions; MaxPartitionSeqs is the largest single partition. Their
+	// ratio exposes the skew the rewrites are designed to fight (§4).
+	PartitionSeqs    int64
+	MaxPartitionSeqs int64
+	// Miner aggregates the local miners' work counters.
+	Miner miner.Stats
+	// Jobs carries MapReduce phase times and counters.
+	Jobs JobStats
+	// FList exposes the rank space for downstream analysis.
+	FList *flist.FList
+}
+
+// Mine runs LASH (or one of its flat variants) over the database.
+func Mine(db *gsm.Database, opt Options) (*Result, error) {
+	if err := opt.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	work := db
+	if opt.Flat {
+		work = &gsm.Database{Seqs: db.Seqs, Forest: flatForest(db.Forest)}
+	}
+
+	var (
+		fl      *flist.FList
+		flStats *mapreduce.Stats
+		err     error
+	)
+	if opt.Freqs != nil {
+		fl, err = flist.Build(work.Forest, opt.Freqs, opt.Params.Sigma)
+	} else {
+		fl, flStats, err = FListJob(work, opt.Params.Sigma, opt.MR)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := mineJob(work, fl, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Jobs.FList = flStats
+	res.FList = fl
+
+	// Translate patterns back to the caller's vocabulary space. Item ids are
+	// shared between the flat and hierarchical forests, so no remapping is
+	// needed beyond rank → vocab (done in mineJob).
+	gsm.SortPatterns(res.Patterns)
+	for r := 0; r < fl.NumFrequent(); r++ {
+		res.FrequentItems = append(res.FrequentItems, gsm.Pattern{
+			Items:   gsm.Sequence{fl.VocabOf(flist.Rank(r))},
+			Support: fl.FreqOfRank(flist.Rank(r)),
+		})
+	}
+	return res, nil
+}
+
+// flatForest rebuilds the vocabulary with no hierarchy edges, preserving
+// item ids.
+func flatForest(f *hierarchy.Forest) *hierarchy.Forest {
+	names := make([]string, f.Size())
+	for w := 0; w < f.Size(); w++ {
+		names[w] = f.Name(hierarchy.Item(w))
+	}
+	return hierarchy.Flat(names)
+}
+
+// Frequencies runs only the frequency-counting part of the preprocessing
+// job and returns the per-item hierarchy-aware document frequencies, for
+// reuse across Mine calls via Options.Freqs.
+func Frequencies(db *gsm.Database, flat bool, cfg mapreduce.Config) ([]int64, error) {
+	work := db
+	if flat {
+		work = &gsm.Database{Seqs: db.Seqs, Forest: flatForest(db.Forest)}
+	}
+	if err := work.Validate(); err != nil {
+		return nil, err
+	}
+	// Any σ ≥ 1 yields the same frequencies; build with σ=1 and discard the
+	// rank space.
+	fl, _, err := FListJob(work, 1, cfg)
+	if err != nil {
+		return nil, err
+	}
+	freqs := make([]int64, work.Forest.Size())
+	for w := range freqs {
+		freqs[w] = fl.Freq(hierarchy.Item(w))
+	}
+	return freqs, nil
+}
+
+// FListJob computes the generalized f-list with a MapReduce job (§3.3): map
+// emits each item of G1(T) once per sequence; reduce sums.
+func FListJob(db *gsm.Database, sigma int64, cfg mapreduce.Config) (*flist.FList, *mapreduce.Stats, error) {
+	type itemFreq struct {
+		w hierarchy.Item
+		n int64
+	}
+	out, stats := mapreduce.Run(cfg, db.Seqs, mapreduce.Job[gsm.Sequence, hierarchy.Item, int64, itemFreq]{
+		Name: "flist",
+		Map: func(t gsm.Sequence, emit func(hierarchy.Item, int64)) {
+			for _, g := range gsm.ItemGeneralizations(db.Forest, t) {
+				emit(g, 1)
+			}
+		},
+		Combine: func(a, b int64) int64 { return a + b },
+		Hash:    func(w hierarchy.Item) uint32 { return mapreduce.HashUint32(uint32(w)) },
+		Size:    func(w hierarchy.Item, n int64) int { return 8 },
+		Reduce: func(w hierarchy.Item, vs []int64, emit func(itemFreq)) {
+			var sum int64
+			for _, v := range vs {
+				sum += v
+			}
+			emit(itemFreq{w, sum})
+		},
+	})
+	freq := make([]int64, db.Forest.Size())
+	for _, f := range out {
+		freq[f.w] = f.n
+	}
+	fl, err := flist.Build(db.Forest, freq, sigma)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fl, stats, nil
+}
+
+// patternOut is one mined pattern in rank space.
+type patternOut struct {
+	ranks   []flist.Rank
+	support int64
+}
+
+// mineJob runs the partitioning and mining phases (Alg. 1).
+func mineJob(db *gsm.Database, fl *flist.FList, opt Options) (*Result, error) {
+	res := &Result{}
+	var explored, output atomic.Int64
+	var partitions, partSeqs atomic.Int64
+	var maxPart atomic.Int64
+
+	rewriters := sync.Pool{New: func() any {
+		rw := rewrite.NewRewriter(fl, opt.Params.Gamma, opt.Params.Lambda)
+		rw.Mode = opt.Rewrites
+		return rw
+	}}
+	localCfg := miner.Config{
+		Sigma:     opt.Params.Sigma,
+		Gamma:     opt.Params.Gamma,
+		Lambda:    opt.Params.Lambda,
+		PivotOnly: true,
+	}
+	parent := fl.ParentTable()
+
+	out, stats := mapreduce.Run(opt.MR, db.Seqs, mapreduce.Job[gsm.Sequence, flist.Rank, map[string]int64, patternOut]{
+		Name: "partition+mine",
+		Map: func(t gsm.Sequence, emit func(flist.Rank, map[string]int64)) {
+			rw := rewriters.Get().(*rewrite.Rewriter)
+			defer rewriters.Put(rw)
+			var pivots []flist.Rank
+			var buf []flist.Rank
+			for _, pivot := range fl.PivotRanks(pivots, t) {
+				buf = rw.Rewrite(buf[:0], t, pivot)
+				if len(buf) == 0 {
+					continue
+				}
+				enc := seqenc.AppendSeq(nil, buf)
+				emit(pivot, map[string]int64{string(enc): 1})
+			}
+		},
+		Combine: func(a, b map[string]int64) map[string]int64 {
+			if len(a) < len(b) {
+				a, b = b, a
+			}
+			for k, v := range b {
+				a[k] += v
+			}
+			return a
+		},
+		Hash: func(pivot flist.Rank) uint32 { return mapreduce.HashUint32(uint32(pivot)) },
+		Size: func(pivot flist.Rank, seqs map[string]int64) int {
+			size := 0
+			for k, v := range seqs {
+				size += seqenc.UvarintLen(uint64(pivot)) + len(k) + seqenc.UvarintLen(uint64(v))
+			}
+			return size
+		},
+		Reduce: func(pivot flist.Rank, parts []map[string]int64, emit func(patternOut)) {
+			// Merge the per-map-task dictionaries into the final partition,
+			// aggregating duplicate sequences (§4.4).
+			merged := parts[0]
+			for _, m := range parts[1:] {
+				if len(merged) < len(m) {
+					merged, m = m, merged
+				}
+				for k, v := range m {
+					merged[k] += v
+				}
+			}
+			p := &miner.Partition{Pivot: pivot, Parent: parent}
+			keys := make([]string, 0, len(merged))
+			for k := range merged {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				items, err := seqenc.DecodeSeq(nil, []byte(k))
+				if err != nil {
+					continue // cannot happen: we encoded these bytes
+				}
+				p.Seqs = append(p.Seqs, miner.WSeq{Items: items, Weight: merged[k]})
+			}
+			if len(p.Seqs) == 0 {
+				return
+			}
+			partitions.Add(1)
+			partSeqs.Add(int64(len(p.Seqs)))
+			for {
+				cur := maxPart.Load()
+				if int64(len(p.Seqs)) <= cur || maxPart.CompareAndSwap(cur, int64(len(p.Seqs))) {
+					break
+				}
+			}
+			st := miner.New(opt.Miner).Mine(p, localCfg, func(pat []flist.Rank, sup int64) {
+				emit(patternOut{ranks: append([]flist.Rank(nil), pat...), support: sup})
+			})
+			explored.Add(st.Explored)
+			output.Add(st.Output)
+		},
+	})
+
+	res.Jobs.Mine = stats
+	res.Miner = miner.Stats{Explored: explored.Load(), Output: output.Load()}
+	res.NumPartitions = int(partitions.Load())
+	res.PartitionSeqs = partSeqs.Load()
+	res.MaxPartitionSeqs = maxPart.Load()
+	for _, po := range out {
+		items, err := fl.TranslateFromRanks(nil, po.ranks)
+		if err != nil {
+			return nil, err
+		}
+		res.Patterns = append(res.Patterns, gsm.Pattern{Items: items, Support: po.support})
+	}
+	return res, nil
+}

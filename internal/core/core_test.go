@@ -1,0 +1,312 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lash/internal/baseline"
+	"lash/internal/core"
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+	"lash/internal/mapreduce"
+	"lash/internal/miner"
+	"lash/internal/paperex"
+	"lash/internal/rewrite"
+)
+
+var smallMR = mapreduce.Config{Workers: 2, MapTasks: 3, ReduceTasks: 3}
+
+// The paper's running example (§2, Fig. 2): LASH must output exactly
+// (aa,2), (ab1,2), (b1a,2), (aB,3), (Ba,2), (aBc,2), (Bc,2), (ac,2),
+// (b1D,2), (BD,2) — with every local miner.
+func TestPaperExampleEndToEnd(t *testing.T) {
+	db := paperex.Database()
+	want := paperex.Expected(db.Forest)
+	for _, kind := range []miner.Kind{miner.KindPSM, miner.KindPSMNoIndex, miner.KindBFS, miner.KindDFS} {
+		res, err := core.Mine(db, core.Options{Params: paperex.Params(), Miner: kind, MR: smallMR})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !gsm.EqualPatterns(res.Patterns, want) {
+			t.Fatalf("%s mismatch:\n%s", kind, gsm.DiffPatterns(db.Forest, res.Patterns, want))
+		}
+		if res.NumPartitions != 5 {
+			t.Errorf("%s: %d partitions, want 5 (a, B, b1, c, D)", kind, res.NumPartitions)
+		}
+		if len(res.FrequentItems) != 5 {
+			t.Errorf("%s: %d frequent items, want 5", kind, len(res.FrequentItems))
+		}
+		if res.Jobs.FList == nil || res.Jobs.Mine == nil {
+			t.Errorf("%s: job stats missing", kind)
+		}
+		if res.Jobs.Mine.MapOutputBytes <= 0 {
+			t.Errorf("%s: no map output bytes recorded", kind)
+		}
+	}
+}
+
+// Frequent single items carry the generalized f-list frequencies (Fig. 2).
+func TestFrequentItems(t *testing.T) {
+	db := paperex.Database()
+	res, err := core.Mine(db, core.Options{Params: paperex.Params(), MR: smallMR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := paperex.GeneralizedFList()
+	if len(res.FrequentItems) != len(want) {
+		t.Fatalf("%d frequent items, want %d", len(res.FrequentItems), len(want))
+	}
+	for i, row := range want {
+		got := res.FrequentItems[i]
+		if db.Forest.Name(got.Items[0]) != row.Name || got.Support != row.Freq {
+			t.Errorf("item %d: %s:%d, want %s:%d", i,
+				db.Forest.Name(got.Items[0]), got.Support, row.Name, row.Freq)
+		}
+	}
+}
+
+// The naïve and semi-naïve baselines reproduce the same golden output.
+func TestBaselinesPaperExample(t *testing.T) {
+	db := paperex.Database()
+	want := paperex.Expected(db.Forest)
+	opt := baseline.Options{Params: paperex.Params(), MR: smallMR}
+	nv, err := baseline.MineNaive(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gsm.EqualPatterns(nv.Patterns, want) {
+		t.Fatalf("naive mismatch:\n%s", gsm.DiffPatterns(db.Forest, nv.Patterns, want))
+	}
+	sn, err := baseline.MineSemiNaive(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gsm.EqualPatterns(sn.Patterns, want) {
+		t.Fatalf("semi-naive mismatch:\n%s", gsm.DiffPatterns(db.Forest, sn.Patterns, want))
+	}
+	// The semi-naïve algorithm must shuffle no more records than the naïve
+	// one (§3.3) — on this database strictly fewer.
+	if sn.Jobs.Mine.MapOutputRecords >= nv.Jobs.Mine.MapOutputRecords {
+		t.Errorf("semi-naive records %d ≥ naive records %d",
+			sn.Jobs.Mine.MapOutputRecords, nv.Jobs.Mine.MapOutputRecords)
+	}
+}
+
+// LASH shuffles fewer bytes than both baselines on the running example
+// (Fig. 4b's claim at toy scale).
+func TestShuffleBytesOrdering(t *testing.T) {
+	db := paperex.Database()
+	lash, err := core.Mine(db, core.Options{Params: paperex.Params(), MR: smallMR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := baseline.MineNaive(db, baseline.Options{Params: paperex.Params(), MR: smallMR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lash.Jobs.Mine.MapOutputBytes >= nv.Jobs.Mine.MapOutputBytes {
+		t.Errorf("LASH bytes %d ≥ naive bytes %d",
+			lash.Jobs.Mine.MapOutputBytes, nv.Jobs.Mine.MapOutputBytes)
+	}
+}
+
+// The emission cap turns into ErrEmitCapExceeded (the paper's ">12 hrs").
+func TestEmitCap(t *testing.T) {
+	db := paperex.Database()
+	opt := baseline.Options{Params: paperex.Params(), MR: smallMR, MaxEmit: 5}
+	if _, err := baseline.MineNaive(db, opt); err != baseline.ErrEmitCapExceeded {
+		t.Errorf("naive: err = %v, want cap exceeded", err)
+	}
+	if _, err := baseline.MineSemiNaive(db, opt); err != baseline.ErrEmitCapExceeded {
+		t.Errorf("semi-naive: err = %v, want cap exceeded", err)
+	}
+}
+
+// Flat mode ignores the hierarchy: only plain subsequences are counted.
+func TestFlatMode(t *testing.T) {
+	db := paperex.Database()
+	res, err := core.Mine(db, core.Options{
+		Params: gsm.Params{Sigma: 2, Gamma: 1, Lambda: 3},
+		Flat:   true,
+		Miner:  miner.KindBFS, // MG-FSM configuration
+		MR:     smallMR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the hierarchy: items a(5), c(3) are frequent; b1 appears in
+	// T1 only (f=1); B never appears literally. Frequent 2-sequences with
+	// σ=2, γ=1: "a a" (T1: a_a; T4: a_a) and "a c" (T2: a_c...wait T2 = a b3
+	// c → gap 1 ok; T3: ac adjacent; T5: a..c distance 3 → no) = 2.
+	want := []gsm.Pattern{
+		{Items: paperex.Seq(db.Forest, "a a"), Support: 2},
+		{Items: paperex.Seq(db.Forest, "a c"), Support: 2},
+	}
+	gsm.SortPatterns(want)
+	if !gsm.EqualPatterns(res.Patterns, want) {
+		t.Fatalf("flat mismatch:\n%s", gsm.DiffPatterns(db.Forest, res.Patterns, want))
+	}
+	// Flat LASH (PSM) must agree with MG-FSM (BFS).
+	res2, err := core.Mine(db, core.Options{
+		Params: gsm.Params{Sigma: 2, Gamma: 1, Lambda: 3},
+		Flat:   true,
+		Miner:  miner.KindPSM,
+		MR:     smallMR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gsm.EqualPatterns(res2.Patterns, want) {
+		t.Fatalf("flat PSM mismatch:\n%s", gsm.DiffPatterns(db.Forest, res2.Patterns, want))
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	db := paperex.Database()
+	if _, err := core.Mine(db, core.Options{Params: gsm.Params{Sigma: 0, Gamma: 0, Lambda: 3}}); err == nil {
+		t.Error("invalid σ accepted")
+	}
+	if _, err := core.Mine(&gsm.Database{}, core.Options{Params: paperex.Params()}); err == nil {
+		t.Error("missing forest accepted")
+	}
+	bad := paperex.Database()
+	bad.Seqs = append(bad.Seqs, gsm.Sequence{hierarchy.Item(9999)})
+	if _, err := core.Mine(bad, core.Options{Params: paperex.Params()}); err == nil {
+		t.Error("out-of-vocabulary item accepted")
+	}
+}
+
+// --- randomized cross-validation of all five implementations -------------
+
+func randDB(r *rand.Rand) *gsm.Database {
+	b := hierarchy.NewBuilder()
+	n := 4 + r.Intn(8)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = string(rune('a' + i))
+		b.Add(names[i])
+	}
+	for i := 1; i < n; i++ {
+		if r.Intn(2) == 0 {
+			b.AddEdge(names[i], names[r.Intn(i)])
+		}
+	}
+	f, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	db := &gsm.Database{Forest: f}
+	for i, k := 0, 2+r.Intn(7); i < k; i++ {
+		l := 1 + r.Intn(8)
+		s := make(gsm.Sequence, l)
+		for j := range s {
+			s[j] = hierarchy.Item(r.Intn(n))
+		}
+		db.Seqs = append(db.Seqs, s)
+	}
+	return db
+}
+
+// Property: LASH (all four local miners), naïve, and semi-naïve all equal
+// the brute-force oracle on random databases.
+func TestQuickAllAlgorithmsAgree(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randDB(r)
+		p := gsm.Params{
+			Sigma:  1 + int64(r.Intn(3)),
+			Gamma:  r.Intn(3),
+			Lambda: 2 + r.Intn(3),
+		}
+		want := gsm.MineBruteForce(db, p)
+		for _, kind := range []miner.Kind{miner.KindPSM, miner.KindPSMNoIndex, miner.KindBFS, miner.KindDFS} {
+			res, err := core.Mine(db, core.Options{Params: p, Miner: kind, MR: smallMR})
+			if err != nil || !gsm.EqualPatterns(res.Patterns, want) {
+				return false
+			}
+		}
+		nv, err := baseline.MineNaive(db, baseline.Options{Params: p, MR: smallMR})
+		if err != nil || !gsm.EqualPatterns(nv.Patterns, want) {
+			return false
+		}
+		sn, err := baseline.MineSemiNaive(db, baseline.Options{Params: p, MR: smallMR})
+		if err != nil || !gsm.EqualPatterns(sn.Patterns, want) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(211))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// All rewrite modes must produce identical results (the ablation study's
+// correctness precondition), differing only in shuffle volume.
+func TestRewriteModesAgree(t *testing.T) {
+	db := paperex.Database()
+	want := paperex.Expected(db.Forest)
+	var bytes []int64
+	for _, mode := range []rewrite.Mode{rewrite.ModeFull, rewrite.ModeGeneralizeOnly, rewrite.ModeNone} {
+		res, err := core.Mine(db, core.Options{Params: paperex.Params(), Rewrites: mode, MR: smallMR})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !gsm.EqualPatterns(res.Patterns, want) {
+			t.Fatalf("%v mismatch:\n%s", mode, gsm.DiffPatterns(db.Forest, res.Patterns, want))
+		}
+		bytes = append(bytes, res.Jobs.Mine.MapOutputBytes)
+	}
+	if !(bytes[0] <= bytes[1] && bytes[1] <= bytes[2]) {
+		t.Errorf("shuffle bytes not monotone across modes: %v", bytes)
+	}
+}
+
+// Property: rewrite modes agree on random databases too.
+func TestQuickRewriteModesAgree(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randDB(r)
+		p := gsm.Params{Sigma: 1 + int64(r.Intn(3)), Gamma: r.Intn(3), Lambda: 2 + r.Intn(3)}
+		base, err := core.Mine(db, core.Options{Params: p, MR: smallMR})
+		if err != nil {
+			return false
+		}
+		for _, mode := range []rewrite.Mode{rewrite.ModeGeneralizeOnly, rewrite.ModeNone} {
+			res, err := core.Mine(db, core.Options{Params: p, Rewrites: mode, MR: smallMR})
+			if err != nil || !gsm.EqualPatterns(res.Patterns, base.Patterns) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(227))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: results are independent of the MapReduce configuration.
+func TestQuickMRConfigIndependence(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randDB(r)
+		p := gsm.Params{Sigma: 1 + int64(r.Intn(2)), Gamma: r.Intn(2), Lambda: 2 + r.Intn(2)}
+		base, err := core.Mine(db, core.Options{Params: p, MR: mapreduce.Config{Workers: 1, MapTasks: 1, ReduceTasks: 1}})
+		if err != nil {
+			return false
+		}
+		for _, cfg := range []mapreduce.Config{
+			{Workers: 4, MapTasks: 7, ReduceTasks: 5},
+			{Workers: 2, MapTasks: 1, ReduceTasks: 9},
+		} {
+			res, err := core.Mine(db, core.Options{Params: p, MR: cfg})
+			if err != nil || !gsm.EqualPatterns(res.Patterns, base.Patterns) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(223))}); err != nil {
+		t.Fatal(err)
+	}
+}

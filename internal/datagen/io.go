@@ -1,0 +1,58 @@
+package datagen
+
+import (
+	"bufio"
+	"io"
+
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+)
+
+// WriteSequences writes one sequence per line (items separated by single
+// spaces), the textual interchange format understood by the lash CLI and
+// lash.DatabaseBuilder.ReadSequences.
+func WriteSequences(w io.Writer, db *gsm.Database) error {
+	bw := bufio.NewWriter(w)
+	for _, seq := range db.Seqs {
+		for i, it := range seq {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(db.Forest.Name(it)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteHierarchy writes one "child<TAB>parent" edge per line, the format
+// understood by the lash CLI and lash.DatabaseBuilder.ReadHierarchy.
+func WriteHierarchy(w io.Writer, f *hierarchy.Forest) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < f.Size(); i++ {
+		child := hierarchy.Item(i)
+		p := f.Parent(child)
+		if p == hierarchy.NoItem {
+			continue
+		}
+		if _, err := bw.WriteString(f.Name(child)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\t'); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(f.Name(p)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,66 @@
+package datagen_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lash/internal/datagen"
+	"lash/internal/hierarchy"
+)
+
+func TestWriteSequences(t *testing.T) {
+	c := datagen.GenerateText(datagen.TextConfig{Sentences: 30, Lemmas: 40, Seed: 5})
+	db, err := c.Build(datagen.HierarchyLP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := datagen.WriteSequences(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(db.Seqs) {
+		t.Fatalf("%d lines for %d sequences", len(lines), len(db.Seqs))
+	}
+	for i, line := range lines {
+		if len(strings.Fields(line)) != len(db.Seqs[i]) {
+			t.Fatalf("line %d has %d fields, want %d", i, len(strings.Fields(line)), len(db.Seqs[i]))
+		}
+	}
+}
+
+func TestWriteHierarchy(t *testing.T) {
+	c := datagen.GenerateMarket(datagen.MarketConfig{Users: 50, Products: 60, Seed: 5})
+	db, err := c.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := datagen.WriteHierarchy(&buf, db.Forest); err != nil {
+		t.Fatal(err)
+	}
+	// One line per non-root item; each line "child<TAB>parent" must match
+	// the forest.
+	nonRoots := 0
+	for i := 0; i < db.Forest.Size(); i++ {
+		if !db.Forest.IsRoot(hierarchy.Item(i)) {
+			nonRoots++
+		}
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != nonRoots {
+		t.Fatalf("%d edges for %d non-root items", len(lines), nonRoots)
+	}
+	for _, line := range lines {
+		parts := strings.Split(line, "\t")
+		if len(parts) != 2 {
+			t.Fatalf("malformed edge line %q", line)
+		}
+		child, ok1 := db.Forest.Lookup(parts[0])
+		parent, ok2 := db.Forest.Lookup(parts[1])
+		if !ok1 || !ok2 || db.Forest.Parent(child) != parent {
+			t.Fatalf("edge %q does not match forest", line)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+)
+
+// MarketConfig parameterizes the synthetic product-session corpus standing
+// in for the Amazon review dataset (§6.1).
+type MarketConfig struct {
+	Users      int     // number of user sessions (input sequences)
+	Products   int     // product catalogue size
+	Roots      int     // top-level categories
+	Branching  int     // children per category node used when sampling chains
+	AvgSession float64 // mean session length (paper: 4.5)
+	MaxSession int     // hard cap on session length; default 120
+	ZipfS      float64 // Zipf exponent for product popularity; default 1.05
+	Seed       int64
+}
+
+func (c MarketConfig) withDefaults() MarketConfig {
+	if c.Users <= 0 {
+		c.Users = 1000
+	}
+	if c.Products <= 0 {
+		c.Products = 2000
+	}
+	if c.Roots <= 0 {
+		c.Roots = 40
+	}
+	if c.Branching <= 0 {
+		c.Branching = 6
+	}
+	if c.AvgSession <= 0 {
+		c.AvgSession = 4.5
+	}
+	if c.MaxSession <= 0 {
+		c.MaxSession = 120
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.05
+	}
+	return c
+}
+
+// chainLenWeights reflects the paper's observation that "most products in
+// the Amazon product hierarchy have no more than 4 parent categories":
+// weights for natural category-chain lengths 1..7.
+var chainLenWeights = []float64{0.10, 0.25, 0.30, 0.20, 0.08, 0.05, 0.02}
+
+// MarketCorpus is a generated product-session corpus. Build derives an
+// h2..h8 hierarchy variant + database.
+type MarketCorpus struct {
+	Sessions [][]int32  // product indexes per user session
+	Chains   [][]string // per product: its category chain, most general first
+	Products []string   // product item names
+}
+
+// GenerateMarket builds a deterministic synthetic market corpus.
+func GenerateMarket(cfg MarketConfig) *MarketCorpus {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	c := &MarketCorpus{}
+
+	// Category chains: root "cN", children "cN/x", grandchildren "cN/x/y"…
+	// Name identity keeps the implied tree consistent across products.
+	c.Chains = make([][]string, cfg.Products)
+	c.Products = make([]string, cfg.Products)
+	for p := range c.Products {
+		c.Products[p] = fmt.Sprintf("prod%d", p)
+		x := r.Float64()
+		depth := len(chainLenWeights)
+		acc := 0.0
+		for d, w := range chainLenWeights {
+			acc += w
+			if x < acc {
+				depth = d + 1
+				break
+			}
+		}
+		chain := make([]string, depth)
+		chain[0] = fmt.Sprintf("c%d", r.Intn(cfg.Roots))
+		for d := 1; d < depth; d++ {
+			chain[d] = fmt.Sprintf("%s/%d", chain[d-1], r.Intn(cfg.Branching))
+		}
+		c.Chains[p] = chain
+	}
+
+	// Sessions: heavy-tailed lengths around AvgSession, Zipf products.
+	zipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.Products-1))
+	for u := 0; u < cfg.Users; u++ {
+		var l int
+		if r.Float64() < 0.65 {
+			l = 1 + r.Intn(4) // most users review a handful of products
+		} else {
+			l = 4 + int(r.ExpFloat64()*float64(cfg.AvgSession)*1.6)
+		}
+		if l > cfg.MaxSession {
+			l = cfg.MaxSession
+		}
+		sess := make([]int32, l)
+		for i := range sess {
+			sess[i] = int32(zipf.Uint64())
+		}
+		c.Sessions = append(c.Sessions, sess)
+	}
+	return c
+}
+
+// MaxLevels is the deepest market hierarchy the generator produces (h8:
+// product + up to 7 category levels).
+const MaxLevels = 8
+
+// Build materializes the h<levels> hierarchy variant (levels ∈ [2,8]): each
+// product is attached to the most specific of its first levels-1 categories;
+// products with shorter natural chains keep their full chain (this is why
+// h8 differs little from h4, as the paper notes).
+func (c *MarketCorpus) Build(levels int) (*gsm.Database, error) {
+	if levels < 2 || levels > MaxLevels {
+		return nil, fmt.Errorf("datagen: market hierarchy levels must be in [2,%d], got %d", MaxLevels, levels)
+	}
+	b := hierarchy.NewBuilder()
+	var chain []string
+	for p, name := range c.Products {
+		cats := c.Chains[p]
+		if keep := levels - 1; len(cats) > keep {
+			cats = cats[:keep]
+		}
+		// Chain from most specific to most general: product, cat_k, …, cat_1.
+		chain = chain[:0]
+		chain = append(chain, name)
+		for i := len(cats) - 1; i >= 0; i-- {
+			chain = append(chain, cats[i])
+		}
+		addChain(b, chain)
+	}
+	f, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	db := &gsm.Database{Forest: f}
+	for _, sess := range c.Sessions {
+		seq := make(gsm.Sequence, len(sess))
+		for i, p := range sess {
+			w, ok := f.Lookup(c.Products[p])
+			if !ok {
+				return nil, fmt.Errorf("datagen: product %q not interned", c.Products[p])
+			}
+			seq[i] = w
+		}
+		db.Seqs = append(db.Seqs, seq)
+	}
+	return db, nil
+}
+
+// MarketLevels lists the hierarchy depths evaluated in the paper (Fig. 5e,
+// Table 2): h2, h3, h4, h8.
+var MarketLevels = []int{2, 3, 4, 8}
+
+// Sample returns a database restricted to the first fraction of sequences
+// (Fig. 6a/6c use 25%, 50%, 75% samples). The forest is shared.
+func Sample(db *gsm.Database, fraction float64) *gsm.Database {
+	n := int(float64(len(db.Seqs)) * fraction)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(db.Seqs) {
+		n = len(db.Seqs)
+	}
+	return &gsm.Database{Seqs: db.Seqs[:n], Forest: db.Forest}
+}

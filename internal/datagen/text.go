@@ -1,0 +1,281 @@
+// Package datagen generates the synthetic corpora that stand in for the
+// paper's proprietary datasets (§6.1, Tables 1-2):
+//
+//   - a natural-language-like corpus (text.go) replacing the New York Times
+//     corpus + Stanford CoreNLP annotations, with the four syntactic
+//     hierarchy variants L, P, LP, CLP;
+//   - a product-session corpus (market.go) replacing the Amazon review
+//     dataset, with category hierarchies of depth 2-8 (h2…h8).
+//
+// Both generators are fully deterministic given a seed and reproduce the
+// statistical properties LASH's experiments depend on: Zipf item skew,
+// realistic sequence-length distributions, multi-level input items, and the
+// per-variant hierarchy shapes.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+)
+
+// TextHierarchy selects one of the paper's syntactic hierarchy variants.
+type TextHierarchy int
+
+const (
+	// HierarchyL links each word to its lemma (2 levels).
+	HierarchyL TextHierarchy = iota
+	// HierarchyP links each word to its part-of-speech tag (2 levels).
+	HierarchyP
+	// HierarchyLP links word → lemma → POS (3 levels).
+	HierarchyLP
+	// HierarchyCLP links word → lowercase form → lemma → POS (4 levels).
+	HierarchyCLP
+)
+
+// String names the variant as in the paper.
+func (h TextHierarchy) String() string {
+	switch h {
+	case HierarchyL:
+		return "L"
+	case HierarchyP:
+		return "P"
+	case HierarchyLP:
+		return "LP"
+	case HierarchyCLP:
+		return "CLP"
+	}
+	return fmt.Sprintf("TextHierarchy(%d)", int(h))
+}
+
+// TextHierarchies lists all four variants in the paper's order.
+var TextHierarchies = []TextHierarchy{HierarchyL, HierarchyP, HierarchyLP, HierarchyCLP}
+
+// TextConfig parameterizes the synthetic corpus.
+type TextConfig struct {
+	Sentences int     // number of sentences (input sequences)
+	Lemmas    int     // lemma vocabulary size
+	AvgLen    float64 // mean sentence length (paper: 21.1); default 21
+	MaxLen    int     // hard cap on sentence length; default 80
+	ZipfS     float64 // Zipf exponent for lemma popularity; default 1.1
+	Seed      int64
+}
+
+func (c TextConfig) withDefaults() TextConfig {
+	if c.Sentences <= 0 {
+		c.Sentences = 1000
+	}
+	if c.Lemmas <= 0 {
+		c.Lemmas = 1000
+	}
+	if c.AvgLen <= 0 {
+		c.AvgLen = 21
+	}
+	if c.MaxLen <= 0 {
+		c.MaxLen = 80
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	return c
+}
+
+// posTags are 22 part-of-speech roots, matching the paper's NYT-P hierarchy
+// (22 root items). Weights sum to 1 and loosely follow English tag
+// frequencies.
+var posTags = []struct {
+	tag    string
+	weight float64
+	forms  int // inflected surface forms per lemma of this tag
+}{
+	{"NN", 0.16, 2}, {"IN", 0.12, 1}, {"NNP", 0.10, 2}, {"DT", 0.09, 1},
+	{"JJ", 0.07, 3}, {"NNS", 0.06, 2}, {"VB", 0.05, 4}, {"RB", 0.05, 2},
+	{"VBD", 0.04, 4}, {"PRP", 0.04, 1}, {"CC", 0.035, 1}, {"VBZ", 0.03, 4},
+	{"VBN", 0.03, 4}, {"CD", 0.03, 1}, {"VBG", 0.025, 4}, {"TO", 0.02, 1},
+	{"MD", 0.02, 2}, {"PRP$", 0.02, 1}, {"WDT", 0.015, 1}, {"UH", 0.01, 1},
+	{"SYM", 0.01, 1}, {"FW", 0.01, 1},
+}
+
+// Token is one distinct surface form with its annotation chain.
+type Token struct {
+	Surface string // as it appears in a sentence, possibly capitalized
+	Lower   string // lowercase form (== Surface when not capitalized)
+	Lemma   string
+	POS     string
+}
+
+// TextCorpus is a generated corpus: sentences of token ids plus the token
+// dictionary. Build derives a hierarchy variant + database from it.
+type TextCorpus struct {
+	Sentences [][]int32
+	Tokens    []Token
+
+	tokenIDs map[string]int32
+}
+
+// inflectionSuffixes decorate lemmas into surface forms; form 0 is the lemma
+// itself, so a large share of tokens are items at the lemma level of the
+// hierarchy (the paper's "items appearing in the input sequences come from
+// different levels").
+var inflectionSuffixes = []string{"", "s", "ed", "ing"}
+
+// GenerateText builds a deterministic synthetic corpus.
+func GenerateText(cfg TextConfig) *TextCorpus {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Assign each lemma a POS tag (weighted) and a form count.
+	type lemmaInfo struct {
+		name  string
+		pos   string
+		forms int
+	}
+	lemmas := make([]lemmaInfo, cfg.Lemmas)
+	for i := range lemmas {
+		tag := posTags[len(posTags)-1]
+		if i < len(posTags) {
+			// The most popular lemmas cover every tag once, so all 22 POS
+			// roots exist in any non-trivial corpus (as in NYT-P, Table 2).
+			tag = posTags[i]
+		} else {
+			x := r.Float64()
+			acc := 0.0
+			for _, t := range posTags {
+				acc += t.weight
+				if x < acc {
+					tag = t
+					break
+				}
+			}
+		}
+		lemmas[i] = lemmaInfo{name: fmt.Sprintf("w%d", i), pos: tag.tag, forms: tag.forms}
+	}
+
+	zipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.Lemmas-1))
+	c := &TextCorpus{tokenIDs: make(map[string]int32)}
+
+	intern := func(t Token) int32 {
+		if id, ok := c.tokenIDs[t.Surface]; ok {
+			return id
+		}
+		id := int32(len(c.Tokens))
+		c.Tokens = append(c.Tokens, t)
+		c.tokenIDs[t.Surface] = id
+		return id
+	}
+
+	for s := 0; s < cfg.Sentences; s++ {
+		l := int(r.NormFloat64()*cfg.AvgLen/2.5 + cfg.AvgLen)
+		if l < 1 {
+			l = 1
+		}
+		if l > cfg.MaxLen {
+			l = cfg.MaxLen
+		}
+		sent := make([]int32, l)
+		for i := 0; i < l; i++ {
+			lm := lemmas[zipf.Uint64()]
+			form := 0
+			if lm.forms > 1 {
+				form = r.Intn(lm.forms)
+			}
+			lower := lm.name + inflectionSuffixes[form]
+			surface := lower
+			// Sentence-initial capitalization plus occasional proper-noun
+			// style capitals create the "case" level of CLP.
+			if i == 0 || r.Float64() < 0.02 {
+				surface = "W" + lower[1:]
+			}
+			sent[i] = intern(Token{Surface: surface, Lower: lower, Lemma: lm.name, POS: lm.pos})
+		}
+		c.Sentences = append(c.Sentences, sent)
+	}
+	return c
+}
+
+// Build materializes a hierarchy variant and the corresponding database.
+func (c *TextCorpus) Build(variant TextHierarchy) (*gsm.Database, error) {
+	b := hierarchy.NewBuilder()
+	var chain []string
+	for _, t := range c.Tokens {
+		switch variant {
+		case HierarchyL:
+			chain = append(chain[:0], t.Surface, t.Lemma)
+		case HierarchyP:
+			chain = append(chain[:0], t.Surface, t.POS)
+		case HierarchyLP:
+			chain = append(chain[:0], t.Surface, t.Lemma, t.POS)
+		case HierarchyCLP:
+			chain = append(chain[:0], t.Surface, t.Lower, t.Lemma, t.POS)
+		default:
+			return nil, fmt.Errorf("datagen: unknown hierarchy variant %d", int(variant))
+		}
+		addChain(b, chain)
+	}
+	f, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	db := &gsm.Database{Forest: f}
+	for _, sent := range c.Sentences {
+		seq := make(gsm.Sequence, len(sent))
+		for i, tid := range sent {
+			w, ok := f.Lookup(c.Tokens[tid].Surface)
+			if !ok {
+				return nil, fmt.Errorf("datagen: token %q not interned", c.Tokens[tid].Surface)
+			}
+			seq[i] = w
+		}
+		db.Seqs = append(db.Seqs, seq)
+	}
+	return db, nil
+}
+
+// addChain interns child→parent edges along a specialization chain,
+// skipping adjacent duplicates (a surface form equal to its lemma IS the
+// lemma node — that is what puts input items at different hierarchy
+// levels).
+func addChain(b *hierarchy.Builder, chain []string) {
+	prev := chain[0]
+	b.Add(prev)
+	for _, next := range chain[1:] {
+		if next == prev {
+			continue
+		}
+		b.AddEdge(prev, next)
+		prev = next
+	}
+}
+
+// DatasetStats mirrors Table 1 of the paper.
+type DatasetStats struct {
+	Sequences   int
+	AvgLength   float64
+	MaxLength   int
+	TotalItems  int64
+	UniqueItems int
+}
+
+// Characteristics computes Table-1 statistics for a database.
+func Characteristics(db *gsm.Database) DatasetStats {
+	s := DatasetStats{Sequences: len(db.Seqs)}
+	seen := make(map[hierarchy.Item]struct{})
+	for _, t := range db.Seqs {
+		s.TotalItems += int64(len(t))
+		if len(t) > s.MaxLength {
+			s.MaxLength = len(t)
+		}
+		for _, w := range t {
+			seen[w] = struct{}{}
+		}
+	}
+	s.UniqueItems = len(seen)
+	if s.Sequences > 0 {
+		s.AvgLength = float64(s.TotalItems) / float64(s.Sequences)
+	}
+	s.AvgLength = math.Round(s.AvgLength*10) / 10
+	return s
+}

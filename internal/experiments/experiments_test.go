@@ -1,0 +1,109 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lash/internal/experiments"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "medium", ""} {
+		if _, err := experiments.ScaleByName(name); err != nil {
+			t.Errorf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := experiments.ScaleByName("galactic"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, e := range experiments.All {
+		got, err := experiments.ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%q) failed: %v", e.ID, err)
+		}
+	}
+	if _, err := experiments.ByID("fig99z"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRegistryCoversPaper(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "ablation",
+		"fig4a", "fig4b", "fig4c", "fig4d", "fig4e",
+		"fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f",
+		"fig6a", "fig6b", "fig6c",
+	}
+	if len(experiments.All) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(experiments.All), len(want))
+	}
+	for _, id := range want {
+		if _, err := experiments.ByID(id); err != nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+// A scaled-down scale for unit testing the runners end to end.
+func testScale() experiments.Scale {
+	return experiments.Scale{
+		Name:         "unit",
+		NYTSentences: 300, NYTLemmas: 200,
+		AMZNUsers: 500, AMZNProducts: 300,
+		SigmaXHi: 100, SigmaHi: 25, SigmaLo: 6, SigmaXLo: 3,
+		NaiveCap: 2_000_000,
+		Seed:     7,
+	}
+}
+
+// Every experiment must run and produce a well-formed table at unit scale.
+func TestAllExperimentsRun(t *testing.T) {
+	c := experiments.NewContext(testScale())
+	for _, e := range experiments.All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(c)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Fatalf("%s: row width %d != header %d", e.ID, len(row), len(tbl.Header))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tbl.Format(&buf); err != nil {
+				t.Fatalf("%s: format: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, tbl.Header[0]) {
+				t.Fatalf("%s: formatted output malformed:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestRunAndFormatSelection(t *testing.T) {
+	c := experiments.NewContext(testScale())
+	var buf bytes.Buffer
+	if err := experiments.RunAndFormat(c, []string{"table1", "table2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "table1") || !strings.Contains(out, "table2") {
+		t.Fatalf("selection output missing tables:\n%s", out)
+	}
+	if strings.Contains(out, "fig4a") {
+		t.Fatal("unselected experiment ran")
+	}
+	if err := experiments.RunAndFormat(c, []string{"nope"}, &buf); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

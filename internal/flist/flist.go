@@ -1,0 +1,230 @@
+// Package flist implements the generalized f-list of the LASH paper (§3.3)
+// and the total item order < used for item-based partitioning (§3.4).
+//
+// The generalized f-list is hierarchy-aware: the frequency f0(w, D) of an
+// item w is the number of input sequences that contain w or any of its
+// descendants. Frequent items (f0 ≥ σ) are assigned dense ranks following
+// the paper's order: more frequent items are "smaller"; ties are broken in a
+// hierarchy-aware way (items at higher — more general — levels first), and
+// remaining ties by vocabulary id. This ordering guarantees that
+// w2 → w1 (w1 parent of w2) implies rank(w1) < rank(w2).
+package flist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+)
+
+// Rank is a frequency-ordered dense id of a frequent item: rank 0 is the
+// "smallest" (most frequent) item of the total order <.
+type Rank uint32
+
+// NoRank marks infrequent items. Because it compares larger than every real
+// rank, it doubles as the blank symbol "_" in rewritten sequences (the paper
+// requires w < _ for all items w).
+const NoRank Rank = math.MaxUint32
+
+// FList is the generalized f-list plus the derived rank space.
+type FList struct {
+	forest  *hierarchy.Forest
+	sigma   int64
+	freq    []int64          // vocab → f0(w, D)
+	rankOf  []Rank           // vocab → rank or NoRank
+	vocabOf []hierarchy.Item // rank → vocab item
+	parent  []Rank           // rank → parent rank (or NoRank for roots)
+}
+
+// ComputeFrequencies returns the hierarchy-aware document frequency of every
+// vocabulary item: the number of sequences containing the item or any
+// descendant. This is the sequential (non-MapReduce) implementation used by
+// the library path and tests; the engine computes the same quantity with a
+// MapReduce job.
+func ComputeFrequencies(db *gsm.Database) []int64 {
+	f := db.Forest
+	freq := make([]int64, f.Size())
+	seen := make(map[hierarchy.Item]struct{}, 64)
+	var scratch []hierarchy.Item
+	for _, t := range db.Seqs {
+		clear(seen)
+		for _, w := range t {
+			if _, done := seen[w]; done {
+				continue
+			}
+			scratch = f.SelfAndAncestors(scratch[:0], w)
+			for _, g := range scratch {
+				seen[g] = struct{}{}
+			}
+		}
+		for g := range seen {
+			freq[g]++
+		}
+	}
+	return freq
+}
+
+// Build derives the rank space from per-item frequencies and σ.
+func Build(forest *hierarchy.Forest, freq []int64, sigma int64) (*FList, error) {
+	if len(freq) != forest.Size() {
+		return nil, fmt.Errorf("flist: %d frequencies for %d items", len(freq), forest.Size())
+	}
+	if sigma <= 0 {
+		return nil, fmt.Errorf("flist: σ must be positive, got %d", sigma)
+	}
+	fl := &FList{
+		forest: forest,
+		sigma:  sigma,
+		freq:   append([]int64(nil), freq...),
+		rankOf: make([]Rank, forest.Size()),
+	}
+	var frequent []hierarchy.Item
+	for w := 0; w < forest.Size(); w++ {
+		fl.rankOf[w] = NoRank
+		if freq[w] >= sigma {
+			frequent = append(frequent, hierarchy.Item(w))
+		}
+	}
+	sort.Slice(frequent, func(i, j int) bool {
+		a, b := frequent[i], frequent[j]
+		if freq[a] != freq[b] {
+			return freq[a] > freq[b]
+		}
+		if la, lb := forest.Level(a), forest.Level(b); la != lb {
+			return la < lb
+		}
+		return a < b
+	})
+	fl.vocabOf = frequent
+	fl.parent = make([]Rank, len(frequent))
+	for r, w := range frequent {
+		fl.rankOf[w] = Rank(r)
+	}
+	for r, w := range frequent {
+		p := forest.Parent(w)
+		if p == hierarchy.NoItem {
+			fl.parent[r] = NoRank
+			continue
+		}
+		pr := fl.rankOf[p]
+		if pr == NoRank {
+			// A frequent item's ancestors are at least as frequent (support
+			// sets nest, Lemma 1) — an infrequent parent is a logic error in
+			// the supplied frequencies.
+			return nil, fmt.Errorf("flist: frequent item %q (f=%d) has infrequent parent %q (f=%d)",
+				forest.Name(w), freq[w], forest.Name(p), freq[p])
+		}
+		if pr >= Rank(r) {
+			return nil, fmt.Errorf("flist: order violation: parent %q not smaller than child %q",
+				forest.Name(p), forest.Name(w))
+		}
+		fl.parent[r] = pr
+	}
+	return fl, nil
+}
+
+// BuildFromDB computes frequencies and builds the f-list in one step.
+func BuildFromDB(db *gsm.Database, sigma int64) (*FList, error) {
+	return Build(db.Forest, ComputeFrequencies(db), sigma)
+}
+
+// Forest returns the hierarchy this f-list was built over.
+func (fl *FList) Forest() *hierarchy.Forest { return fl.forest }
+
+// Sigma returns the support threshold the f-list was built with.
+func (fl *FList) Sigma() int64 { return fl.sigma }
+
+// NumFrequent returns the number of frequent items (= number of partitions
+// LASH will create).
+func (fl *FList) NumFrequent() int { return len(fl.vocabOf) }
+
+// Freq returns f0(w, D) for a vocabulary item.
+func (fl *FList) Freq(w hierarchy.Item) int64 { return fl.freq[w] }
+
+// FreqOfRank returns f0 for a rank.
+func (fl *FList) FreqOfRank(r Rank) int64 { return fl.freq[fl.vocabOf[r]] }
+
+// RankOf returns the rank of a vocabulary item (NoRank if infrequent).
+func (fl *FList) RankOf(w hierarchy.Item) Rank { return fl.rankOf[w] }
+
+// VocabOf returns the vocabulary item of a rank.
+func (fl *FList) VocabOf(r Rank) hierarchy.Item { return fl.vocabOf[r] }
+
+// ParentRank returns the rank of the parent of rank r (NoRank for roots).
+// Parents always have smaller ranks.
+func (fl *FList) ParentRank(r Rank) Rank { return fl.parent[r] }
+
+// ParentTable returns the rank → parent-rank table (shared; do not modify).
+// Local miners use it for hierarchy-aware expansion without touching the
+// vocabulary space.
+func (fl *FList) ParentTable() []Rank { return fl.parent }
+
+// GeneralizeTo returns the deepest frequent ancestor-or-self of vocabulary
+// item w whose rank is ≤ maxRank, or NoRank if none exists. With
+// maxRank = NoRank-1 this is "closest frequent ancestor or self" (the
+// semi-naïve algorithm's rewrite); with maxRank = pivot it is exactly the
+// w-generalization primitive of §4.2.
+func (fl *FList) GeneralizeTo(w hierarchy.Item, maxRank Rank) Rank {
+	for w != hierarchy.NoItem {
+		if r := fl.rankOf[w]; r <= maxRank {
+			return r
+		}
+		w = fl.forest.Parent(w)
+	}
+	return NoRank
+}
+
+// FrequentRank is GeneralizeTo with no rank bound: the closest frequent
+// ancestor-or-self.
+func (fl *FList) FrequentRank(w hierarchy.Item) Rank {
+	return fl.GeneralizeTo(w, NoRank-1)
+}
+
+// PivotRanks appends to dst the distinct frequent ranks of G1(T) — every
+// frequent item that occurs in t directly or as a generalization. These are
+// precisely the partitions t contributes to (Alg. 1, line 2). The result is
+// sorted ascending.
+func (fl *FList) PivotRanks(dst []Rank, t gsm.Sequence) []Rank {
+	start := len(dst)
+	for _, w := range t {
+		for u := w; u != hierarchy.NoItem; u = fl.forest.Parent(u) {
+			if r := fl.rankOf[u]; r != NoRank {
+				dst = append(dst, r)
+			}
+		}
+	}
+	tail := dst[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	// Deduplicate in place.
+	out := dst[:start]
+	for i, r := range tail {
+		if i == 0 || r != tail[i-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TranslateToRanks maps a vocabulary sequence into rank space with no
+// generalization: infrequent items become NoRank (blank). Used by flat
+// mining paths and tests.
+func (fl *FList) TranslateToRanks(dst []Rank, t gsm.Sequence) []Rank {
+	for _, w := range t {
+		dst = append(dst, fl.rankOf[w])
+	}
+	return dst
+}
+
+// TranslateFromRanks maps a rank sequence back to vocabulary items; blanks
+// are not allowed (patterns never contain blanks).
+func (fl *FList) TranslateFromRanks(dst gsm.Sequence, s []Rank) (gsm.Sequence, error) {
+	for _, r := range s {
+		if r == NoRank || int(r) >= len(fl.vocabOf) {
+			return dst, fmt.Errorf("flist: rank %d not translatable", r)
+		}
+		dst = append(dst, fl.vocabOf[r])
+	}
+	return dst, nil
+}

@@ -1,0 +1,407 @@
+// Package gsm defines the generalized sequence mining (GSM) problem kernel:
+// sequences over a hierarchical vocabulary, the gap-constrained generalized
+// subsequence relation ⊑γ, enumeration of generalized subsequences (the
+// G_λ(T) sets of the LASH paper), support computation, and a brute-force
+// reference miner used as the test oracle for all production algorithms.
+package gsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"lash/internal/hierarchy"
+)
+
+// Sequence is a sequence of vocabulary items.
+type Sequence = []hierarchy.Item
+
+// Params bundles the three GSM problem parameters.
+type Params struct {
+	Sigma  int64 // minimum support σ > 0
+	Gamma  int   // maximum gap γ ≥ 0
+	Lambda int   // maximum pattern length λ ≥ 2
+}
+
+// Validate reports whether the parameters satisfy the problem statement
+// (σ > 0, γ ≥ 0, λ ≥ 2).
+func (p Params) Validate() error {
+	if p.Sigma <= 0 {
+		return fmt.Errorf("gsm: support σ must be positive, got %d", p.Sigma)
+	}
+	if p.Gamma < 0 {
+		return fmt.Errorf("gsm: gap γ must be non-negative, got %d", p.Gamma)
+	}
+	if p.Lambda < 2 {
+		return fmt.Errorf("gsm: max length λ must be at least 2, got %d", p.Lambda)
+	}
+	return nil
+}
+
+// Pattern is a mined generalized sequence together with its support.
+type Pattern struct {
+	Items   Sequence
+	Support int64
+}
+
+// Database is a multiset of input sequences over a shared hierarchy.
+type Database struct {
+	Seqs   []Sequence
+	Forest *hierarchy.Forest
+}
+
+// ErrNoForest is returned when a database lacks a hierarchy.
+var ErrNoForest = errors.New("gsm: database has no hierarchy")
+
+// Validate checks that every item of every sequence is interned in the
+// forest.
+func (db *Database) Validate() error {
+	if db.Forest == nil {
+		return ErrNoForest
+	}
+	n := hierarchy.Item(db.Forest.Size())
+	for i, t := range db.Seqs {
+		for j, w := range t {
+			if w >= n {
+				return fmt.Errorf("gsm: sequence %d position %d: item %d outside vocabulary", i, j, w)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders a sequence using the forest's item names.
+func String(f *hierarchy.Forest, s Sequence) string {
+	var b strings.Builder
+	for i, w := range s {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(f.Name(w))
+	}
+	return b.String()
+}
+
+// Key returns a compact map key for a sequence (4 bytes per item).
+func Key(s Sequence) string {
+	buf := make([]byte, 4*len(s))
+	for i, w := range s {
+		buf[4*i] = byte(w)
+		buf[4*i+1] = byte(w >> 8)
+		buf[4*i+2] = byte(w >> 16)
+		buf[4*i+3] = byte(w >> 24)
+	}
+	return string(buf)
+}
+
+// FromKey decodes a Key back into a sequence.
+func FromKey(k string) Sequence {
+	s := make(Sequence, len(k)/4)
+	for i := range s {
+		s[i] = hierarchy.Item(k[4*i]) | hierarchy.Item(k[4*i+1])<<8 |
+			hierarchy.Item(k[4*i+2])<<16 | hierarchy.Item(k[4*i+3])<<24
+	}
+	return s
+}
+
+// IsGenSubseq reports whether S ⊑γ T: there are indexes i1 < … < in of T
+// with T[ij] →* S[j] and at most gamma items between consecutive indexes.
+func IsGenSubseq(f *hierarchy.Forest, s, t Sequence, gamma int) bool {
+	n, m := len(s), len(t)
+	if n == 0 || n > m {
+		return n == 0
+	}
+	// memo[i*m+j]: 0 unknown, 1 yes, 2 no — can S[i:] match with S[i] at T[j]?
+	memo := make([]byte, n*m)
+	var match func(i, j int) bool
+	match = func(i, j int) bool {
+		if !f.GeneralizesTo(t[j], s[i]) {
+			return false
+		}
+		if i == n-1 {
+			return true
+		}
+		switch memo[i*m+j] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+		hi := j + 1 + gamma
+		if hi >= m {
+			hi = m - 1
+		}
+		for jn := j + 1; jn <= hi; jn++ {
+			if match(i+1, jn) {
+				memo[i*m+j] = 1
+				return true
+			}
+		}
+		memo[i*m+j] = 2
+		return false
+	}
+	for j := 0; j+n <= m; j++ {
+		if match(0, j) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSubseq reports whether S is a plain (non-generalized) gap-constrained
+// subsequence of T, i.e. S ⊆γ T.
+func IsSubseq(s, t Sequence, gamma int) bool {
+	n, m := len(s), len(t)
+	if n == 0 || n > m {
+		return n == 0
+	}
+	memo := make([]byte, n*m)
+	var match func(i, j int) bool
+	match = func(i, j int) bool {
+		if t[j] != s[i] {
+			return false
+		}
+		if i == n-1 {
+			return true
+		}
+		switch memo[i*m+j] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+		hi := j + 1 + gamma
+		if hi >= m {
+			hi = m - 1
+		}
+		for jn := j + 1; jn <= hi; jn++ {
+			if match(i+1, jn) {
+				memo[i*m+j] = 1
+				return true
+			}
+		}
+		memo[i*m+j] = 2
+		return false
+	}
+	for j := 0; j+n <= m; j++ {
+		if match(0, j) {
+			return true
+		}
+	}
+	return false
+}
+
+// Frequency computes f_γ(S, D): the number of database sequences T with
+// S ⊑γ T.
+func Frequency(db *Database, s Sequence, gamma int) int64 {
+	var n int64
+	for _, t := range db.Seqs {
+		if IsGenSubseq(db.Forest, s, t, gamma) {
+			n++
+		}
+	}
+	return n
+}
+
+// ItemGeneralizations returns G1(T): the distinct items occurring in T
+// together with all their generalizations, in ascending item order.
+func ItemGeneralizations(f *hierarchy.Forest, t Sequence) []hierarchy.Item {
+	seen := make(map[hierarchy.Item]struct{}, 2*len(t))
+	var scratch []hierarchy.Item
+	for _, w := range t {
+		scratch = f.SelfAndAncestors(scratch[:0], w)
+		for _, g := range scratch {
+			seen[g] = struct{}{}
+		}
+	}
+	out := make([]hierarchy.Item, 0, len(seen))
+	for g := range seen {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EnumerateGenSubseqs calls fn once for each DISTINCT generalized
+// subsequence S ⊑γ T with minLen ≤ |S| ≤ maxLen (the set G_λ(T) of the
+// paper when minLen = 2). The callback must not retain the slice; if it
+// returns false, enumeration stops early and EnumerateGenSubseqs returns
+// false.
+//
+// A nil accept function enumerates everything; otherwise only positions with
+// accept(index)==true may participate (used by the semi-naïve algorithm to
+// skip blank positions while preserving the gap structure).
+func EnumerateGenSubseqs(f *hierarchy.Forest, t Sequence, gamma, minLen, maxLen int, accept func(int) bool, fn func(Sequence) bool) bool {
+	if maxLen < minLen || len(t) == 0 {
+		return true
+	}
+	seen := make(map[string]struct{})
+	cur := make(Sequence, 0, maxLen)
+	var extend func(last int) bool
+	emit := func() bool {
+		if len(cur) < minLen {
+			return true
+		}
+		k := Key(cur)
+		if _, dup := seen[k]; dup {
+			return true
+		}
+		seen[k] = struct{}{}
+		return fn(cur)
+	}
+	// Note: the generalization list must be a fresh slice per recursion level;
+	// a shared scratch buffer would be clobbered by deeper calls while the
+	// enclosing range loop is still iterating over it.
+	extend = func(last int) bool {
+		if len(cur) == maxLen {
+			return true
+		}
+		hi := last + 1 + gamma
+		if hi >= len(t) {
+			hi = len(t) - 1
+		}
+		for j := last + 1; j <= hi; j++ {
+			if accept != nil && !accept(j) {
+				continue
+			}
+			for _, g := range f.SelfAndAncestors(nil, t[j]) {
+				cur = append(cur, g)
+				ok := emit() && extend(j)
+				cur = cur[:len(cur)-1]
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := range t {
+		if accept != nil && !accept(i) {
+			continue
+		}
+		for _, g := range f.SelfAndAncestors(nil, t[i]) {
+			cur = append(cur[:0], g)
+			if !(emit() && extend(i)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GenSubseqSet materializes G_λ(T) as a sorted slice (tests/small inputs).
+func GenSubseqSet(f *hierarchy.Forest, t Sequence, gamma, minLen, maxLen int) []Sequence {
+	var out []Sequence
+	EnumerateGenSubseqs(f, t, gamma, minLen, maxLen, nil, func(s Sequence) bool {
+		out = append(out, append(Sequence(nil), s...))
+		return true
+	})
+	SortPatternsSeq(out)
+	return out
+}
+
+// GenSubseqSetFiltered is GenSubseqSet with a position-acceptance filter
+// (see EnumerateGenSubseqs).
+func GenSubseqSetFiltered(f *hierarchy.Forest, t Sequence, gamma, minLen, maxLen int, accept func(int) bool) []Sequence {
+	var out []Sequence
+	EnumerateGenSubseqs(f, t, gamma, minLen, maxLen, accept, func(s Sequence) bool {
+		out = append(out, append(Sequence(nil), s...))
+		return true
+	})
+	SortPatternsSeq(out)
+	return out
+}
+
+// MineBruteForce is the reference GSM miner: it gathers every candidate from
+// the G_λ(T) sets and then recomputes each candidate's support with the
+// independent IsGenSubseq test. Quadratic and intended only as a test oracle.
+func MineBruteForce(db *Database, p Params) []Pattern {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	cands := make(map[string]struct{})
+	for _, t := range db.Seqs {
+		EnumerateGenSubseqs(db.Forest, t, p.Gamma, 2, p.Lambda, nil, func(s Sequence) bool {
+			cands[Key(s)] = struct{}{}
+			return true
+		})
+	}
+	var out []Pattern
+	for k := range cands {
+		s := FromKey(k)
+		if f := Frequency(db, s, p.Gamma); f >= p.Sigma {
+			out = append(out, Pattern{Items: s, Support: f})
+		}
+	}
+	SortPatterns(out)
+	return out
+}
+
+// SortPatterns orders patterns by length, then lexicographically by item id,
+// providing the canonical output order used across the repository.
+func SortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool { return lessSeq(ps[i].Items, ps[j].Items) })
+}
+
+// SortPatternsSeq orders raw sequences canonically.
+func SortPatternsSeq(ss []Sequence) {
+	sort.Slice(ss, func(i, j int) bool { return lessSeq(ss[i], ss[j]) })
+}
+
+func lessSeq(a, b Sequence) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// EqualPatterns reports whether two canonical pattern lists are identical.
+func EqualPatterns(a, b []Pattern) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Support != b[i].Support || len(a[i].Items) != len(b[i].Items) {
+			return false
+		}
+		for j := range a[i].Items {
+			if a[i].Items[j] != b[i].Items[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DiffPatterns returns a human-readable diff of two canonical pattern lists
+// (for test failure messages).
+func DiffPatterns(f *hierarchy.Forest, got, want []Pattern) string {
+	gm := map[string]int64{}
+	wm := map[string]int64{}
+	for _, p := range got {
+		gm[Key(p.Items)] = p.Support
+	}
+	for _, p := range want {
+		wm[Key(p.Items)] = p.Support
+	}
+	var b strings.Builder
+	for k, v := range wm {
+		if g, ok := gm[k]; !ok {
+			fmt.Fprintf(&b, "missing: %s (%d)\n", String(f, FromKey(k)), v)
+		} else if g != v {
+			fmt.Fprintf(&b, "support mismatch: %s got %d want %d\n", String(f, FromKey(k)), g, v)
+		}
+	}
+	for k, v := range gm {
+		if _, ok := wm[k]; !ok {
+			fmt.Fprintf(&b, "spurious: %s (%d)\n", String(f, FromKey(k)), v)
+		}
+	}
+	return b.String()
+}

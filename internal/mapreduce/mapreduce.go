@@ -1,0 +1,341 @@
+// Package mapreduce is the in-process MapReduce substrate the distributed
+// algorithms run on. It executes map / combine / shuffle / reduce with real
+// (bounded) parallelism on the host, collects Hadoop-style counters
+// (MAP_OUTPUT_BYTES, record counts) and per-task durations, and derives
+// *simulated cluster* phase times by scheduling the measured tasks onto a
+// configurable number of machines × slots (LPT) with a bandwidth model for
+// the shuffle.
+//
+// This substitutes for the paper's 11-node Hadoop cluster (§6.1): LASH's
+// experimental claims rest on bytes shuffled and relative per-phase work,
+// both of which are preserved by measuring real task costs and real encoded
+// bytes; the scheduler then reproduces cluster scaling shapes (Fig. 6).
+package mapreduce
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ClusterSpec describes the simulated cluster. The defaults mirror the
+// paper's setup: 10 worker machines with 8 concurrent tasks each, 10 GbE.
+type ClusterSpec struct {
+	Machines        int     // simulated worker machines (default 10)
+	SlotsPerMachine int     // concurrent map or reduce tasks per machine (default 8)
+	NetBytesPerSec  float64 // per-machine shuffle bandwidth (default 1.25e9 ≈ 10 GbE)
+}
+
+func (c ClusterSpec) withDefaults() ClusterSpec {
+	if c.Machines <= 0 {
+		c.Machines = 10
+	}
+	if c.SlotsPerMachine <= 0 {
+		c.SlotsPerMachine = 8
+	}
+	if c.NetBytesPerSec <= 0 {
+		c.NetBytesPerSec = 1.25e9
+	}
+	return c
+}
+
+// Config controls a job run.
+type Config struct {
+	Workers     int // real goroutines (default NumCPU)
+	MapTasks    int // input splits (default 4×Workers)
+	ReduceTasks int // key-space partitions (default 4×Workers)
+	Cluster     ClusterSpec
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.MapTasks <= 0 {
+		c.MapTasks = 4 * c.Workers
+	}
+	if c.ReduceTasks <= 0 {
+		c.ReduceTasks = 4 * c.Workers
+	}
+	c.Cluster = c.Cluster.withDefaults()
+	return c
+}
+
+// Counters are Hadoop-style job counters.
+type Counters struct {
+	MapInputRecords     int64
+	MapOutputRecords    int64 // after combining, i.e. records shuffled
+	MapOutputBytes      int64 // encoded size of shuffled records (MAP_OUTPUT_BYTES)
+	ReduceInputKeys     int64
+	ReduceOutputRecords int64
+}
+
+// PhaseTimes breaks a job into the phases the paper reports.
+type PhaseTimes struct {
+	Map     time.Duration
+	Shuffle time.Duration
+	Reduce  time.Duration
+}
+
+// Total sums the phases.
+func (p PhaseTimes) Total() time.Duration { return p.Map + p.Shuffle + p.Reduce }
+
+// Stats reports everything measured about one job run.
+type Stats struct {
+	Wall PhaseTimes // actually elapsed on this host
+	Sim  PhaseTimes // simulated cluster times (see package doc)
+	Counters
+	MapTaskTimes    []time.Duration
+	ReduceTaskTimes []time.Duration
+}
+
+// Job wires user code into a run. K must be comparable; V is the
+// intermediate value; R the reduce output.
+type Job[I any, K comparable, V any, R any] struct {
+	Name string
+
+	// Map processes one input record, emitting intermediate pairs.
+	Map func(item I, emit func(K, V))
+
+	// Combine merges two intermediate values for the same key (associative,
+	// commutative). Optional: when nil, all values are kept and handed to
+	// Reduce as a slice.
+	Combine func(a, b V) V
+
+	// Hash partitions keys across reduce tasks.
+	Hash func(K) uint32
+
+	// Size returns the encoded size of one intermediate pair, measured once
+	// per (post-combine) record for the MAP_OUTPUT_BYTES counter. Optional.
+	Size func(K, V) int
+
+	// Reduce processes one key group.
+	Reduce func(key K, values []V, emit func(R))
+}
+
+// Run executes the job over the input and returns the reduce outputs
+// (ordered by reduce task, then by key hash order — callers needing a total
+// order must sort) together with run statistics.
+func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K, V, R]) ([]R, *Stats) {
+	cfg = cfg.withDefaults()
+	stats := &Stats{}
+	stats.MapInputRecords = int64(len(input))
+
+	mapTasks := cfg.MapTasks
+	if mapTasks > len(input) {
+		mapTasks = len(input)
+	}
+	if mapTasks < 1 {
+		mapTasks = 1
+	}
+	reduceTasks := cfg.ReduceTasks
+
+	// --- map phase -----------------------------------------------------
+	type mapOut struct {
+		combined []map[K]V // per reduce partition (combiner present)
+		pairs    [][]kv[K, V]
+	}
+	outs := make([]mapOut, mapTasks)
+	taskTimes := make([]time.Duration, mapTasks)
+	var outRecords, outBytes atomic.Int64
+
+	mapStart := time.Now()
+	runPool(cfg.Workers, mapTasks, func(task int) {
+		lo := len(input) * task / mapTasks
+		hi := len(input) * (task + 1) / mapTasks
+		start := time.Now()
+		o := &outs[task]
+		if job.Combine != nil {
+			o.combined = make([]map[K]V, reduceTasks)
+			for p := range o.combined {
+				o.combined[p] = make(map[K]V)
+			}
+		} else {
+			o.pairs = make([][]kv[K, V], reduceTasks)
+		}
+		emit := func(k K, v V) {
+			p := int(job.Hash(k) % uint32(reduceTasks))
+			if job.Combine != nil {
+				m := o.combined[p]
+				if old, ok := m[k]; ok {
+					m[k] = job.Combine(old, v)
+				} else {
+					m[k] = v
+				}
+			} else {
+				o.pairs[p] = append(o.pairs[p], kv[K, V]{k, v})
+			}
+		}
+		for _, rec := range input[lo:hi] {
+			job.Map(rec, emit)
+		}
+		// Account post-combine output.
+		var recs, bytes int64
+		if job.Combine != nil {
+			for _, m := range o.combined {
+				recs += int64(len(m))
+				if job.Size != nil {
+					for k, v := range m {
+						bytes += int64(job.Size(k, v))
+					}
+				}
+			}
+		} else {
+			for _, ps := range o.pairs {
+				recs += int64(len(ps))
+				if job.Size != nil {
+					for _, p := range ps {
+						bytes += int64(job.Size(p.k, p.v))
+					}
+				}
+			}
+		}
+		outRecords.Add(recs)
+		outBytes.Add(bytes)
+		taskTimes[task] = time.Since(start)
+	})
+	stats.Wall.Map = time.Since(mapStart)
+	stats.MapTaskTimes = taskTimes
+	stats.MapOutputRecords = outRecords.Load()
+	stats.MapOutputBytes = outBytes.Load()
+
+	// --- shuffle: group by key within each reduce partition -------------
+	shufStart := time.Now()
+	groups := make([]map[K][]V, reduceTasks)
+	runPool(cfg.Workers, reduceTasks, func(p int) {
+		g := make(map[K][]V)
+		for t := range outs {
+			if job.Combine != nil {
+				for k, v := range outs[t].combined[p] {
+					g[k] = append(g[k], v)
+				}
+			} else {
+				for _, pr := range outs[t].pairs[p] {
+					g[pr.k] = append(g[pr.k], pr.v)
+				}
+			}
+		}
+		groups[p] = g
+	})
+	stats.Wall.Shuffle = time.Since(shufStart)
+
+	// --- reduce phase ----------------------------------------------------
+	redStart := time.Now()
+	results := make([][]R, reduceTasks)
+	redTimes := make([]time.Duration, reduceTasks)
+	var redKeys, redRecords atomic.Int64
+	runPool(cfg.Workers, reduceTasks, func(p int) {
+		start := time.Now()
+		var out []R
+		emit := func(r R) { out = append(out, r) }
+		for k, vs := range groups[p] {
+			job.Reduce(k, vs, emit)
+		}
+		redKeys.Add(int64(len(groups[p])))
+		redRecords.Add(int64(len(out)))
+		results[p] = out
+		redTimes[p] = time.Since(start)
+	})
+	stats.Wall.Reduce = time.Since(redStart)
+	stats.ReduceTaskTimes = redTimes
+	stats.ReduceInputKeys = redKeys.Load()
+	stats.ReduceOutputRecords = redRecords.Load()
+
+	// --- simulated cluster times ----------------------------------------
+	slots := cfg.Cluster.Machines * cfg.Cluster.SlotsPerMachine
+	stats.Sim.Map = lptMakespan(stats.MapTaskTimes, slots)
+	stats.Sim.Reduce = lptMakespan(stats.ReduceTaskTimes, slots)
+	stats.Sim.Shuffle = time.Duration(float64(stats.MapOutputBytes) /
+		(float64(cfg.Cluster.Machines) * cfg.Cluster.NetBytesPerSec) * float64(time.Second))
+
+	var flat []R
+	for _, rs := range results {
+		flat = append(flat, rs...)
+	}
+	return flat, stats
+}
+
+type kv[K comparable, V any] struct {
+	k K
+	v V
+}
+
+// runPool executes fn(0..n-1) on up to `workers` goroutines.
+func runPool(workers, n int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// lptMakespan schedules task durations onto `slots` parallel slots using
+// longest-processing-time-first and returns the makespan.
+func lptMakespan(tasks []time.Duration, slots int) time.Duration {
+	if len(tasks) == 0 {
+		return 0
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	sorted := append([]time.Duration(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	loads := make([]time.Duration, slots)
+	for _, t := range sorted {
+		// Place on least-loaded slot (slots is small; linear scan).
+		best := 0
+		for s := 1; s < slots; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		loads[best] += t
+	}
+	max := loads[0]
+	for _, l := range loads[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// HashString is an FNV-1a partitioner for string keys.
+func HashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// HashUint32 is a Fibonacci-style partitioner for integer keys.
+func HashUint32(x uint32) uint32 {
+	return x * 2654435761
+}

@@ -1,0 +1,277 @@
+package miner
+
+import (
+	"sort"
+
+	"lash/internal/flist"
+)
+
+// BFS is a hierarchy-aware adaptation of SPADE (§5.1 of the paper). It keeps
+// a vertical representation of the partition: posting lists mapping each
+// pattern to the sequences it occurs in together with the occurrence end
+// positions. Length-2 patterns are seeded by scanning G2(T) for every
+// sequence T (this is the hierarchy-aware step); longer candidates are
+// generated GSP-style — candidate S·a requires both its length-l prefix and
+// suffix to be frequent — and counted with a gap-constrained temporal join
+// of posting(S) with the single-item posting of a.
+type BFS struct{}
+
+// plEntry is one vertical posting entry: sequence id plus sorted distinct
+// end positions of the pattern's occurrences.
+type plEntry struct {
+	tid  int32
+	ends []int32
+}
+
+type posting struct {
+	entries []plEntry
+	support int64
+}
+
+// Mine implements Miner.
+func (BFS) Mine(p *Partition, cfg Config, emit Emit) Stats {
+	b := &bfsRun{p: p, cfg: cfg, emit: emit, bound: cfg.bound(p)}
+	b.run()
+	return b.stats
+}
+
+type bfsRun struct {
+	p     *Partition
+	cfg   Config
+	emit  Emit
+	stats Stats
+	bound flist.Rank
+	anc   []flist.Rank
+	anc2  []flist.Rank
+}
+
+func (b *bfsRun) run() {
+	items := b.itemPostings()
+	// Frequent single items, in rank order.
+	f1 := make([]flist.Rank, 0, len(items))
+	for a, pl := range items {
+		b.stats.Explored++
+		if pl.support >= b.cfg.Sigma {
+			f1 = append(f1, a)
+		}
+	}
+	sortRanks(f1)
+	f1set := make(map[flist.Rank]bool, len(f1))
+	for _, a := range f1 {
+		f1set[a] = true
+	}
+	if b.cfg.Lambda < 2 || len(f1) == 0 {
+		return
+	}
+
+	// Level 2: seed postings from G2(T) scans.
+	level := b.seedLevel2(f1set)
+	b.emitLevel(level)
+
+	// Levels 3..λ: GSP-style candidate generation + temporal joins.
+	for l := 3; l <= b.cfg.Lambda && len(level) > 0; l++ {
+		next := make(map[string]*posting)
+		for key, pl := range level {
+			if pl.support < b.cfg.Sigma {
+				continue
+			}
+			prefix := ranksFromKey(key)
+			suffixKey := rankKey(prefix[1:])
+			for _, a := range f1 {
+				// Apriori: the suffix extended by a must be frequent.
+				sfx, ok := level[suffixKey+rankKey1(a)]
+				if !ok || sfx.support < b.cfg.Sigma {
+					continue
+				}
+				cand := b.join(pl, items[a])
+				b.stats.Explored++
+				if cand.support >= b.cfg.Sigma {
+					next[key+rankKey1(a)] = cand
+				}
+			}
+		}
+		level = next
+		b.emitLevel(level)
+	}
+}
+
+// itemPostings builds the vertical single-item index, hierarchy-aware: the
+// posting of item a holds every position where a or a descendant occurs.
+func (b *bfsRun) itemPostings() map[flist.Rank]*posting {
+	out := make(map[flist.Rank]*posting)
+	for tid, ws := range b.p.Seqs {
+		for pos, r := range ws.Items {
+			if r == flist.NoRank {
+				continue
+			}
+			b.anc = b.p.SelfAnc(b.anc[:0], r)
+			for _, a := range b.anc {
+				if a > b.bound {
+					continue
+				}
+				pl := out[a]
+				if pl == nil {
+					pl = &posting{}
+					out[a] = pl
+				}
+				if n := len(pl.entries); n == 0 || pl.entries[n-1].tid != int32(tid) {
+					pl.entries = append(pl.entries, plEntry{tid: int32(tid)})
+					pl.support += ws.Weight
+				}
+				e := &pl.entries[len(pl.entries)-1]
+				if n := len(e.ends); n == 0 || e.ends[n-1] != int32(pos) {
+					e.ends = append(e.ends, int32(pos))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// seedLevel2 scans each sequence for G2(T): all generalized 2-subsequences
+// within the gap constraint whose items are locally frequent.
+func (b *bfsRun) seedLevel2(f1 map[flist.Rank]bool) map[string]*posting {
+	out := make(map[string]*posting)
+	gamma := b.cfg.Gamma
+	for tid, ws := range b.p.Seqs {
+		seq := ws.Items
+		for i := 0; i < len(seq); i++ {
+			if seq[i] == flist.NoRank {
+				continue
+			}
+			hi := i + 1 + gamma
+			if hi >= len(seq) {
+				hi = len(seq) - 1
+			}
+			for j := i + 1; j <= hi; j++ {
+				if seq[j] == flist.NoRank {
+					continue
+				}
+				b.anc = b.p.SelfAnc(b.anc[:0], seq[i])
+				b.anc2 = b.p.SelfAnc(b.anc2[:0], seq[j])
+				for _, u := range b.anc {
+					if !f1[u] {
+						continue
+					}
+					for _, v := range b.anc2 {
+						if !f1[v] {
+							continue
+						}
+						key := rankKey1(u) + rankKey1(v)
+						pl := out[key]
+						if pl == nil {
+							pl = &posting{}
+							out[key] = pl
+						}
+						if n := len(pl.entries); n == 0 || pl.entries[n-1].tid != int32(tid) {
+							pl.entries = append(pl.entries, plEntry{tid: int32(tid)})
+							pl.support += ws.Weight
+						}
+						e := &pl.entries[len(pl.entries)-1]
+						e.ends = append(e.ends, int32(j)) // deduped below
+					}
+				}
+			}
+		}
+	}
+	// The scan can record the same end twice (different first positions);
+	// sort + dedupe each entry, then account one exploration per candidate.
+	for _, pl := range out {
+		b.stats.Explored++
+		for i := range pl.entries {
+			pl.entries[i].ends = sortUnique(pl.entries[i].ends)
+		}
+	}
+	return out
+}
+
+// join computes the posting of pattern S·a from posting(S) and the item
+// posting of a: an occurrence of S ending at e extends to one ending at q
+// when 0 < q−e ≤ γ+1.
+func (b *bfsRun) join(pl *posting, item *posting) *posting {
+	out := &posting{}
+	gamma := int32(b.cfg.Gamma)
+	i, j := 0, 0
+	for i < len(pl.entries) && j < len(item.entries) {
+		pe, ie := &pl.entries[i], &item.entries[j]
+		switch {
+		case pe.tid < ie.tid:
+			i++
+		case pe.tid > ie.tid:
+			j++
+		default:
+			var ends []int32
+			ei := 0
+			for _, q := range ie.ends {
+				// Advance past ends too far left to reach q.
+				for ei < len(pe.ends) && q-pe.ends[ei] > gamma+1 {
+					ei++
+				}
+				if ei < len(pe.ends) && pe.ends[ei] < q {
+					ends = append(ends, q)
+				}
+			}
+			if len(ends) > 0 {
+				out.entries = append(out.entries, plEntry{tid: pe.tid, ends: ends})
+				out.support += b.p.Seqs[pe.tid].Weight
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// emitLevel outputs the frequent patterns of a level.
+func (b *bfsRun) emitLevel(level map[string]*posting) {
+	keys := make([]string, 0, len(level))
+	for k, pl := range level {
+		if pl.support >= b.cfg.Sigma {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pat := ranksFromKey(k)
+		if b.cfg.PivotOnly && !ContainsPivot(pat, b.p.Pivot) {
+			continue
+		}
+		b.emit(pat, level[k].support)
+		b.stats.Output++
+	}
+}
+
+func rankKey1(r flist.Rank) string {
+	return string([]byte{byte(r), byte(r >> 8), byte(r >> 16), byte(r >> 24)})
+}
+
+func rankKey(rs []flist.Rank) string {
+	b := make([]byte, 0, 4*len(rs))
+	for _, r := range rs {
+		b = append(b, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+	}
+	return string(b)
+}
+
+func ranksFromKey(k string) []flist.Rank {
+	rs := make([]flist.Rank, len(k)/4)
+	for i := range rs {
+		rs[i] = flist.Rank(k[4*i]) | flist.Rank(k[4*i+1])<<8 |
+			flist.Rank(k[4*i+2])<<16 | flist.Rank(k[4*i+3])<<24
+	}
+	return rs
+}
+
+func sortUnique(xs []int32) []int32 {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

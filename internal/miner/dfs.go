@@ -1,0 +1,166 @@
+package miner
+
+import "lash/internal/flist"
+
+// DFS is a hierarchy-aware adaptation of PrefixSpan (§5.1 of the paper).
+// Pattern growth starts from every locally frequent item and repeatedly
+// right-expands: for the current pattern S, the projected database holds the
+// end positions of S's occurrences per sequence; the right items of a
+// sequence are the generalizations of the items within gap γ after any end.
+type DFS struct{}
+
+// dproj is one projected-database entry: a sequence id and the sorted,
+// distinct end positions of the current pattern's occurrences in it.
+type dproj struct {
+	tid  int32
+	ends []int32
+}
+
+// dcand accumulates a right-expansion candidate during a scan.
+type dcand struct {
+	proj    []dproj
+	support int64
+}
+
+// Mine implements Miner.
+func (DFS) Mine(p *Partition, cfg Config, emit Emit) Stats {
+	d := &dfsRun{p: p, cfg: cfg, emit: emit, bound: cfg.bound(p)}
+	d.run()
+	return d.stats
+}
+
+type dfsRun struct {
+	p     *Partition
+	cfg   Config
+	emit  Emit
+	stats Stats
+	bound flist.Rank
+
+	pattern []flist.Rank
+	anc     []flist.Rank
+	qbuf    []int32
+}
+
+func (d *dfsRun) run() {
+	// Initial projections: one per locally frequent item; the "ends" of a
+	// single-item pattern are all positions where the item or one of its
+	// descendants occurs.
+	cands := make(map[flist.Rank]*dcand)
+	for tid, ws := range d.p.Seqs {
+		for pos, r := range ws.Items {
+			if r == flist.NoRank {
+				continue
+			}
+			d.anc = d.p.SelfAnc(d.anc[:0], r)
+			for _, a := range d.anc {
+				if a > d.bound {
+					continue
+				}
+				c := cands[a]
+				if c == nil {
+					c = &dcand{}
+					cands[a] = c
+				}
+				if n := len(c.proj); n == 0 || c.proj[n-1].tid != int32(tid) {
+					c.proj = append(c.proj, dproj{tid: int32(tid)})
+					c.support += ws.Weight
+				}
+				e := &c.proj[len(c.proj)-1]
+				if n := len(e.ends); n == 0 || e.ends[n-1] != int32(pos) {
+					e.ends = append(e.ends, int32(pos))
+				}
+			}
+		}
+	}
+	items := make([]flist.Rank, 0, len(cands))
+	for a := range cands {
+		items = append(items, a)
+	}
+	sortRanks(items)
+	for _, a := range items {
+		c := cands[a]
+		d.stats.Explored++ // the frequency of each single item is computed
+		if c.support < d.cfg.Sigma {
+			continue
+		}
+		d.pattern = append(d.pattern[:0], a)
+		d.expand(c.proj, a == d.p.Pivot)
+	}
+	return
+}
+
+// expand grows the current pattern (already frequent) to the right.
+func (d *dfsRun) expand(proj []dproj, hasPivot bool) {
+	if len(d.pattern) == d.cfg.Lambda {
+		return
+	}
+	gamma := int32(d.cfg.Gamma)
+	cands := make(map[flist.Rank]*dcand)
+	for _, e := range proj {
+		seq := d.p.Seqs[e.tid].Items
+		// Merge the per-end windows into a sorted, distinct position list.
+		d.qbuf = d.qbuf[:0]
+		n := int32(len(seq))
+		next := int32(0) // next unvisited position, keeps qbuf sorted+unique
+		for _, end := range e.ends {
+			lo := end + 1
+			if lo < next {
+				lo = next
+			}
+			hi := end + 1 + gamma
+			if hi >= n {
+				hi = n - 1
+			}
+			for q := lo; q <= hi; q++ {
+				d.qbuf = append(d.qbuf, q)
+			}
+			if hi+1 > next {
+				next = hi + 1
+			}
+		}
+		w := d.p.Seqs[e.tid].Weight
+		for _, q := range d.qbuf {
+			r := seq[q]
+			if r == flist.NoRank {
+				continue
+			}
+			d.anc = d.p.SelfAnc(d.anc[:0], r)
+			for _, a := range d.anc {
+				if a > d.bound {
+					continue
+				}
+				c := cands[a]
+				if c == nil {
+					c = &dcand{}
+					cands[a] = c
+				}
+				if n := len(c.proj); n == 0 || c.proj[n-1].tid != e.tid {
+					c.proj = append(c.proj, dproj{tid: e.tid})
+					c.support += w
+				}
+				pe := &c.proj[len(c.proj)-1]
+				pe.ends = append(pe.ends, q) // q ascending per tid → sorted+unique
+			}
+		}
+	}
+	items := make([]flist.Rank, 0, len(cands))
+	for a := range cands {
+		items = append(items, a)
+	}
+	sortRanks(items)
+	for _, a := range items {
+		c := cands[a]
+		d.stats.Explored++
+		if c.support < d.cfg.Sigma {
+			continue
+		}
+		d.pattern = append(d.pattern, a)
+		hp := hasPivot || a == d.p.Pivot
+		if len(d.pattern) >= 2 && (!d.cfg.PivotOnly || hp) {
+			d.emit(d.pattern, c.support)
+			d.stats.Output++
+		}
+		d.expand(c.proj, hp)
+		d.pattern = d.pattern[:len(d.pattern)-1]
+	}
+}

@@ -1,0 +1,182 @@
+// Package miner implements the sequential GSM algorithms LASH runs inside
+// each partition (§5 of the paper):
+//
+//   - BFS: a hierarchy-aware adaptation of SPADE — vertical posting lists,
+//     level-wise candidate generation, gap-constrained temporal joins
+//     (bfs.go).
+//   - DFS: a hierarchy-aware adaptation of PrefixSpan — pattern growth with
+//     projected databases of occurrence end positions (dfs.go).
+//   - PSM: the pivot sequence miner — starts at the pivot and grows patterns
+//     with left and right expansions so that only pivot sequences are ever
+//     explored; optionally maintains the right-expansion index (psm.go).
+//
+// All miners operate in rank space (see internal/flist): items are dense
+// frequency ranks, blanks are flist.NoRank and match nothing, and the item
+// hierarchy is the rank-parent table. Support is weighted: partitions store
+// aggregated duplicate sequences (§4.4).
+package miner
+
+import (
+	"fmt"
+	"sort"
+
+	"lash/internal/flist"
+)
+
+// WSeq is a rank-space sequence with an aggregation weight (the number of
+// identical input sequences it stands for).
+type WSeq struct {
+	Items  []flist.Rank
+	Weight int64
+}
+
+// Partition is the unit of local mining: the pivot, the rewritten sequences,
+// and the rank-parent table describing the hierarchy among frequent items.
+type Partition struct {
+	Pivot  flist.Rank
+	Seqs   []WSeq
+	Parent []flist.Rank
+}
+
+// SelfAnc appends r and its ancestors (via the rank-parent table) to dst.
+func (p *Partition) SelfAnc(dst []flist.Rank, r flist.Rank) []flist.Rank {
+	for r != flist.NoRank {
+		dst = append(dst, r)
+		if int(r) >= len(p.Parent) {
+			break
+		}
+		r = p.Parent[r]
+	}
+	return dst
+}
+
+// Config carries the local mining parameters.
+type Config struct {
+	Sigma  int64
+	Gamma  int
+	Lambda int
+	// PivotOnly restricts output to pivot sequences (p(S) = pivot), which is
+	// what LASH requires; BFS and DFS still *explore* non-pivot sequences
+	// (§5.1 "Overhead") and merely filter at emission. PivotOnly also bounds
+	// candidate items to ranks ≤ pivot: on w-generalized partitions this
+	// changes nothing (no larger items survive the rewrite), but it keeps
+	// p(S) = pivot emission exact on un-rewritten partitions
+	// (rewrite.ModeNone, used by the ablation study). When false, all
+	// locally frequent sequences of length ≥ 2 are emitted (used for whole-
+	// database mining and tests).
+	PivotOnly bool
+}
+
+// bound returns the largest admissible candidate rank for a partition.
+func (c Config) bound(p *Partition) flist.Rank {
+	if c.PivotOnly {
+		return p.Pivot
+	}
+	return flist.NoRank
+}
+
+// Stats reports the work a miner performed. Explored counts candidate
+// sequences whose support was computed — the quantity behind Fig. 4(d).
+type Stats struct {
+	Explored int64
+	Output   int64
+}
+
+// Add accumulates counters from another Stats.
+func (s *Stats) Add(o Stats) {
+	s.Explored += o.Explored
+	s.Output += o.Output
+}
+
+// Emit receives each frequent pattern (rank space) and its support. The
+// pattern slice is only valid during the call.
+type Emit func(pattern []flist.Rank, support int64)
+
+// Miner is a local GSM mining algorithm.
+type Miner interface {
+	Mine(p *Partition, cfg Config, emit Emit) Stats
+}
+
+// Kind selects a local miner implementation.
+type Kind int
+
+const (
+	// KindPSM is the pivot sequence miner with the right-expansion index
+	// (the paper's "PSM + Index", LASH's default).
+	KindPSM Kind = iota
+	// KindPSMNoIndex is PSM without the right-expansion index.
+	KindPSMNoIndex
+	// KindBFS is the hierarchy-aware SPADE adaptation.
+	KindBFS
+	// KindDFS is the hierarchy-aware PrefixSpan adaptation.
+	KindDFS
+)
+
+// String names the miner kind as used in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case KindPSM:
+		return "PSM+Index"
+	case KindPSMNoIndex:
+		return "PSM"
+	case KindBFS:
+		return "BFS"
+	case KindDFS:
+		return "DFS"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// New constructs the local miner of the given kind.
+func New(k Kind) Miner {
+	switch k {
+	case KindPSM:
+		return &PSM{UseIndex: true}
+	case KindPSMNoIndex:
+		return &PSM{}
+	case KindBFS:
+		return BFS{}
+	case KindDFS:
+		return DFS{}
+	}
+	panic("miner: unknown kind")
+}
+
+// ContainsPivot reports whether a rank pattern contains the pivot. Because
+// partition items never exceed the pivot, this is equivalent to
+// p(S) = pivot.
+func ContainsPivot(pattern []flist.Rank, pivot flist.Rank) bool {
+	for _, r := range pattern {
+		if r == pivot {
+			return true
+		}
+	}
+	return false
+}
+
+// sortRanks sorts a rank slice ascending (deterministic iteration order).
+func sortRanks(rs []flist.Rank) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+}
+
+// CollectPatterns is a test convenience: runs a miner and returns patterns
+// sorted canonically (by length, then rank-lexicographic).
+func CollectPatterns(m Miner, p *Partition, cfg Config) ([]WSeq, Stats) {
+	var out []WSeq
+	stats := m.Mine(p, cfg, func(pattern []flist.Rank, support int64) {
+		out = append(out, WSeq{Items: append([]flist.Rank(nil), pattern...), Weight: support})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Items, out[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out, stats
+}

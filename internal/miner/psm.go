@@ -1,0 +1,345 @@
+package miner
+
+import (
+	"sort"
+
+	"lash/internal/flist"
+)
+
+// PSM is the pivot sequence miner (§5.2 of the paper). It explores only
+// pivot sequences by growing patterns from the pivot item outwards, using
+// the unique decomposition S = Sl·w·Sr with w ∉ Sr:
+//
+//   - right expansions never append the pivot (those patterns are reached
+//     through a longer left part instead), and
+//   - left expansions are never applied to a pattern that resulted from a
+//     right expansion.
+//
+// With UseIndex, PSM additionally records, for every left-anchor and depth d,
+// the set of items that were frequent as the d-th right expansion; after a
+// further left expansion, right candidates at depth d are restricted to that
+// set (sound by support monotonicity, Lemma 1) without computing their
+// support — the "PSM + Index" variant of Fig. 4(c,d).
+type PSM struct {
+	UseIndex bool
+}
+
+// occPair is one occurrence of a left-anchor pattern: the positions of its
+// first and last matched items.
+type occPair struct {
+	start, end int32
+}
+
+// aEntry is the per-sequence state of a left-anchor pattern.
+type aEntry struct {
+	tid  int32
+	occs []occPair
+}
+
+// rEntry is the per-sequence state inside a right-expansion chain: only the
+// distinct occurrence end positions matter there.
+type rEntry struct {
+	tid  int32
+	ends []int32
+}
+
+// rIndex is the right-expansion index: levels[d-1] holds the items that were
+// frequent as the d-th right expansion of the anchor it was recorded for.
+type rIndex struct {
+	levels []map[flist.Rank]bool
+}
+
+func newRIndex(lambda int) *rIndex {
+	return &rIndex{levels: make([]map[flist.Rank]bool, lambda)}
+}
+
+func (x *rIndex) add(depth int, a flist.Rank) {
+	if x == nil {
+		return
+	}
+	if x.levels[depth-1] == nil {
+		x.levels[depth-1] = make(map[flist.Rank]bool)
+	}
+	x.levels[depth-1][a] = true
+}
+
+func (x *rIndex) has(depth int, a flist.Rank) bool {
+	return x.levels[depth-1][a]
+}
+
+// Mine implements Miner. PSM produces pivot sequences natively, so the
+// PivotOnly flag is effectively always on.
+func (m *PSM) Mine(p *Partition, cfg Config, emit Emit) Stats {
+	run := &psmRun{p: p, cfg: cfg, emit: emit, useIndex: m.UseIndex, bound: p.Pivot}
+	run.run()
+	return run.stats
+}
+
+type psmRun struct {
+	p        *Partition
+	cfg      Config
+	emit     Emit
+	useIndex bool
+	stats    Stats
+	bound    flist.Rank // pivot sequences never contain larger items
+
+	pattern []flist.Rank
+	anc     []flist.Rank
+	qbuf    []int32
+}
+
+func (d *psmRun) run() {
+	// Occurrences of the pivot itself: positions whose item generalizes to
+	// the pivot. (After w-generalization these are exactly the positions
+	// equal to the pivot, but accepting descendants keeps PSM correct on
+	// arbitrary partitions.)
+	var anchor []aEntry
+	for tid, ws := range d.p.Seqs {
+		for pos, r := range ws.Items {
+			if r == flist.NoRank {
+				continue
+			}
+			d.anc = d.p.SelfAnc(d.anc[:0], r)
+			for _, a := range d.anc {
+				if a != d.p.Pivot {
+					continue
+				}
+				if n := len(anchor); n == 0 || anchor[n-1].tid != int32(tid) {
+					anchor = append(anchor, aEntry{tid: int32(tid)})
+				}
+				e := &anchor[len(anchor)-1]
+				e.occs = append(e.occs, occPair{int32(pos), int32(pos)})
+				break
+			}
+		}
+	}
+	if len(anchor) == 0 {
+		return
+	}
+	d.pattern = append(d.pattern[:0], d.p.Pivot)
+	d.expandAnchor(anchor, nil)
+}
+
+// expandAnchor handles a left-anchor pattern (of the form Sl·w): first all
+// right-expansion chains, then the left expansions, each recursing as a new
+// anchor (Alg. 2 lines 16-22).
+func (d *psmRun) expandAnchor(anchor []aEntry, parentIdx *rIndex) {
+	var myIdx *rIndex
+	if d.useIndex {
+		myIdx = newRIndex(d.cfg.Lambda)
+	}
+	d.expandRight(d.endsOf(anchor), 1, parentIdx, myIdx)
+
+	if len(d.pattern) == d.cfg.Lambda {
+		return
+	}
+	cands, order := d.collectLeft(anchor)
+	for _, a := range order {
+		c := cands[a]
+		d.stats.Explored++
+		if c.support < d.cfg.Sigma {
+			continue
+		}
+		// Prepend a to the pattern.
+		d.pattern = append(d.pattern, 0)
+		copy(d.pattern[1:], d.pattern)
+		d.pattern[0] = a
+		d.emit(d.pattern, c.support)
+		d.stats.Output++
+		d.expandAnchor(c.entries, myIdx)
+		copy(d.pattern, d.pattern[1:])
+		d.pattern = d.pattern[:len(d.pattern)-1]
+	}
+}
+
+// expandRight extends the current pattern to the right (never with the
+// pivot), restricted by the parent anchor's right-expansion index.
+func (d *psmRun) expandRight(state []rEntry, depth int, parentIdx, myIdx *rIndex) {
+	if len(d.pattern) == d.cfg.Lambda || len(state) == 0 {
+		return
+	}
+	cands, order := d.collectRight(state)
+	for _, a := range order {
+		if a == d.p.Pivot {
+			continue // pivot never appears in Sr (unique decomposition)
+		}
+		if parentIdx != nil && !parentIdx.has(depth, a) {
+			continue // pruned by the index: support not even computed
+		}
+		c := cands[a]
+		d.stats.Explored++
+		if c.support < d.cfg.Sigma {
+			continue
+		}
+		myIdx.add(depth, a)
+		d.pattern = append(d.pattern, a)
+		d.emit(d.pattern, c.support)
+		d.stats.Output++
+		d.expandRight(c.entries, depth+1, parentIdx, myIdx)
+		d.pattern = d.pattern[:len(d.pattern)-1]
+	}
+}
+
+type rCand struct {
+	entries []rEntry
+	support int64
+}
+
+// collectRight gathers W^right: the generalizations of items occurring within
+// gap γ after any occurrence end.
+func (d *psmRun) collectRight(state []rEntry) (map[flist.Rank]*rCand, []flist.Rank) {
+	cands := make(map[flist.Rank]*rCand)
+	gamma := int32(d.cfg.Gamma)
+	for _, e := range state {
+		ws := d.p.Seqs[e.tid]
+		seq := ws.Items
+		n := int32(len(seq))
+		d.qbuf = d.qbuf[:0]
+		next := int32(0)
+		for _, end := range e.ends {
+			lo := end + 1
+			if lo < next {
+				lo = next
+			}
+			hi := end + 1 + gamma
+			if hi >= n {
+				hi = n - 1
+			}
+			for q := lo; q <= hi; q++ {
+				d.qbuf = append(d.qbuf, q)
+			}
+			if hi+1 > next {
+				next = hi + 1
+			}
+		}
+		for _, q := range d.qbuf {
+			r := seq[q]
+			if r == flist.NoRank {
+				continue
+			}
+			d.anc = d.p.SelfAnc(d.anc[:0], r)
+			for _, a := range d.anc {
+				if a > d.bound {
+					continue
+				}
+				c := cands[a]
+				if c == nil {
+					c = &rCand{}
+					cands[a] = c
+				}
+				if n := len(c.entries); n == 0 || c.entries[n-1].tid != e.tid {
+					c.entries = append(c.entries, rEntry{tid: e.tid})
+					c.support += ws.Weight
+				}
+				ce := &c.entries[len(c.entries)-1]
+				ce.ends = append(ce.ends, q)
+			}
+		}
+	}
+	return cands, sortedCandRanks(cands)
+}
+
+type aCand struct {
+	entries []aEntry
+	support int64
+}
+
+// collectLeft gathers W^left: the generalizations of items occurring within
+// gap γ before any occurrence start; new occurrences keep the old ends so
+// that subsequent right expansions of the extended anchor stay exact.
+func (d *psmRun) collectLeft(anchor []aEntry) (map[flist.Rank]*aCand, []flist.Rank) {
+	cands := make(map[flist.Rank]*aCand)
+	gamma := int32(d.cfg.Gamma)
+	for _, e := range anchor {
+		ws := d.p.Seqs[e.tid]
+		seq := ws.Items
+		for _, oc := range e.occs {
+			lo := oc.start - 1 - gamma
+			if lo < 0 {
+				lo = 0
+			}
+			for q := lo; q < oc.start; q++ {
+				r := seq[q]
+				if r == flist.NoRank {
+					continue
+				}
+				d.anc = d.p.SelfAnc(d.anc[:0], r)
+				for _, a := range d.anc {
+					if a > d.bound {
+						continue
+					}
+					c := cands[a]
+					if c == nil {
+						c = &aCand{}
+						cands[a] = c
+					}
+					if n := len(c.entries); n == 0 || c.entries[n-1].tid != e.tid {
+						c.entries = append(c.entries, aEntry{tid: e.tid})
+						c.support += ws.Weight
+					}
+					ce := &c.entries[len(c.entries)-1]
+					ce.occs = append(ce.occs, occPair{q, oc.end})
+				}
+			}
+		}
+	}
+	// Deduplicate occurrence pairs (the same (start,end) can arise from
+	// different parent occurrences).
+	for _, c := range cands {
+		for i := range c.entries {
+			c.entries[i].occs = sortUniquePairs(c.entries[i].occs)
+		}
+	}
+	return cands, sortedLeftRanks(cands)
+}
+
+// endsOf projects anchor occurrences to their distinct end positions.
+func (d *psmRun) endsOf(anchor []aEntry) []rEntry {
+	out := make([]rEntry, 0, len(anchor))
+	for _, e := range anchor {
+		ends := make([]int32, 0, len(e.occs))
+		for _, oc := range e.occs {
+			ends = append(ends, oc.end)
+		}
+		out = append(out, rEntry{tid: e.tid, ends: sortUnique(ends)})
+	}
+	return out
+}
+
+func sortedCandRanks(cands map[flist.Rank]*rCand) []flist.Rank {
+	out := make([]flist.Rank, 0, len(cands))
+	for a := range cands {
+		out = append(out, a)
+	}
+	sortRanks(out)
+	return out
+}
+
+func sortedLeftRanks(cands map[flist.Rank]*aCand) []flist.Rank {
+	out := make([]flist.Rank, 0, len(cands))
+	for a := range cands {
+		out = append(out, a)
+	}
+	sortRanks(out)
+	return out
+}
+
+func sortUniquePairs(ps []occPair) []occPair {
+	if len(ps) < 2 {
+		return ps
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].start != ps[j].start {
+			return ps[i].start < ps[j].start
+		}
+		return ps[i].end < ps[j].end
+	})
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		last := out[len(out)-1]
+		if p != last {
+			out = append(out, p)
+		}
+	}
+	return out
+}

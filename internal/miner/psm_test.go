@@ -1,0 +1,119 @@
+package miner_test
+
+import (
+	"testing"
+
+	"lash/internal/flist"
+	"lash/internal/miner"
+)
+
+// flatPartition builds a partition over a flat rank space (no hierarchy).
+func flatPartition(pivot flist.Rank, nRanks int, weights []int64, seqs ...[]flist.Rank) *miner.Partition {
+	parent := make([]flist.Rank, nRanks)
+	for i := range parent {
+		parent[i] = flist.NoRank
+	}
+	p := &miner.Partition{Pivot: pivot, Parent: parent}
+	for i, s := range seqs {
+		w := int64(1)
+		if weights != nil {
+			w = weights[i]
+		}
+		p.Seqs = append(p.Seqs, miner.WSeq{Items: s, Weight: w})
+	}
+	return p
+}
+
+// The right-expansion index scenario of §5.2: if Sw' is an infrequent right
+// expansion of S, then w”Sw' is pruned without a support computation. We
+// build a partition where pattern "pivot·x" is infrequent but after the left
+// expansion "y·pivot" the item x would still be collected as a candidate —
+// the indexed run must explore strictly fewer candidates and emit the same
+// patterns.
+func TestPSMIndexPruningScenario(t *testing.T) {
+	// Ranks: 0=y, 1=x, 2=pivot.
+	const y, x, pivot = flist.Rank(0), flist.Rank(1), flist.Rank(2)
+	p := flatPartition(pivot, 3, nil,
+		[]flist.Rank{y, pivot, x}, // y·pivot frequent; pivot·x occurs once
+		[]flist.Rank{y, pivot, y},
+		[]flist.Rank{y, pivot, y},
+	)
+	cfg := miner.Config{Sigma: 2, Gamma: 0, Lambda: 3, PivotOnly: true}
+	noIdx, sPlain := miner.CollectPatterns(miner.New(miner.KindPSMNoIndex), p, cfg)
+	withIdx, sIdx := miner.CollectPatterns(miner.New(miner.KindPSM), p, cfg)
+	if len(noIdx) != len(withIdx) {
+		t.Fatalf("index changed output: %d vs %d patterns", len(noIdx), len(withIdx))
+	}
+	for i := range noIdx {
+		if noIdx[i].Weight != withIdx[i].Weight {
+			t.Fatalf("index changed supports")
+		}
+	}
+	if sIdx.Explored >= sPlain.Explored {
+		t.Fatalf("index did not prune: explored %d vs %d", sIdx.Explored, sPlain.Explored)
+	}
+	// Expected frequent pivot patterns: y·pivot (3), pivot·y (2), y·pivot·y (2).
+	want := map[string]int64{
+		rankKey([]flist.Rank{y, pivot}):    3,
+		rankKey([]flist.Rank{pivot, y}):    2,
+		rankKey([]flist.Rank{y, pivot, y}): 2,
+	}
+	if len(noIdx) != len(want) {
+		t.Fatalf("got %d patterns, want %d", len(noIdx), len(want))
+	}
+	for _, g := range noIdx {
+		if want[rankKey(g.Items)] != g.Weight {
+			t.Fatalf("unexpected pattern %v:%d", g.Items, g.Weight)
+		}
+	}
+}
+
+// A pattern whose unique decomposition has the pivot in the middle must be
+// built by left-expansions first, then right-expansions — and only once.
+func TestPSMUniqueDecomposition(t *testing.T) {
+	// Ranks: 0=a, 1=pivot. Sequence a·p·a·p contains p a p (pivot twice).
+	const a, pv = flist.Rank(0), flist.Rank(1)
+	p := flatPartition(pv, 2, nil,
+		[]flist.Rank{a, pv, a, pv},
+		[]flist.Rank{a, pv, a, pv},
+	)
+	cfg := miner.Config{Sigma: 2, Gamma: 0, Lambda: 4, PivotOnly: true}
+	got, _ := minerOutputMap(miner.New(miner.KindPSMNoIndex), p, cfg)
+	want := bruteMine(p, cfg)
+	if !mapsEqual(got, want) {
+		t.Fatalf("PSM output %v != brute %v", got, want)
+	}
+	// p·a·p must be present exactly once with support 2 — the duplicate-free
+	// enumeration of Fig. 3's discussion.
+	if got[rankKey([]flist.Rank{pv, a, pv})] != 2 {
+		t.Fatalf("pivot-in-middle pattern wrong: %v", got)
+	}
+}
+
+// Isolated pivot occurrences (beyond gap range of everything) contribute no
+// patterns but must not break counting of other occurrences.
+func TestPSMRepeatedPivotOccurrences(t *testing.T) {
+	const a, pv = flist.Rank(0), flist.Rank(1)
+	p := flatPartition(pv, 2, nil,
+		[]flist.Rank{pv, flist.NoRank, flist.NoRank, pv, a},
+	)
+	cfg := miner.Config{Sigma: 1, Gamma: 0, Lambda: 2, PivotOnly: true}
+	got, _ := minerOutputMap(miner.New(miner.KindPSM), p, cfg)
+	if len(got) != 1 || got[rankKey([]flist.Rank{pv, a})] != 1 {
+		t.Fatalf("got %v, want only pv·a", got)
+	}
+}
+
+// Weighted left-expansion counting: distinct tids accumulate weights once
+// even with multiple occurrence pairs.
+func TestPSMWeightedLeftExpansion(t *testing.T) {
+	const a, pv = flist.Rank(0), flist.Rank(1)
+	p := flatPartition(pv, 2, []int64{3},
+		[]flist.Rank{a, pv, a, pv}, // two occurrences of a·pv in one tid
+	)
+	cfg := miner.Config{Sigma: 1, Gamma: 0, Lambda: 2, PivotOnly: true}
+	got, _ := minerOutputMap(miner.New(miner.KindPSM), p, cfg)
+	if got[rankKey([]flist.Rank{a, pv})] != 3 {
+		t.Fatalf("weighted support = %v, want 3", got)
+	}
+}

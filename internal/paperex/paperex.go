@@ -1,0 +1,112 @@
+// Package paperex provides the running example of the LASH paper (Fig. 1:
+// example database and hierarchy; §2: expected mining output for σ=2, γ=1,
+// λ=3) as shared golden-test fixtures for every mining implementation in the
+// repository.
+package paperex
+
+import (
+	"strings"
+
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+)
+
+// Forest builds the hierarchy of Fig. 1(b): roots a, B, c, D, e, f;
+// B→{b1,b2,b3}; b1→{b11,b12,b13}; D→{d1,d2}.
+func Forest() *hierarchy.Forest {
+	b := hierarchy.NewBuilder()
+	for _, r := range []string{"a", "B", "c", "D", "e", "f"} {
+		b.Add(r)
+	}
+	for _, e := range [][2]string{
+		{"b1", "B"}, {"b2", "B"}, {"b3", "B"},
+		{"b11", "b1"}, {"b12", "b1"}, {"b13", "b1"},
+		{"d1", "D"}, {"d2", "D"},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	f, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Database returns the example database of Fig. 1(a) over Forest():
+//
+//	T1: a b1 a b1
+//	T2: a b3 c c b2
+//	T3: a c
+//	T4: b11 a e a
+//	T5: a b12 d1 c
+//	T6: b13 f d2
+func Database() *gsm.Database {
+	f := Forest()
+	rows := []string{
+		"a b1 a b1",
+		"a b3 c c b2",
+		"a c",
+		"b11 a e a",
+		"a b12 d1 c",
+		"b13 f d2",
+	}
+	db := &gsm.Database{Forest: f}
+	for _, row := range rows {
+		db.Seqs = append(db.Seqs, Seq(f, row))
+	}
+	return db
+}
+
+// Seq parses a space-separated item string against the forest; unknown items
+// panic (fixtures must be spelled correctly).
+func Seq(f *hierarchy.Forest, s string) gsm.Sequence {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Fields(s)
+	out := make(gsm.Sequence, len(parts))
+	for i, p := range parts {
+		w, ok := f.Lookup(p)
+		if !ok {
+			panic("paperex: unknown item " + p)
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// Params returns the running example's mining parameters: σ=2, γ=1, λ=3.
+func Params() gsm.Params { return gsm.Params{Sigma: 2, Gamma: 1, Lambda: 3} }
+
+// Expected returns the expected output of the running example (§2 of the
+// paper): (aa,2), (ab1,2), (b1a,2), (aB,3), (Ba,2), (aBc,2), (Bc,2), (ac,2),
+// (b1D,2), (BD,2) — in the repository's canonical order.
+func Expected(f *hierarchy.Forest) []gsm.Pattern {
+	rows := []struct {
+		s string
+		n int64
+	}{
+		{"a a", 2}, {"a b1", 2}, {"b1 a", 2}, {"a B", 3}, {"B a", 2},
+		{"a B c", 2}, {"B c", 2}, {"a c", 2}, {"b1 D", 2}, {"B D", 2},
+	}
+	out := make([]gsm.Pattern, len(rows))
+	for i, r := range rows {
+		out[i] = gsm.Pattern{Items: Seq(f, r.s), Support: r.n}
+	}
+	gsm.SortPatterns(out)
+	return out
+}
+
+// GeneralizedFList returns the paper's generalized f-list for σ=2 (Fig. 2):
+// a:5, B:5, b1:4, c:3, D:2, in the paper's total order (small to large).
+func GeneralizedFList() []struct {
+	Name string
+	Freq int64
+} {
+	return []struct {
+		Name string
+		Freq int64
+	}{
+		{"a", 5}, {"B", 5}, {"b1", 4}, {"c", 3}, {"D", 2},
+	}
+}

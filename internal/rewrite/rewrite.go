@@ -1,0 +1,400 @@
+// Package rewrite implements LASH's partition construction (§4 of the
+// paper): for a pivot item w, an input sequence T is rewritten into a
+// w-equivalent sequence P_w(T) that is as short as possible while generating
+// exactly the same set of pivot sequences G_{w,λ}(T).
+//
+// The rewrites, applied in order:
+//
+//  1. w-generalization (§4.2): every item is replaced by its deepest
+//     frequent ancestor-or-self with rank ≤ pivot; items without one become
+//     blanks.
+//  2. Unreachability reduction (§4.3): left/right pivot distances are
+//     computed (chains of non-blank indexes obeying the gap constraint);
+//     indexes whose minimum distance exceeds λ cannot participate in any
+//     pivot sequence and are blanked. (The paper deletes them; deleting
+//     interior indexes would shrink gaps between survivors and could admit
+//     sequences that are not ⊑γ-valid in T, so we blank instead — the blank
+//     compression below recovers the same effect, and at the sequence edges
+//     trimming makes the two formulations identical.)
+//  3. Isolated pivots — pivots with no non-blank item within gap γ — are
+//     blanked; they cannot appear in any pattern of length ≥ 2.
+//  4. Blank runs longer than γ+1 collapse to exactly γ+1 (both are
+//     impassable under the gap constraint, and shorter crossings are
+//     unchanged); leading and trailing blanks are trimmed.
+//
+// The result is nil when no pivot sequence can be generated from T.
+package rewrite
+
+import (
+	"lash/internal/flist"
+	"lash/internal/gsm"
+)
+
+const inf = int32(1 << 30)
+
+// Mode selects how much of the rewrite pipeline runs; the weaker modes are
+// correct (w-equivalent) but increasingly wasteful, and exist for the
+// ablation study of the §4 discussion (skew, redundant computation,
+// communication cost of the trivial partitioning P_w(T) = T).
+type Mode int
+
+const (
+	// ModeFull applies the whole pipeline (LASH's default).
+	ModeFull Mode = iota
+	// ModeGeneralizeOnly applies w-generalization but none of the length
+	// reductions (no unreachability removal, no isolated-pivot removal, no
+	// blank compression or trimming).
+	ModeGeneralizeOnly
+	// ModeNone emits the input sequence essentially verbatim: each item is
+	// replaced by its closest frequent ancestor-or-self (which preserves all
+	// frequent patterns) with no pivot-specific work at all — the paper's
+	// "simple and correct approach ... P_w(T) = T".
+	ModeNone
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeGeneralizeOnly:
+		return "generalize-only"
+	case ModeNone:
+		return "none"
+	}
+	return "Mode(?)"
+}
+
+// Rewriter rewrites input sequences for a fixed (γ, λ) and f-list. It is not
+// safe for concurrent use; create one per worker.
+type Rewriter struct {
+	fl     *flist.FList
+	gamma  int
+	lambda int
+
+	// Mode selects the rewrite strength (default ModeFull).
+	Mode Mode
+
+	ranks []flist.Rank
+	left  []int32
+	right []int32
+}
+
+// NewRewriter returns a Rewriter for the given f-list and constraints.
+func NewRewriter(fl *flist.FList, gamma, lambda int) *Rewriter {
+	return &Rewriter{fl: fl, gamma: gamma, lambda: lambda}
+}
+
+// Rewrite computes P_w(T) in rank space for the given pivot, appending to
+// dst. It returns nil (and leaves dst unchanged) when the rewritten sequence
+// cannot contribute any pivot sequence: no pivot survives or fewer than two
+// items remain.
+func (rw *Rewriter) Rewrite(dst []flist.Rank, t gsm.Sequence, pivot flist.Rank) []flist.Rank {
+	n := len(t)
+	if n == 0 {
+		return nil
+	}
+	if cap(rw.ranks) < n {
+		rw.ranks = make([]flist.Rank, n)
+		rw.left = make([]int32, n)
+		rw.right = make([]int32, n)
+	}
+	ranks := rw.ranks[:n]
+
+	if rw.Mode == ModeNone {
+		// No pivot-specific work: closest frequent ancestor-or-self per item
+		// (every frequent pattern of T is preserved; the pivot survives as a
+		// descendant-or-self of itself). Emitted for every pivot — this is
+		// the replication the rewrites exist to avoid.
+		if n < 2 {
+			return nil
+		}
+		hasPivot := false
+		for i, w := range t {
+			r := rw.fl.FrequentRank(w)
+			ranks[i] = r
+			if !hasPivot && r != flist.NoRank && rw.generalizesToPivot(r, pivot) {
+				hasPivot = true
+			}
+		}
+		if !hasPivot {
+			return nil
+		}
+		return append(dst, ranks...)
+	}
+
+	// Step 1: w-generalization.
+	hasPivot := false
+	for i, w := range t {
+		r := rw.fl.GeneralizeTo(w, pivot)
+		ranks[i] = r
+		if r == pivot {
+			hasPivot = true
+		}
+	}
+	if !hasPivot {
+		return nil
+	}
+	if rw.Mode == ModeGeneralizeOnly {
+		nonBlank := 0
+		for _, r := range ranks {
+			if r != flist.NoRank {
+				nonBlank++
+			}
+		}
+		if nonBlank < 2 {
+			return nil
+		}
+		return append(dst, ranks...)
+	}
+
+	// Step 2: pivot distances. left[i] is the size of the smallest chain of
+	// increasing indexes from a pivot index to i where intermediate indexes
+	// are non-blank and consecutive indexes are at most γ apart; right[i] is
+	// symmetric.
+	left, right := rw.left[:n], rw.right[:n]
+	g := rw.gamma
+	for i := 0; i < n; i++ {
+		if ranks[i] == pivot {
+			left[i] = 1
+			continue
+		}
+		best := inf
+		for j := i - 1 - g; j < i; j++ {
+			if j < 0 || ranks[j] == flist.NoRank {
+				continue
+			}
+			if left[j] < best {
+				best = left[j]
+			}
+		}
+		if best < inf {
+			best++
+		}
+		left[i] = best
+	}
+	for i := n - 1; i >= 0; i-- {
+		if ranks[i] == pivot {
+			right[i] = 1
+			continue
+		}
+		best := inf
+		for j := i + 1; j <= i+1+g && j < n; j++ {
+			if ranks[j] == flist.NoRank {
+				continue
+			}
+			if right[j] < best {
+				best = right[j]
+			}
+		}
+		if best < inf {
+			best++
+		}
+		right[i] = best
+	}
+	lam := int32(rw.lambda)
+	for i := 0; i < n; i++ {
+		if min32(left[i], right[i]) > lam {
+			ranks[i] = flist.NoRank
+		}
+	}
+
+	// Step 3: isolated pivots (simultaneous evaluation — see package doc).
+	// A pivot with no non-blank index within gap γ participates in no
+	// pattern of length ≥ 2.
+	anyPivot := false
+	for i := 0; i < n; i++ {
+		if ranks[i] != pivot {
+			continue
+		}
+		isolated := true
+		for j := i - 1 - g; j <= i+1+g && isolated; j++ {
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			if ranks[j] != flist.NoRank {
+				isolated = false
+			}
+		}
+		if isolated {
+			ranks[i] = flist.NoRank // deferred effect: other pivots were
+			// evaluated against the pre-removal state only if they come
+			// later; earlier pivots already decided. Removing an isolated
+			// pivot cannot isolate others incorrectly (see package doc).
+		} else {
+			anyPivot = true
+		}
+	}
+	if !anyPivot {
+		return nil
+	}
+
+	// Step 4: trim edges, compress blank runs to at most γ+1, emit.
+	lo, hi := 0, n-1
+	for lo <= hi && ranks[lo] == flist.NoRank {
+		lo++
+	}
+	for hi >= lo && ranks[hi] == flist.NoRank {
+		hi--
+	}
+	if hi-lo+1 < 2 {
+		return nil
+	}
+	mark := len(dst)
+	run := 0
+	maxRun := g + 1
+	for i := lo; i <= hi; i++ {
+		if ranks[i] == flist.NoRank {
+			run++
+			if run <= maxRun {
+				dst = append(dst, flist.NoRank)
+			}
+			continue
+		}
+		run = 0
+		dst = append(dst, ranks[i])
+	}
+	if len(dst)-mark < 2 {
+		return dst[:mark]
+	}
+	return dst
+}
+
+// generalizesToPivot reports whether rank r has the pivot among its
+// ancestors-or-self in rank space.
+func (rw *Rewriter) generalizesToPivot(r, pivot flist.Rank) bool {
+	parent := rw.fl.ParentTable()
+	for r != flist.NoRank {
+		if r == pivot {
+			return true
+		}
+		if r < pivot || int(r) >= len(parent) {
+			return false // ancestors only get smaller; cannot reach pivot
+		}
+		r = parent[r]
+	}
+	return false
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Distances exposes the pivot-distance computation on an already
+// w-generalized rank sequence, for tests reproducing the §4.3 example.
+// Entries of the returned slices are chain sizes, or a value > λ_max (1<<30)
+// when unreachable.
+func Distances(ranks []flist.Rank, pivot flist.Rank, gamma int) (left, right []int32) {
+	n := len(ranks)
+	left = make([]int32, n)
+	right = make([]int32, n)
+	for i := 0; i < n; i++ {
+		if ranks[i] == pivot {
+			left[i] = 1
+			continue
+		}
+		best := inf
+		for j := i - 1 - gamma; j < i; j++ {
+			if j < 0 || ranks[j] == flist.NoRank {
+				continue
+			}
+			if left[j] < best {
+				best = left[j]
+			}
+		}
+		if best < inf {
+			best++
+		}
+		left[i] = best
+	}
+	for i := n - 1; i >= 0; i-- {
+		if ranks[i] == pivot {
+			right[i] = 1
+			continue
+		}
+		best := inf
+		for j := i + 1; j <= i+1+gamma && j < n; j++ {
+			if ranks[j] == flist.NoRank {
+				continue
+			}
+			if right[j] < best {
+				best = right[j]
+			}
+		}
+		if best < inf {
+			best++
+		}
+		right[i] = best
+	}
+	return left, right
+}
+
+// Infinite reports whether a distance value means "unreachable".
+func Infinite(d int32) bool { return d >= inf }
+
+// PivotSeqSet computes G_{w,λ}(T) for a rank-space sequence: the set of
+// generalized subsequences (under the rank-parent table) that satisfy the
+// gap and length constraints and whose largest item equals the pivot. Blanks
+// match nothing. Exponential; exported for w-equivalency tests only.
+func PivotSeqSet(parent []flist.Rank, t []flist.Rank, pivot flist.Rank, gamma, lambda int) map[string]struct{} {
+	out := make(map[string]struct{})
+	cur := make([]flist.Rank, 0, lambda)
+	var key func() string
+	key = func() string {
+		b := make([]byte, 0, 4*len(cur))
+		for _, r := range cur {
+			b = append(b, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+		}
+		return string(b)
+	}
+	selfAnc := func(r flist.Rank) []flist.Rank {
+		if r == flist.NoRank {
+			return nil
+		}
+		var a []flist.Rank
+		for r != flist.NoRank {
+			a = append(a, r)
+			if int(r) >= len(parent) {
+				break
+			}
+			r = parent[r]
+		}
+		return a
+	}
+	var rec func(last int, hasPivot bool)
+	rec = func(last int, hasPivot bool) {
+		if len(cur) >= 2 && hasPivot {
+			out[key()] = struct{}{}
+		}
+		if len(cur) == lambda {
+			return
+		}
+		hi := last + 1 + gamma
+		if hi >= len(t) {
+			hi = len(t) - 1
+		}
+		for j := last + 1; j <= hi; j++ {
+			for _, a := range selfAnc(t[j]) {
+				if a > pivot {
+					continue
+				}
+				cur = append(cur, a)
+				rec(j, hasPivot || a == pivot)
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	for i := range t {
+		for _, a := range selfAnc(t[i]) {
+			if a > pivot {
+				continue
+			}
+			cur = append(cur[:0], a)
+			rec(i, a == pivot)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package seqenc provides the compact wire encoding of rank-space sequences
+// used between the map and reduce phases of LASH (§4.2, §6.1 of the paper):
+// variable-length integers for items (small ids — i.e. frequent items — take
+// fewer bytes) and run-length encoding for blanks. Byte counts from this
+// encoding drive the MAP_OUTPUT_BYTES experiments (Fig. 4b).
+//
+// Token format (uvarint):
+//
+//	item with rank r   → (r+1) << 1
+//	run of n blanks    → (n << 1) | 1
+package seqenc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lash/internal/flist"
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+)
+
+// AppendSeq encodes a rank-space sequence (blanks = flist.NoRank) onto dst.
+func AppendSeq(dst []byte, seq []flist.Rank) []byte {
+	i := 0
+	for i < len(seq) {
+		if seq[i] == flist.NoRank {
+			run := uint64(0)
+			for i < len(seq) && seq[i] == flist.NoRank {
+				run++
+				i++
+			}
+			dst = binary.AppendUvarint(dst, run<<1|1)
+			continue
+		}
+		dst = binary.AppendUvarint(dst, (uint64(seq[i])+1)<<1)
+		i++
+	}
+	return dst
+}
+
+// DecodeSeq decodes an encoded rank sequence, appending to dst.
+func DecodeSeq(dst []flist.Rank, buf []byte) ([]flist.Rank, error) {
+	for len(buf) > 0 {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return dst, fmt.Errorf("seqenc: truncated varint")
+		}
+		buf = buf[n:]
+		if v&1 == 1 { // blank run
+			run := v >> 1
+			if run == 0 {
+				return dst, fmt.Errorf("seqenc: zero-length blank run")
+			}
+			for j := uint64(0); j < run; j++ {
+				dst = append(dst, flist.NoRank)
+			}
+			continue
+		}
+		r := v>>1 - 1
+		if r >= uint64(flist.NoRank) {
+			return dst, fmt.Errorf("seqenc: rank overflow %d", r)
+		}
+		dst = append(dst, flist.Rank(r))
+	}
+	return dst, nil
+}
+
+// EncodedSize returns len(AppendSeq(nil, seq)) without allocating.
+func EncodedSize(seq []flist.Rank) int {
+	size := 0
+	i := 0
+	for i < len(seq) {
+		if seq[i] == flist.NoRank {
+			run := uint64(0)
+			for i < len(seq) && seq[i] == flist.NoRank {
+				run++
+				i++
+			}
+			size += uvarintLen(run<<1 | 1)
+			continue
+		}
+		size += uvarintLen((uint64(seq[i]) + 1) << 1)
+		i++
+	}
+	return size
+}
+
+// AppendVocabSeq encodes a vocabulary-space sequence (no blanks) onto dst.
+// Used by the naïve baseline, which has no f-list and therefore no rank
+// space.
+func AppendVocabSeq(dst []byte, seq gsm.Sequence) []byte {
+	for _, w := range seq {
+		dst = binary.AppendUvarint(dst, uint64(w))
+	}
+	return dst
+}
+
+// DecodeVocabSeq decodes an encoded vocabulary sequence, appending to dst.
+func DecodeVocabSeq(dst gsm.Sequence, buf []byte) (gsm.Sequence, error) {
+	for len(buf) > 0 {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return dst, fmt.Errorf("seqenc: truncated varint")
+		}
+		buf = buf[n:]
+		if v >= uint64(hierarchy.NoItem) {
+			return dst, fmt.Errorf("seqenc: item overflow %d", v)
+		}
+		dst = append(dst, hierarchy.Item(v))
+	}
+	return dst, nil
+}
+
+// VocabEncodedSize returns len(AppendVocabSeq(nil, seq)) without allocating.
+func VocabEncodedSize(seq gsm.Sequence) int {
+	size := 0
+	for _, w := range seq {
+		size += uvarintLen(uint64(w))
+	}
+	return size
+}
+
+// UvarintLen returns the encoded size of v as a uvarint.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int { return UvarintLen(v) }

@@ -1,0 +1,191 @@
+// Package stats computes the output statistics of Table 3 of the LASH
+// paper: the percentages of non-trivial, closed, and maximal sequences in a
+// mined output.
+//
+// Definitions (§6.7):
+//
+//   - An output sequence is *trivial* if it can be generated from the output
+//     of a standard sequence miner (which ignores hierarchies) by
+//     generalizing items; non-trivial sequences are the value added by GSM.
+//   - S is *maximal* if every supersequence S' ⊒0 S is infrequent, and
+//     *closed* if every supersequence has a different (lower) frequency.
+//     The ⊒0 relation covers both contiguous extensions and same-length
+//     specializations.
+//
+// Closedness/maximality are computed relative to the mined output (patterns
+// up to length λ), exactly as in the paper's evaluation: a frequent
+// supersequence longer than λ is invisible to both.
+//
+// The closed/maximal computation avoids the quadratic pairwise ⊑0 test: for
+// every mined pattern it marks the pattern's *immediate reductions* (drop
+// the first item, drop the last item, generalize one item to its parent).
+// Any supersequence chain S ⊑0 S' decomposes into such single steps whose
+// intermediates are all frequent (support monotonicity) and hence all in the
+// output, so a pattern has a frequent (resp. equal-frequency) supersequence
+// iff it is marked by some pattern (resp. by one of equal support).
+package stats
+
+import (
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+)
+
+// Output summarizes the Table-3 statistics of one mined result.
+type Output struct {
+	Total      int
+	NonTrivial int
+	Closed     int
+	Maximal    int
+}
+
+// NonTrivialPct returns 100·NonTrivial/Total (0 for empty outputs).
+func (o Output) NonTrivialPct() float64 { return pct(o.NonTrivial, o.Total) }
+
+// ClosedPct returns 100·Closed/Total.
+func (o Output) ClosedPct() float64 { return pct(o.Closed, o.Total) }
+
+// MaximalPct returns 100·Maximal/Total.
+func (o Output) MaximalPct() float64 { return pct(o.Maximal, o.Total) }
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+const (
+	markFrequent = 1 << 0
+	markEqual    = 1 << 1
+)
+
+// markSupersteps computes, for every mined pattern, whether some other
+// mined pattern is an immediate superstep of it (markFrequent), and whether
+// one with equal support exists (markEqual). See the package comment for why
+// immediate steps suffice.
+func markSupersteps(f *hierarchy.Forest, mined []gsm.Pattern) map[string]uint8 {
+	support := make(map[string]int64, len(mined))
+	for _, p := range mined {
+		support[gsm.Key(p.Items)] = p.Support
+	}
+	marks := make(map[string]uint8, len(mined))
+	var buf gsm.Sequence
+	for _, p := range mined {
+		mark := func(items gsm.Sequence) {
+			k := gsm.Key(items)
+			if _, ok := support[k]; !ok {
+				return // e.g. a reduction of length < 2
+			}
+			m := marks[k] | markFrequent
+			if support[k] == p.Support {
+				m |= markEqual
+			}
+			marks[k] = m
+		}
+		n := len(p.Items)
+		if n > 2 {
+			mark(p.Items[1:])
+			mark(p.Items[:n-1])
+		}
+		for j, w := range p.Items {
+			parent := f.Parent(w)
+			if parent == hierarchy.NoItem {
+				continue
+			}
+			buf = append(buf[:0], p.Items...)
+			buf[j] = parent
+			mark(buf)
+		}
+	}
+	return marks
+}
+
+// Compute derives the statistics for a mined output. flat must be the
+// output of a standard (hierarchy-ignoring) sequence miner over the same
+// database and parameters; it seeds the triviality test.
+func Compute(f *hierarchy.Forest, mined, flat []gsm.Pattern) Output {
+	out := Output{Total: len(mined)}
+	trie := buildTrie(flat)
+	marks := markSupersteps(f, mined)
+	for _, p := range mined {
+		m := marks[gsm.Key(p.Items)]
+		if m&markFrequent == 0 {
+			out.Maximal++
+		}
+		if m&markEqual == 0 {
+			out.Closed++
+		}
+		if !trie.hasSpecialization(f, p.Items) {
+			out.NonTrivial++
+		}
+	}
+	return out
+}
+
+// FilterClosed returns the closed subset of a complete mined output: the
+// patterns whose every supersequence (extension or specialization, within
+// the mined λ) has a different frequency. This implements the closed-GSM
+// mining the paper names as future work (§6.7), as a post-processing pass.
+func FilterClosed(f *hierarchy.Forest, mined []gsm.Pattern) []gsm.Pattern {
+	marks := markSupersteps(f, mined)
+	var out []gsm.Pattern
+	for _, p := range mined {
+		if marks[gsm.Key(p.Items)]&markEqual == 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FilterMaximal returns the maximal subset of a complete mined output: the
+// patterns with no frequent supersequence (within the mined λ).
+func FilterMaximal(f *hierarchy.Forest, mined []gsm.Pattern) []gsm.Pattern {
+	marks := markSupersteps(f, mined)
+	var out []gsm.Pattern
+	for _, p := range mined {
+		if marks[gsm.Key(p.Items)]&markFrequent == 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// trieNode indexes flat-miner patterns for the triviality test: S is
+// trivial iff the trie contains a same-length pattern F whose every item
+// specializes (or equals) the corresponding item of S.
+type trieNode struct {
+	children map[hierarchy.Item]*trieNode
+	terminal bool
+}
+
+func buildTrie(flat []gsm.Pattern) *trieNode {
+	root := &trieNode{}
+	for _, p := range flat {
+		n := root
+		for _, w := range p.Items {
+			if n.children == nil {
+				n.children = make(map[hierarchy.Item]*trieNode)
+			}
+			c := n.children[w]
+			if c == nil {
+				c = &trieNode{}
+				n.children[w] = c
+			}
+			n = c
+		}
+		n.terminal = true
+	}
+	return root
+}
+
+func (n *trieNode) hasSpecialization(f *hierarchy.Forest, s gsm.Sequence) bool {
+	if len(s) == 0 {
+		return n.terminal
+	}
+	for u, c := range n.children {
+		if f.GeneralizesTo(u, s[0]) && c.hasSpecialization(f, s[1:]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,229 @@
+package stats_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lash/internal/core"
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+	"lash/internal/mapreduce"
+	"lash/internal/paperex"
+	"lash/internal/stats"
+)
+
+var smallMR = mapreduce.Config{Workers: 2, MapTasks: 2, ReduceTasks: 2}
+
+func mineBoth(t testing.TB, db *gsm.Database, p gsm.Params) (mined, flat []gsm.Pattern) {
+	t.Helper()
+	res, err := core.Mine(db, core.Options{Params: p, MR: smallMR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := core.Mine(db, core.Options{Params: p, Flat: true, MR: smallMR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Patterns, fres.Patterns
+}
+
+// On the running example (σ=2, γ=1, λ=3): the flat miner finds only
+// "a a" and "a c", so exactly those two of the ten generalized patterns are
+// trivial → 80% non-trivial.
+func TestPaperExampleNonTrivial(t *testing.T) {
+	db := paperex.Database()
+	mined, flat := mineBoth(t, db, paperex.Params())
+	got := stats.Compute(db.Forest, mined, flat)
+	if got.Total != 10 {
+		t.Fatalf("Total = %d, want 10", got.Total)
+	}
+	if got.NonTrivial != 8 {
+		t.Fatalf("NonTrivial = %d, want 8", got.NonTrivial)
+	}
+	if p := got.NonTrivialPct(); p != 80 {
+		t.Fatalf("NonTrivialPct = %.1f, want 80", p)
+	}
+}
+
+// Brute-force closed/maximal on the paper example, then compare.
+func TestPaperExampleClosedMaximal(t *testing.T) {
+	db := paperex.Database()
+	mined, flat := mineBoth(t, db, paperex.Params())
+	got := stats.Compute(db.Forest, mined, flat)
+	wantClosed, wantMaximal := bruteClosedMaximal(db.Forest, mined)
+	if got.Closed != wantClosed {
+		t.Errorf("Closed = %d, want %d", got.Closed, wantClosed)
+	}
+	if got.Maximal != wantMaximal {
+		t.Errorf("Maximal = %d, want %d", got.Maximal, wantMaximal)
+	}
+	// Sanity on the relations: maximal ⊆ closed ⊆ all.
+	if !(got.Maximal <= got.Closed && got.Closed <= got.Total) {
+		t.Errorf("ordering violated: %+v", got)
+	}
+}
+
+// bruteClosedMaximal checks every pair with the independent ⊑0 test.
+func bruteClosedMaximal(f *hierarchy.Forest, mined []gsm.Pattern) (closed, maximal int) {
+	for _, s := range mined {
+		isClosed, isMaximal := true, true
+		for _, sp := range mined {
+			if len(sp.Items) < len(s.Items) {
+				continue
+			}
+			same := len(sp.Items) == len(s.Items)
+			equal := same
+			if same {
+				for i := range s.Items {
+					if s.Items[i] != sp.Items[i] {
+						equal = false
+						break
+					}
+				}
+			}
+			if equal {
+				continue
+			}
+			if gsm.IsGenSubseq(f, s.Items, sp.Items, 0) {
+				isMaximal = false
+				if sp.Support == s.Support {
+					isClosed = false
+				}
+			}
+		}
+		if isClosed {
+			closed++
+		}
+		if isMaximal {
+			maximal++
+		}
+	}
+	return closed, maximal
+}
+
+func TestEmptyOutput(t *testing.T) {
+	f := paperex.Forest()
+	got := stats.Compute(f, nil, nil)
+	if got.Total != 0 || got.NonTrivialPct() != 0 || got.ClosedPct() != 0 || got.MaximalPct() != 0 {
+		t.Fatalf("empty stats = %+v", got)
+	}
+}
+
+// Flat mining of a flat database: everything is trivial, and closed/maximal
+// behave classically.
+func TestFlatWorldAllTrivial(t *testing.T) {
+	f := hierarchy.Flat([]string{"x", "y"})
+	x, _ := f.Lookup("x")
+	y, _ := f.Lookup("y")
+	db := &gsm.Database{Forest: f, Seqs: []gsm.Sequence{{x, y}, {x, y}, {x, y, x}}}
+	p := gsm.Params{Sigma: 2, Gamma: 0, Lambda: 3}
+	mined, flat := mineBoth(t, db, p)
+	got := stats.Compute(f, mined, flat)
+	if got.NonTrivial != 0 {
+		t.Fatalf("flat world has %d non-trivial patterns", got.NonTrivial)
+	}
+	if got.Total == 0 {
+		t.Fatal("nothing mined")
+	}
+}
+
+func randDB(r *rand.Rand) *gsm.Database {
+	b := hierarchy.NewBuilder()
+	n := 4 + r.Intn(7)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = string(rune('a' + i))
+		b.Add(names[i])
+	}
+	for i := 1; i < n; i++ {
+		if r.Intn(2) == 0 {
+			b.AddEdge(names[i], names[r.Intn(i)])
+		}
+	}
+	f, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	db := &gsm.Database{Forest: f}
+	for i, k := 0, 3+r.Intn(5); i < k; i++ {
+		l := 2 + r.Intn(6)
+		s := make(gsm.Sequence, l)
+		for j := range s {
+			s[j] = hierarchy.Item(r.Intn(n))
+		}
+		db.Seqs = append(db.Seqs, s)
+	}
+	return db
+}
+
+// Property: the marking algorithm agrees with the quadratic pairwise
+// definition on random databases.
+func TestQuickClosedMaximalMatchBrute(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randDB(r)
+		p := gsm.Params{Sigma: 1 + int64(r.Intn(2)), Gamma: r.Intn(2), Lambda: 2 + r.Intn(2)}
+		res, err := core.Mine(db, core.Options{Params: p, MR: smallMR})
+		if err != nil {
+			return false
+		}
+		fres, err := core.Mine(db, core.Options{Params: p, Flat: true, MR: smallMR})
+		if err != nil {
+			return false
+		}
+		got := stats.Compute(db.Forest, res.Patterns, fres.Patterns)
+		wc, wm := bruteClosedMaximal(db.Forest, res.Patterns)
+		return got.Closed == wc && got.Maximal == wm
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(311))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triviality test agrees with a direct specialization search.
+func TestQuickNonTrivialMatchesBrute(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randDB(r)
+		p := gsm.Params{Sigma: 1 + int64(r.Intn(2)), Gamma: r.Intn(2), Lambda: 2 + r.Intn(2)}
+		res, err := core.Mine(db, core.Options{Params: p, MR: smallMR})
+		if err != nil {
+			return false
+		}
+		fres, err := core.Mine(db, core.Options{Params: p, Flat: true, MR: smallMR})
+		if err != nil {
+			return false
+		}
+		got := stats.Compute(db.Forest, res.Patterns, fres.Patterns)
+		// Direct: S trivial iff some flat pattern of same length item-wise
+		// generalizes to S.
+		nonTrivial := 0
+		for _, s := range res.Patterns {
+			trivial := false
+			for _, fp := range fres.Patterns {
+				if len(fp.Items) != len(s.Items) {
+					continue
+				}
+				all := true
+				for i := range s.Items {
+					if !db.Forest.GeneralizesTo(fp.Items[i], s.Items[i]) {
+						all = false
+						break
+					}
+				}
+				if all {
+					trivial = true
+					break
+				}
+			}
+			if !trivial {
+				nonTrivial++
+			}
+		}
+		return got.NonTrivial == nonTrivial
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(313))}); err != nil {
+		t.Fatal(err)
+	}
+}

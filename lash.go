@@ -1,0 +1,262 @@
+// Package lash is a library for large-scale generalized sequence mining
+// with hierarchies, reproducing the LASH algorithm of Beedkar & Gemulla
+// (SIGMOD 2015).
+//
+// LASH mines frequent generalized sequences from a collection of input
+// sequences whose items are arranged in a hierarchy (a forest): pattern
+// items may sit at any hierarchy level, so a pattern like "PERSON lives in
+// CITY" is found even when it never occurs literally. Mining is performed on
+// an in-process MapReduce substrate using hierarchy-aware item-based
+// partitioning and the pivot sequence miner (PSM).
+//
+// Quick start:
+//
+//	b := lash.NewDatabaseBuilder()
+//	b.AddParent("b1", "B")      // item b1 generalizes to B
+//	b.AddSequence("a", "b1", "a", "b1")
+//	b.AddSequence("a", "b3", "c", "c", "b2")
+//	db, err := b.Build()
+//	// handle err
+//	res, err := lash.Mine(db, lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3})
+//	// handle err
+//	for _, p := range res.Patterns {
+//		fmt.Println(strings.Join(p.Items, " "), p.Support)
+//	}
+package lash
+
+import (
+	"fmt"
+
+	"lash/internal/baseline"
+	"lash/internal/core"
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+	"lash/internal/mapreduce"
+	"lash/internal/miner"
+	"lash/internal/stats"
+)
+
+// Algorithm selects the distributed mining algorithm.
+type Algorithm int
+
+const (
+	// AlgorithmLASH is hierarchy-aware item-based partitioning with local
+	// mining (the paper's contribution; default).
+	AlgorithmLASH Algorithm = iota
+	// AlgorithmNaive counts every generalized subsequence directly (§3.2).
+	AlgorithmNaive
+	// AlgorithmSemiNaive prunes infrequent items via the generalized f-list
+	// before counting (§3.3).
+	AlgorithmSemiNaive
+	// AlgorithmMGFSM ignores the hierarchy and runs item-based partitioning
+	// with a BFS local miner — the MG-FSM baseline of §6.3.
+	AlgorithmMGFSM
+	// AlgorithmLASHFlat ignores the hierarchy but keeps PSM as the local
+	// miner ("LASH without hierarchies", footnote 3 of the paper).
+	AlgorithmLASHFlat
+)
+
+// String returns the algorithm's name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmLASH:
+		return "LASH"
+	case AlgorithmNaive:
+		return "Naive"
+	case AlgorithmSemiNaive:
+		return "SemiNaive"
+	case AlgorithmMGFSM:
+		return "MG-FSM"
+	case AlgorithmLASHFlat:
+		return "LASH(flat)"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// LocalMiner selects the per-partition sequential miner used by
+// AlgorithmLASH and AlgorithmLASHFlat.
+type LocalMiner int
+
+const (
+	// MinerPSM is the pivot sequence miner with the right-expansion index
+	// (default).
+	MinerPSM LocalMiner = iota
+	// MinerPSMNoIndex disables the right-expansion index.
+	MinerPSMNoIndex
+	// MinerBFS is the hierarchy-aware SPADE adaptation.
+	MinerBFS
+	// MinerDFS is the hierarchy-aware PrefixSpan adaptation.
+	MinerDFS
+)
+
+func (m LocalMiner) kind() miner.Kind {
+	switch m {
+	case MinerPSMNoIndex:
+		return miner.KindPSMNoIndex
+	case MinerBFS:
+		return miner.KindBFS
+	case MinerDFS:
+		return miner.KindDFS
+	default:
+		return miner.KindPSM
+	}
+}
+
+// String returns the miner's name as used in the paper's figures.
+func (m LocalMiner) String() string { return m.kind().String() }
+
+// Options configures Mine.
+type Options struct {
+	// MinSupport is the minimum number of input sequences a pattern must
+	// (generalizedly) occur in. Must be ≥ 1.
+	MinSupport int64
+	// MaxGap is the maximum number of items allowed between consecutive
+	// pattern items (γ ≥ 0; 0 = contiguous, i.e. n-gram mining).
+	MaxGap int
+	// MaxLength bounds the pattern length (λ ≥ 2).
+	MaxLength int
+	// Algorithm selects the distributed algorithm (default AlgorithmLASH).
+	Algorithm Algorithm
+	// LocalMiner selects the per-partition miner (default MinerPSM).
+	LocalMiner LocalMiner
+	// Workers bounds real parallelism (default: all CPUs).
+	Workers int
+	// MaxIntermediate caps the records the naïve/semi-naïve baselines may
+	// emit before aborting with ErrAborted (0 = unlimited).
+	MaxIntermediate int64
+	// Restriction optionally thins the output to closed or maximal patterns
+	// (computed relative to the mined output, i.e. supersequences up to
+	// MaxLength). See §6.7 of the paper.
+	Restriction Restriction
+}
+
+// Restriction selects an output restriction.
+type Restriction int
+
+const (
+	// RestrictNone returns all frequent generalized sequences (default).
+	RestrictNone Restriction = iota
+	// RestrictClosed keeps only patterns whose every supersequence —
+	// extension or same-length specialization — has a lower support.
+	RestrictClosed
+	// RestrictMaximal keeps only patterns with no frequent supersequence.
+	RestrictMaximal
+)
+
+// ErrAborted reports that a baseline run exceeded Options.MaxIntermediate.
+var ErrAborted = baseline.ErrEmitCapExceeded
+
+// Pattern is one mined generalized sequence.
+type Pattern struct {
+	// Items are the pattern's item names, possibly from different hierarchy
+	// levels.
+	Items []string
+	// Support is the number of input sequences the pattern occurs in,
+	// directly or in specialized form.
+	Support int64
+}
+
+// Result is the output of Mine.
+type Result struct {
+	// Patterns holds the frequent generalized sequences (2 ≤ length ≤
+	// MaxLength) in canonical order: by length, then by item frequency
+	// rank.
+	Patterns []Pattern
+	// FrequentItems are the frequent single items with their hierarchy-aware
+	// document frequencies (the generalized f-list).
+	FrequentItems []Pattern
+	// NumPartitions is the number of partitions mined (LASH variants only).
+	NumPartitions int
+	// Explored counts candidate sequences whose support was computed by the
+	// local miners (LASH variants only).
+	Explored int64
+	// Stats reports MapReduce phase measurements of the main mining job.
+	Stats RunStats
+}
+
+// RunStats summarizes the MapReduce work of a run.
+type RunStats struct {
+	// MapOutputBytes is the encoded volume shuffled between the map and
+	// reduce phases (Hadoop's MAP_OUTPUT_BYTES).
+	MapOutputBytes int64
+	// MapOutputRecords counts shuffled records (after combining).
+	MapOutputRecords int64
+}
+
+// Mine runs the selected algorithm over the database.
+func Mine(db *Database, opt Options) (*Result, error) {
+	return mine(db, opt, nil)
+}
+
+// mine implements Mine; freqs optionally short-circuits the preprocessing
+// job for the LASH variants (see Miner).
+func mine(db *Database, opt Options, freqs []int64) (*Result, error) {
+	if db == nil || db.db == nil {
+		return nil, fmt.Errorf("lash: nil database (use NewDatabaseBuilder().Build())")
+	}
+	params := gsm.Params{Sigma: opt.MinSupport, Gamma: opt.MaxGap, Lambda: opt.MaxLength}
+	mr := mapreduce.Config{Workers: opt.Workers}
+
+	var (
+		res *core.Result
+		err error
+	)
+	switch opt.Algorithm {
+	case AlgorithmLASH:
+		res, err = core.Mine(db.db, core.Options{Params: params, Miner: opt.LocalMiner.kind(), MR: mr, Freqs: freqs})
+	case AlgorithmLASHFlat:
+		res, err = core.Mine(db.db, core.Options{Params: params, Miner: opt.LocalMiner.kind(), Flat: true, MR: mr, Freqs: freqs})
+	case AlgorithmMGFSM:
+		res, err = core.Mine(db.db, core.Options{Params: params, Miner: miner.KindBFS, Flat: true, MR: mr, Freqs: freqs})
+	case AlgorithmNaive:
+		res, err = baseline.MineNaive(db.db, baseline.Options{Params: params, MR: mr, MaxEmit: opt.MaxIntermediate})
+	case AlgorithmSemiNaive:
+		res, err = baseline.MineSemiNaive(db.db, baseline.Options{Params: params, MR: mr, MaxEmit: opt.MaxIntermediate})
+	default:
+		return nil, fmt.Errorf("lash: unknown algorithm %d", int(opt.Algorithm))
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	switch opt.Restriction {
+	case RestrictNone:
+	case RestrictClosed:
+		res.Patterns = stats.FilterClosed(restrictionForest(db, res), res.Patterns)
+	case RestrictMaximal:
+		res.Patterns = stats.FilterMaximal(restrictionForest(db, res), res.Patterns)
+	default:
+		return nil, fmt.Errorf("lash: unknown restriction %d", int(opt.Restriction))
+	}
+
+	out := &Result{NumPartitions: res.NumPartitions, Explored: res.Miner.Explored}
+	f := db.db.Forest
+	for _, p := range res.Patterns {
+		items := make([]string, len(p.Items))
+		for i, w := range p.Items {
+			items[i] = f.Name(w)
+		}
+		out.Patterns = append(out.Patterns, Pattern{Items: items, Support: p.Support})
+	}
+	for _, p := range res.FrequentItems {
+		out.FrequentItems = append(out.FrequentItems, Pattern{
+			Items:   []string{f.Name(p.Items[0])},
+			Support: p.Support,
+		})
+	}
+	if res.Jobs.Mine != nil {
+		out.Stats.MapOutputBytes = res.Jobs.Mine.MapOutputBytes
+		out.Stats.MapOutputRecords = res.Jobs.Mine.MapOutputRecords
+	}
+	return out, nil
+}
+
+// restrictionForest picks the hierarchy the restriction must be computed
+// under: the one the algorithm actually mined with (flat algorithms use the
+// flattened vocabulary).
+func restrictionForest(db *Database, res *core.Result) *hierarchy.Forest {
+	if res.FList != nil {
+		return res.FList.Forest()
+	}
+	return db.db.Forest
+}

@@ -1,0 +1,340 @@
+package lash_test
+
+import (
+	"strings"
+	"testing"
+
+	"lash"
+)
+
+// paperDB assembles the running example of the paper through the public API.
+func paperDB(t testing.TB) *lash.Database {
+	t.Helper()
+	b := lash.NewDatabaseBuilder()
+	for _, e := range [][2]string{
+		{"b1", "B"}, {"b2", "B"}, {"b3", "B"},
+		{"b11", "b1"}, {"b12", "b1"}, {"b13", "b1"},
+		{"d1", "D"}, {"d2", "D"},
+	} {
+		b.AddParent(e[0], e[1])
+	}
+	for _, row := range []string{
+		"a b1 a b1",
+		"a b3 c c b2",
+		"a c",
+		"b11 a e a",
+		"a b12 d1 c",
+		"b13 f d2",
+	} {
+		b.AddSequence(strings.Fields(row)...)
+	}
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+var paperWant = map[string]int64{
+	"a a": 2, "a b1": 2, "b1 a": 2, "a B": 3, "B a": 2,
+	"a B c": 2, "B c": 2, "a c": 2, "b1 D": 2, "B D": 2,
+}
+
+func checkPaperResult(t *testing.T, res *lash.Result, label string) {
+	t.Helper()
+	if len(res.Patterns) != len(paperWant) {
+		var got []string
+		for _, p := range res.Patterns {
+			got = append(got, strings.Join(p.Items, " "))
+		}
+		t.Fatalf("%s: %d patterns %v, want %d", label, len(res.Patterns), got, len(paperWant))
+	}
+	for _, p := range res.Patterns {
+		name := strings.Join(p.Items, " ")
+		if paperWant[name] != p.Support {
+			t.Errorf("%s: %q support %d, want %d", label, name, p.Support, paperWant[name])
+		}
+	}
+}
+
+func TestMinePaperExample(t *testing.T) {
+	db := paperDB(t)
+	opt := lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3}
+	for _, alg := range []lash.Algorithm{lash.AlgorithmLASH, lash.AlgorithmNaive, lash.AlgorithmSemiNaive} {
+		opt.Algorithm = alg
+		res, err := lash.Mine(db, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkPaperResult(t, res, alg.String())
+	}
+}
+
+func TestMineLocalMiners(t *testing.T) {
+	db := paperDB(t)
+	for _, m := range []lash.LocalMiner{lash.MinerPSM, lash.MinerPSMNoIndex, lash.MinerBFS, lash.MinerDFS} {
+		res, err := lash.Mine(db, lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3, LocalMiner: m})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		checkPaperResult(t, res, m.String())
+		if res.Explored <= 0 || res.NumPartitions != 5 {
+			t.Errorf("%s: explored=%d partitions=%d", m, res.Explored, res.NumPartitions)
+		}
+	}
+}
+
+func TestFrequentItemsViaAPI(t *testing.T) {
+	db := paperDB(t)
+	res, err := lash.Mine(db, lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"a": 5, "B": 5, "b1": 4, "c": 3, "D": 2}
+	if len(res.FrequentItems) != len(want) {
+		t.Fatalf("frequent items = %v", res.FrequentItems)
+	}
+	for _, p := range res.FrequentItems {
+		if want[p.Items[0]] != p.Support {
+			t.Errorf("%s: %d, want %d", p.Items[0], p.Support, want[p.Items[0]])
+		}
+	}
+}
+
+func TestDatabaseAccessors(t *testing.T) {
+	db := paperDB(t)
+	if db.NumSequences() != 6 {
+		t.Errorf("NumSequences = %d", db.NumSequences())
+	}
+	if db.HierarchyDepth() != 3 {
+		t.Errorf("HierarchyDepth = %d", db.HierarchyDepth())
+	}
+	if got := strings.Join(db.Sequence(2), " "); got != "a c" {
+		t.Errorf("Sequence(2) = %q", got)
+	}
+	if db.NumItems() != 14 {
+		t.Errorf("NumItems = %d", db.NumItems())
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := lash.NewDatabaseBuilder()
+	b.AddParent("x", "p1")
+	b.AddParent("x", "p2")
+	if _, err := b.Build(); err == nil {
+		t.Error("re-parenting not rejected")
+	}
+	b2 := lash.NewDatabaseBuilder()
+	b2.AddParent("x", "y")
+	b2.AddParent("y", "x")
+	if _, err := b2.Build(); err == nil {
+		t.Error("cycle not rejected")
+	}
+}
+
+func TestReaders(t *testing.T) {
+	b := lash.NewDatabaseBuilder()
+	if err := b.ReadHierarchy(strings.NewReader("# comment\nb1\tB\nd1 D\n\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReadSequences(strings.NewReader("a b1 a\n# skip\n\nd1 a\n")); err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumSequences() != 2 {
+		t.Fatalf("NumSequences = %d", db.NumSequences())
+	}
+	res, err := lash.Mine(db, lash.Options{MinSupport: 2, MaxGap: 0, MaxLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FrequentItems) == 0 {
+		t.Fatal("nothing frequent")
+	}
+	bad := lash.NewDatabaseBuilder()
+	if err := bad.ReadHierarchy(strings.NewReader("one-field\n")); err == nil {
+		t.Error("malformed hierarchy line accepted")
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	db := paperDB(t)
+	if _, err := lash.Mine(nil, lash.Options{MinSupport: 1, MaxLength: 2}); err == nil {
+		t.Error("nil database accepted")
+	}
+	if _, err := lash.Mine(db, lash.Options{MinSupport: 0, MaxLength: 3}); err == nil {
+		t.Error("MinSupport 0 accepted")
+	}
+	if _, err := lash.Mine(db, lash.Options{MinSupport: 1, MaxLength: 1}); err == nil {
+		t.Error("MaxLength 1 accepted")
+	}
+	if _, err := lash.Mine(db, lash.Options{MinSupport: 1, MaxGap: -1, MaxLength: 2}); err == nil {
+		t.Error("negative MaxGap accepted")
+	}
+	if _, err := lash.Mine(db, lash.Options{MinSupport: 1, MaxLength: 2, Algorithm: lash.Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestAbortedBaseline(t *testing.T) {
+	db := paperDB(t)
+	_, err := lash.Mine(db, lash.Options{
+		MinSupport: 2, MaxGap: 1, MaxLength: 3,
+		Algorithm: lash.AlgorithmNaive, MaxIntermediate: 3,
+	})
+	if err != lash.ErrAborted {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+}
+
+func TestFlatAlgorithms(t *testing.T) {
+	db := paperDB(t)
+	for _, alg := range []lash.Algorithm{lash.AlgorithmMGFSM, lash.AlgorithmLASHFlat} {
+		res, err := lash.Mine(db, lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		// Flat mining: only "a a" and "a c" are frequent (no hierarchy).
+		if len(res.Patterns) != 2 {
+			t.Fatalf("%s: %d patterns, want 2", alg, len(res.Patterns))
+		}
+		for _, p := range res.Patterns {
+			s := strings.Join(p.Items, " ")
+			if s != "a a" && s != "a c" {
+				t.Errorf("%s: unexpected flat pattern %q", alg, s)
+			}
+		}
+	}
+}
+
+func TestGenerateTextDatabase(t *testing.T) {
+	for _, h := range []string{"L", "P", "LP", "CLP", ""} {
+		db, err := lash.GenerateTextDatabase(lash.TextConfig{Sentences: 80, Lemmas: 50, Hierarchy: h, Seed: 1})
+		if err != nil {
+			t.Fatalf("%q: %v", h, err)
+		}
+		if db.NumSequences() != 80 {
+			t.Fatalf("%q: %d sequences", h, db.NumSequences())
+		}
+		res, err := lash.Mine(db, lash.Options{MinSupport: 5, MaxGap: 0, MaxLength: 3})
+		if err != nil {
+			t.Fatalf("%q: %v", h, err)
+		}
+		if len(res.FrequentItems) == 0 {
+			t.Fatalf("%q: no frequent items", h)
+		}
+	}
+	if _, err := lash.GenerateTextDatabase(lash.TextConfig{Hierarchy: "XX"}); err == nil {
+		t.Error("bad hierarchy accepted")
+	}
+}
+
+func TestGenerateMarketDatabase(t *testing.T) {
+	db, err := lash.GenerateMarketDatabase(lash.MarketConfig{Users: 120, Products: 200, HierarchyLevels: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumSequences() != 120 {
+		t.Fatalf("%d sequences", db.NumSequences())
+	}
+	if db.HierarchyDepth() > 4 || db.HierarchyDepth() < 2 {
+		t.Fatalf("depth = %d", db.HierarchyDepth())
+	}
+	if _, err := lash.GenerateMarketDatabase(lash.MarketConfig{HierarchyLevels: 1}); err == nil {
+		t.Error("levels=1 accepted")
+	}
+}
+
+// Closed/maximal restrictions (§6.7): maximal ⊆ closed ⊆ all, and every
+// excluded pattern has a witness supersequence in the full output.
+func TestRestrictions(t *testing.T) {
+	db := paperDB(t)
+	base := lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3}
+	all, err := lash.Mine(db, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedOpt := base
+	closedOpt.Restriction = lash.RestrictClosed
+	closed, err := lash.Mine(db, closedOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxOpt := base
+	maxOpt.Restriction = lash.RestrictMaximal
+	maximal, err := lash.Mine(db, maxOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(len(maximal.Patterns) <= len(closed.Patterns) && len(closed.Patterns) <= len(all.Patterns)) {
+		t.Fatalf("sizes: maximal %d, closed %d, all %d",
+			len(maximal.Patterns), len(closed.Patterns), len(all.Patterns))
+	}
+	if len(maximal.Patterns) == 0 {
+		t.Fatal("no maximal patterns")
+	}
+	inAll := map[string]int64{}
+	for _, p := range all.Patterns {
+		inAll[strings.Join(p.Items, " ")] = p.Support
+	}
+	for _, p := range closed.Patterns {
+		if _, ok := inAll[strings.Join(p.Items, " ")]; !ok {
+			t.Fatalf("closed pattern %v not in full output", p.Items)
+		}
+	}
+	// Specific witnesses on the running example: "a B" (3) is closed (no
+	// equal-support superseq); "B c" (2) is NOT closed — "a B c" has the
+	// same support; "a B c" is maximal.
+	closedSet := map[string]bool{}
+	for _, p := range closed.Patterns {
+		closedSet[strings.Join(p.Items, " ")] = true
+	}
+	if !closedSet["a B"] {
+		t.Error("a B should be closed")
+	}
+	if closedSet["B c"] {
+		t.Error("B c should not be closed (a B c has equal support)")
+	}
+	maxSet := map[string]bool{}
+	for _, p := range maximal.Patterns {
+		maxSet[strings.Join(p.Items, " ")] = true
+	}
+	if !maxSet["a B c"] {
+		t.Error("a B c should be maximal")
+	}
+	if maxSet["a B"] {
+		t.Error("a B should not be maximal (a B c is frequent)")
+	}
+	if _, err := lash.Mine(db, lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3, Restriction: lash.Restriction(9)}); err == nil {
+		t.Error("unknown restriction accepted")
+	}
+}
+
+// Determinism: two identical runs give identical pattern lists.
+func TestMineDeterminism(t *testing.T) {
+	db, err := lash.GenerateMarketDatabase(lash.MarketConfig{Users: 150, Products: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := lash.Options{MinSupport: 3, MaxGap: 1, MaxLength: 4}
+	a, err := lash.Mine(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRes, err := lash.Mine(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Patterns) != len(bRes.Patterns) {
+		t.Fatal("nondeterministic pattern count")
+	}
+	for i := range a.Patterns {
+		if strings.Join(a.Patterns[i].Items, " ") != strings.Join(bRes.Patterns[i].Items, " ") ||
+			a.Patterns[i].Support != bRes.Patterns[i].Support {
+			t.Fatal("nondeterministic pattern order or supports")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package lash
+
+import (
+	"fmt"
+
+	"lash/internal/core"
+	"lash/internal/mapreduce"
+)
+
+// Miner caches the hierarchy-aware item frequencies of a database so that
+// repeated Mine calls with different parameters skip the preprocessing job —
+// the reuse described in §3.4 of the paper ("item frequencies and total
+// order can be reused when LASH is run with different parameters; only the
+// generalized f-list needs to be adapted"). Typical use: parameter sweeps
+// over σ, γ, or λ.
+//
+// A Miner is safe for sequential reuse; for the baseline algorithms (which
+// have no reusable preprocessing) it behaves exactly like Mine.
+type Miner struct {
+	db        *Database
+	freqs     []int64 // hierarchy-aware frequencies (lazy)
+	flatFreqs []int64 // flat frequencies (lazy)
+	computes  int
+}
+
+// NewMiner wraps a database for repeated mining.
+func NewMiner(db *Database) (*Miner, error) {
+	if db == nil || db.db == nil {
+		return nil, fmt.Errorf("lash: nil database (use NewDatabaseBuilder().Build())")
+	}
+	return &Miner{db: db}, nil
+}
+
+// FrequencyJobsRun reports how many frequency-counting jobs this Miner has
+// executed (at most one per hierarchy mode; useful to observe the reuse).
+func (m *Miner) FrequencyJobsRun() int { return m.computes }
+
+// Mine runs one configuration, reusing cached item frequencies for the LASH
+// algorithm variants.
+func (m *Miner) Mine(opt Options) (*Result, error) {
+	switch opt.Algorithm {
+	case AlgorithmLASH, AlgorithmLASHFlat, AlgorithmMGFSM:
+	default:
+		return Mine(m.db, opt) // baselines: nothing reusable
+	}
+	flat := opt.Algorithm != AlgorithmLASH
+	freqs, err := m.frequencies(flat, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return mine(m.db, opt, freqs)
+}
+
+func (m *Miner) frequencies(flat bool, workers int) ([]int64, error) {
+	cached := &m.freqs
+	if flat {
+		cached = &m.flatFreqs
+	}
+	if *cached != nil {
+		return *cached, nil
+	}
+	freqs, err := core.Frequencies(m.db.db, flat, mapreduce.Config{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	*cached = freqs
+	m.computes++
+	return freqs, nil
+}

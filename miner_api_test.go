@@ -1,0 +1,102 @@
+package lash_test
+
+import (
+	"strings"
+	"testing"
+
+	"lash"
+)
+
+// The Miner must reuse frequencies across parameter changes (§3.4) while
+// producing exactly the same results as one-shot Mine calls.
+func TestMinerFrequencyReuse(t *testing.T) {
+	db := paperDB(t)
+	m, err := lash.NewMiner(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweeps := []lash.Options{
+		{MinSupport: 2, MaxGap: 1, MaxLength: 3},
+		{MinSupport: 3, MaxGap: 1, MaxLength: 3}, // different σ
+		{MinSupport: 2, MaxGap: 0, MaxLength: 3}, // different γ
+		{MinSupport: 2, MaxGap: 1, MaxLength: 2}, // different λ
+	}
+	for _, opt := range sweeps {
+		got, err := m.Mine(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := lash.Mine(db, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if patternChecksum(got.Patterns) != patternChecksum(want.Patterns) {
+			t.Fatalf("cached run differs for %+v", opt)
+		}
+	}
+	if m.FrequencyJobsRun() != 1 {
+		t.Fatalf("frequency job ran %d times across the sweep, want 1", m.FrequencyJobsRun())
+	}
+	// A flat-mode run needs (and caches) flat frequencies.
+	if _, err := m.Mine(lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3, Algorithm: lash.AlgorithmMGFSM}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mine(lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3, Algorithm: lash.AlgorithmLASHFlat}); err != nil {
+		t.Fatal(err)
+	}
+	if m.FrequencyJobsRun() != 2 {
+		t.Fatalf("flat frequency job not shared: %d runs", m.FrequencyJobsRun())
+	}
+}
+
+// Baselines pass through the Miner unchanged.
+func TestMinerBaselinePassthrough(t *testing.T) {
+	db := paperDB(t)
+	m, err := lash.NewMiner(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Mine(lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3, Algorithm: lash.AlgorithmSemiNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPaperResult(t, res, "miner semi-naive")
+	if m.FrequencyJobsRun() != 0 {
+		t.Fatal("baseline triggered frequency caching")
+	}
+}
+
+func TestMinerErrors(t *testing.T) {
+	if _, err := lash.NewMiner(nil); err == nil {
+		t.Error("nil database accepted")
+	}
+	db := paperDB(t)
+	m, err := lash.NewMiner(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mine(lash.Options{MinSupport: 0, MaxLength: 3}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+// Restrictions compose with the cached Miner.
+func TestMinerWithRestriction(t *testing.T) {
+	db := paperDB(t)
+	m, err := lash.NewMiner(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Mine(lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3, Restriction: lash.RestrictMaximal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		if strings.Join(p.Items, " ") == "a B" {
+			t.Fatal("non-maximal pattern survived restriction via Miner")
+		}
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no maximal patterns via Miner")
+	}
+}

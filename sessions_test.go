@@ -1,0 +1,99 @@
+package lash_test
+
+import (
+	"strings"
+	"testing"
+
+	"lash"
+)
+
+func TestSessionBuilder(t *testing.T) {
+	s := lash.NewSessionBuilder()
+	// Out-of-order events across two users.
+	s.Add("u2", 50, "book")
+	s.Add("u1", 30, "camera")
+	s.Add("u1", 10, "laptop")
+	s.Add("u1", 20, "mouse")
+	s.Add("u2", 40, "camera")
+	if s.NumUsers() != 2 {
+		t.Fatalf("NumUsers = %d", s.NumUsers())
+	}
+	b := lash.NewDatabaseBuilder()
+	s.AppendTo(b)
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumSequences() != 2 {
+		t.Fatalf("NumSequences = %d", db.NumSequences())
+	}
+	// u2 was seen first → first sequence; events sorted by timestamp.
+	if got := strings.Join(db.Sequence(0), " "); got != "camera book" {
+		t.Errorf("u2 session = %q", got)
+	}
+	if got := strings.Join(db.Sequence(1), " "); got != "laptop mouse camera" {
+		t.Errorf("u1 session = %q", got)
+	}
+}
+
+func TestSessionBuilderStableTies(t *testing.T) {
+	s := lash.NewSessionBuilder()
+	s.Add("u", 7, "a")
+	s.Add("u", 7, "b")
+	s.Add("u", 7, "c")
+	b := lash.NewDatabaseBuilder()
+	s.AppendTo(b)
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(db.Sequence(0), " "); got != "a b c" {
+		t.Errorf("tied events reordered: %q", got)
+	}
+}
+
+// End to end: sessions + hierarchy mined through the public API — the
+// paper's market-basket motivation ("first some camera, then some
+// photography book, then some flash").
+func TestSessionsEndToEnd(t *testing.T) {
+	s := lash.NewSessionBuilder()
+	cams := []string{"eos70d", "d750", "a7"}
+	books := []string{"photo101", "lightbook"}
+	flashes := []string{"fl600", "fl900"}
+	ts := int64(0)
+	for u := 0; u < 9; u++ {
+		user := string(rune('a' + u))
+		s.Add(user, ts, cams[u%len(cams)])
+		s.Add(user, ts+1, books[u%len(books)])
+		s.Add(user, ts+2, flashes[u%len(flashes)])
+		ts += 10
+	}
+	b := lash.NewDatabaseBuilder()
+	for _, c := range cams {
+		b.AddParent(c, "camera")
+	}
+	for _, bk := range books {
+		b.AddParent(bk, "photo-book")
+	}
+	for _, f := range flashes {
+		b.AddParent(f, "flash")
+	}
+	s.AppendTo(b)
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lash.Mine(db, lash.Options{MinSupport: 9, MaxGap: 0, MaxLength: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range res.Patterns {
+		if strings.Join(p.Items, " ") == "camera photo-book flash" && p.Support == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("category funnel not mined; got %v", res.Patterns)
+	}
+}
