@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test vet bench race clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+clean:
+	$(GO) clean ./...

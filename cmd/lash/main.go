@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,104 +22,113 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		ue, isUsage := err.(usageError)
+		if err != flag.ErrHelp && !(isUsage && ue.printed) {
+			msg := err.Error()
+			if !strings.HasPrefix(msg, "lash: ") {
+				msg = "lash: " + msg
+			}
+			fmt.Fprintln(os.Stderr, msg)
+		}
+		os.Exit(exitCode(err))
+	}
+}
+
+// usageError marks errors in flag plumbing, which exit with status 2 like
+// flag parse failures do. printed means the FlagSet already wrote the
+// message to stderr, so main must not repeat it.
+type usageError struct {
+	error
+	printed bool
+}
+
+func exitCode(err error) int {
+	if err == nil || err == flag.ErrHelp { // -h prints usage and exits 0
+		return 0
+	}
+	if _, ok := err.(usageError); ok {
+		return 2
+	}
+	return 1
+}
+
+// run executes the CLI flow: parse flags, build the database, mine, print.
+// It is main minus the process plumbing, so tests can drive it end to end.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lash", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		input     = flag.String("input", "", "sequence file (one sequence per line; '-' = stdin)")
-		hier      = flag.String("hierarchy", "", "hierarchy file (one 'child parent' edge per line)")
-		support   = flag.Int64("support", 2, "minimum support σ")
-		gap       = flag.Int("gap", 0, "maximum gap γ")
-		length    = flag.Int("length", 5, "maximum pattern length λ")
-		algorithm = flag.String("algorithm", "lash", "algorithm: lash, naive, seminaive, mgfsm, lashflat")
-		localMnr  = flag.String("miner", "psm", "local miner for lash: psm, psm-noindex, bfs, dfs")
-		output    = flag.String("output", "", "output file (default stdout)")
-		items     = flag.Bool("items", false, "also print frequent single items")
-		quiet     = flag.Bool("quiet", false, "suppress the run summary on stderr")
+		input       = fs.String("input", "", "sequence file (one sequence per line; '-' = stdin)")
+		hier        = fs.String("hierarchy", "", "hierarchy file (one 'child parent' edge per line)")
+		support     = fs.Int64("support", 2, "minimum support σ")
+		gap         = fs.Int("gap", 0, "maximum gap γ")
+		length      = fs.Int("length", 5, "maximum pattern length λ")
+		algorithm   = fs.String("algorithm", "lash", "algorithm: lash, naive, seminaive, mgfsm, lashflat")
+		localMnr    = fs.String("miner", "psm", "local miner for lash: psm, psm-noindex, bfs, dfs")
+		restriction = fs.String("restriction", "none", "output restriction: none, closed, maximal")
+		output      = fs.String("output", "", "output file (default stdout)")
+		items       = fs.Bool("items", false, "also print frequent single items")
+		quiet       = fs.Bool("quiet", false, "suppress the run summary on stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return err
+		}
+		return usageError{err, true} // the FlagSet already printed it
+	}
 
 	if *input == "" {
-		fmt.Fprintln(os.Stderr, "lash: -input is required")
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return usageError{fmt.Errorf("-input is required"), false}
 	}
 
 	b := lash.NewDatabaseBuilder()
 	if *hier != "" {
-		f, err := os.Open(*hier)
-		if err != nil {
-			fatal(err)
-		}
-		err = b.ReadHierarchy(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
+		if err := readInto(*hier, b.ReadHierarchy); err != nil {
+			return err
 		}
 	}
 	if *input == "-" {
-		if err := b.ReadSequences(os.Stdin); err != nil {
-			fatal(err)
+		if err := b.ReadSequences(stdin); err != nil {
+			return err
 		}
-	} else {
-		f, err := os.Open(*input)
-		if err != nil {
-			fatal(err)
-		}
-		err = b.ReadSequences(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
+	} else if err := readInto(*input, b.ReadSequences); err != nil {
+		return err
 	}
 	db, err := b.Build()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	opt := lash.Options{MinSupport: *support, MaxGap: *gap, MaxLength: *length}
-	switch strings.ToLower(*algorithm) {
-	case "lash":
-		opt.Algorithm = lash.AlgorithmLASH
-	case "naive":
-		opt.Algorithm = lash.AlgorithmNaive
-	case "seminaive", "semi-naive":
-		opt.Algorithm = lash.AlgorithmSemiNaive
-	case "mgfsm", "mg-fsm":
-		opt.Algorithm = lash.AlgorithmMGFSM
-	case "lashflat", "lash-flat":
-		opt.Algorithm = lash.AlgorithmLASHFlat
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algorithm))
+	if opt.Algorithm, err = lash.ParseAlgorithm(*algorithm); err != nil {
+		return usageError{err, false}
 	}
-	switch strings.ToLower(*localMnr) {
-	case "psm":
-		opt.LocalMiner = lash.MinerPSM
-	case "psm-noindex":
-		opt.LocalMiner = lash.MinerPSMNoIndex
-	case "bfs":
-		opt.LocalMiner = lash.MinerBFS
-	case "dfs":
-		opt.LocalMiner = lash.MinerDFS
-	default:
-		fatal(fmt.Errorf("unknown miner %q", *localMnr))
+	if opt.LocalMiner, err = lash.ParseLocalMiner(*localMnr); err != nil {
+		return usageError{err, false}
+	}
+	if opt.Restriction, err = lash.ParseRestriction(*restriction); err != nil {
+		return usageError{err, false}
 	}
 
 	start := time.Now()
 	res, err := lash.Mine(db, opt)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	elapsed := time.Since(start)
 
-	out := os.Stdout
+	out := stdout
+	var outFile *os.File
 	if *output != "" {
-		f, err := os.Create(*output)
+		outFile, err = os.Create(*output)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		defer f.Close()
-		out = f
+		out = outFile
 	}
 	w := bufio.NewWriter(out)
-	defer w.Flush()
 	if *items {
 		for _, p := range res.FrequentItems {
 			fmt.Fprintf(w, "%d\t%s\n", p.Support, p.Items[0])
@@ -127,11 +137,31 @@ func main() {
 	for _, p := range res.Patterns {
 		fmt.Fprintf(w, "%d\t%s\n", p.Support, strings.Join(p.Items, " "))
 	}
+	// A full disk must not exit 0: surface flush/close errors.
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			return err
+		}
+	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "lash: %d sequences, %d frequent items, %d patterns, %d partitions, %s shuffled, %v\n",
+		fmt.Fprintf(stderr, "lash: %d sequences, %d frequent items, %d patterns, %d partitions, %s shuffled, %v\n",
 			db.NumSequences(), len(res.FrequentItems), len(res.Patterns),
 			res.NumPartitions, byteCount(res.Stats.MapOutputBytes), elapsed.Round(time.Millisecond))
 	}
+	return nil
+}
+
+// readInto opens path and feeds it to read (ReadSequences/ReadHierarchy).
+func readInto(path string, read func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return read(f)
 }
 
 func byteCount(n int64) string {
@@ -143,9 +173,4 @@ func byteCount(n int64) string {
 	default:
 		return fmt.Sprintf("%dB", n)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lash:", err)
-	os.Exit(1)
 }

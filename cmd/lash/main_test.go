@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture writes the test corpus (the two-level B hierarchy) and returns
+// the sequences and hierarchy file paths.
+func fixture(t *testing.T) (seqs, hier string) {
+	t.Helper()
+	dir := t.TempDir()
+	seqs = filepath.Join(dir, "seqs.txt")
+	hier = filepath.Join(dir, "hier.txt")
+	if err := os.WriteFile(seqs, []byte("a b1 a\na b2 c\na b1 b2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(hier, []byte("b1 B\nb2 B\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return seqs, hier
+}
+
+func runCLI(t *testing.T, stdin string, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err = run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func TestEndToEnd(t *testing.T) {
+	seqs, hier := fixture(t)
+	stdout, stderr, err := runCLI(t, "",
+		"-input", seqs, "-hierarchy", hier,
+		"-support", "2", "-gap", "1", "-length", "3", "-items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := "3\tB\n3\ta\n2\tb1\n2\tb2\n" + // frequent items
+		"2\ta b1\n3\ta B\n2\ta b2\n" // patterns; "a B" only exists via the hierarchy
+	if stdout != golden {
+		t.Errorf("output = %q, want %q", stdout, golden)
+	}
+	if !strings.Contains(stderr, "3 sequences") || !strings.Contains(stderr, "3 patterns") {
+		t.Errorf("summary = %q", stderr)
+	}
+}
+
+func TestRestrictionFlag(t *testing.T) {
+	seqs, hier := fixture(t)
+	stdout, stderr, err := runCLI(t, "",
+		"-input", seqs, "-hierarchy", hier,
+		"-support", "2", "-gap", "1", "-length", "3",
+		"-restriction", "maximal", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden := "2\ta b1\n2\ta b2\n"; stdout != golden {
+		t.Errorf("maximal output = %q, want %q", stdout, golden)
+	}
+	if stderr != "" {
+		t.Errorf("-quiet still wrote summary %q", stderr)
+	}
+}
+
+func TestStdinInput(t *testing.T) {
+	stdout, _, err := runCLI(t, "a b1 a\na b2 c\na b1 b2\n",
+		"-input", "-", "-support", "2", "-gap", "0", "-length", "2", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden := "2\ta b1\n"; stdout != golden {
+		t.Errorf("stdin output = %q, want %q", stdout, golden)
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	seqs, hier := fixture(t)
+	outPath := filepath.Join(t.TempDir(), "patterns.txt")
+	stdout, _, err := runCLI(t, "",
+		"-input", seqs, "-hierarchy", hier,
+		"-support", "2", "-gap", "1", "-length", "3",
+		"-output", outPath, "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != "" {
+		t.Errorf("-output still wrote %q to stdout", stdout)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden := "2\ta b1\n3\ta B\n2\ta b2\n"; string(data) != golden {
+		t.Errorf("file output = %q, want %q", data, golden)
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	seqs, _ := fixture(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing input", []string{"-support", "2"}},
+		{"unknown flag", []string{"-input", seqs, "-bogus"}},
+		{"bad algorithm", []string{"-input", seqs, "-algorithm", "bogus"}},
+		{"bad miner", []string{"-input", seqs, "-miner", "bogus"}},
+		{"bad restriction", []string{"-input", seqs, "-restriction", "bogus"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := runCLI(t, "", c.args...)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if exitCode(err) != 2 {
+				t.Errorf("exit code = %d, want 2 (err %v)", exitCode(err), err)
+			}
+		})
+	}
+
+	// Mining errors (valid flags, bad parameters) exit 1.
+	_, _, err := runCLI(t, "", "-input", seqs, "-support", "0", "-quiet")
+	if err == nil || exitCode(err) != 1 {
+		t.Errorf("support 0: err=%v code=%d, want code 1", err, exitCode(err))
+	}
+	// Missing files exit 1.
+	_, _, err = runCLI(t, "", "-input", filepath.Join(t.TempDir(), "nope.txt"))
+	if err == nil || exitCode(err) != 1 {
+		t.Errorf("missing file: err=%v code=%d, want code 1", err, exitCode(err))
+	}
+	// -h prints usage and exits 0, matching the usual CLI convention.
+	if exitCode(flag.ErrHelp) != 0 {
+		t.Errorf("-h should exit 0")
+	}
+	_, stderr, err := runCLI(t, "", "-h")
+	if err != flag.ErrHelp || !strings.Contains(stderr, "Usage of lash") {
+		t.Errorf("-h: err=%v stderr=%q", err, stderr)
+	}
+}

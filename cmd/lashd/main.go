@@ -1,0 +1,111 @@
+// Command lashd serves LASH sequence mining over HTTP.
+//
+// Usage:
+//
+//	lashd [-addr :8080] [-workers 4] [-cache 128] [-data DIR]
+//	      [-db name=sequences.txt[,hierarchy.txt]]... [-demo]
+//
+// lashd loads each -db database once at startup (paths are relative to
+// -data) and then answers mining queries concurrently: jobs run
+// asynchronously on a bounded worker pool, identical in-flight requests
+// coalesce onto one run, and finished results are cached so repeats are
+// answered instantly. See package lash/server for the HTTP API.
+//
+// A quick session against -demo:
+//
+//	lashd -demo &
+//	curl -s localhost:8080/v1/mine -d '{"database":"demo-text","options":{"min_support":100,"max_gap":1,"max_length":3},"wait":true}'
+//	curl -s 'localhost:8080/v1/patterns?db=demo-text&top=5'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lash/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 4, "concurrent mining jobs")
+		cacheSize = flag.Int("cache", 128, "result cache capacity (entries; negative disables)")
+		history   = flag.Int("history", 1024, "retained job records (negative retains everything)")
+		dataDir   = flag.String("data", "", "directory for file-based databases (empty disables file loading)")
+		demo      = flag.Bool("demo", false, "preload generated demo databases demo-text and demo-market")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+	)
+	var preload []server.DatabaseSpec
+	flag.Func("db", "preload a database: name=sequences.txt[,hierarchy.txt] (repeatable; paths relative to -data)", func(v string) error {
+		name, files, ok := strings.Cut(v, "=")
+		if !ok || name == "" || files == "" {
+			return fmt.Errorf("want name=sequences.txt[,hierarchy.txt], got %q", v)
+		}
+		spec := server.DatabaseSpec{Name: name}
+		spec.SequencesFile, spec.HierarchyFile, _ = strings.Cut(files, ",")
+		preload = append(preload, spec)
+		return nil
+	})
+	flag.Parse()
+
+	srv := server.New(server.Config{Workers: *workers, CacheSize: *cacheSize, JobHistory: *history, DataDir: *dataDir})
+	if *demo {
+		preload = append(preload,
+			server.DatabaseSpec{Name: "demo-text", Generator: "text", Seed: 1},
+			server.DatabaseSpec{Name: "demo-market", Generator: "market", Seed: 1},
+		)
+	}
+	for _, spec := range preload {
+		info, err := srv.AddDatabase(spec)
+		if err != nil {
+			log.Fatalf("lashd: preload %q: %v", spec.Name, err)
+		}
+		log.Printf("lashd: loaded database %q (%s): %d sequences, %d items, depth %d",
+			info.Name, info.Source, info.NumSequences, info.NumItems, info.HierarchyDepth)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("lashd: serving on %s (%d workers, cache %d)", *addr, *workers, *cacheSize)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("lashd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("lashd: shutting down (draining for up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Close the job manager concurrently with the HTTP drain: it refuses
+	// new jobs and fails queued ones immediately, which also unblocks any
+	// wait:true handlers the HTTP shutdown would otherwise stall on.
+	jobsDone := make(chan error, 1)
+	go func() { jobsDone <- srv.Close(shutdownCtx) }()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("lashd: http shutdown: %v", err)
+	}
+	if err := <-jobsDone; err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("lashd: job drain: %v", err)
+	}
+	log.Printf("lashd: bye")
+}

@@ -1,0 +1,3 @@
+module lash
+
+go 1.24

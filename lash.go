@@ -194,6 +194,9 @@ func mine(db *Database, opt Options, freqs []int64) (*Result, error) {
 	if db == nil || db.db == nil {
 		return nil, fmt.Errorf("lash: nil database (use NewDatabaseBuilder().Build())")
 	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	params := gsm.Params{Sigma: opt.MinSupport, Gamma: opt.MaxGap, Lambda: opt.MaxLength}
 	mr := mapreduce.Config{Workers: opt.Workers}
 

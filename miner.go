@@ -38,6 +38,9 @@ func (m *Miner) FrequencyJobsRun() int { return m.computes }
 // Mine runs one configuration, reusing cached item frequencies for the LASH
 // algorithm variants.
 func (m *Miner) Mine(opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	switch opt.Algorithm {
 	case AlgorithmLASH, AlgorithmLASHFlat, AlgorithmMGFSM:
 	default:

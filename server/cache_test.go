@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"lash"
+)
+
+func resultN(n int64) *lash.Result {
+	return &lash.Result{Patterns: []lash.Pattern{{Items: []string{"x"}, Support: n}}}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.add("a", resultN(1))
+	c.add("b", resultN(2))
+	if _, ok := c.get("a"); !ok { // promotes a over b
+		t.Fatal("a missing")
+	}
+	c.add("c", resultN(3)) // evicts b, the least recently used
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted out of LRU order")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c missing")
+	}
+	s := c.stats()
+	if s.Evictions != 1 || s.Size != 2 || s.Capacity != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, size 2, capacity 2", s)
+	}
+	// hits: a, a, c = 3; misses: the evicted b = 1
+	if s.Hits != 3 || s.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", s.Hits, s.Misses)
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.add("a", resultN(1))
+	c.add("a", resultN(9))
+	res, ok := c.get("a")
+	if !ok || res.Patterns[0].Support != 9 {
+		t.Fatalf("re-add did not replace the entry: %+v", res)
+	}
+	if s := c.stats(); s.Size != 1 || s.Evictions != 0 {
+		t.Errorf("stats = %+v, want size 1, no evictions", s)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.add("a", resultN(1))
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+	if s := c.stats(); s.Misses != 1 || s.Size != 0 {
+		t.Errorf("stats = %+v, want 1 miss, size 0", s)
+	}
+}
+
+func TestCacheManyEvictions(t *testing.T) {
+	c := newResultCache(4)
+	for i := range 20 {
+		c.add(fmt.Sprintf("k%d", i), resultN(int64(i)))
+	}
+	s := c.stats()
+	if s.Size != 4 || s.Evictions != 16 {
+		t.Errorf("stats = %+v, want size 4, 16 evictions", s)
+	}
+	for i := 16; i < 20; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("recent key k%d evicted", i)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lash"
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+const (
+	// JobQueued means the job is waiting for a worker slot.
+	JobQueued JobStatus = "queued"
+	// JobRunning means a worker is mining.
+	JobRunning JobStatus = "running"
+	// JobDone means the result is available.
+	JobDone JobStatus = "done"
+	// JobFailed means mining returned an error.
+	JobFailed JobStatus = "failed"
+)
+
+// JobStats is a snapshot of the job manager counters, as reported by
+// GET /v1/stats.
+type JobStats struct {
+	// Submitted counts every mine request accepted, including the ones
+	// answered from cache or coalesced onto a running job.
+	Submitted uint64 `json:"submitted"`
+	// Coalesced counts requests attached to an identical in-flight job
+	// instead of starting their own (singleflight).
+	Coalesced uint64 `json:"coalesced"`
+	// MinesRun counts actual executions of the mining function — the work
+	// the cache and coalescing avoided is Submitted - MinesRun.
+	MinesRun  uint64 `json:"mines_run"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+}
+
+// job is one asynchronous mining run. Fields past `done` are guarded by the
+// owning manager's mutex; done is closed exactly once when the job reaches a
+// terminal status.
+type job struct {
+	id      string
+	key     string
+	dbName  string
+	options lash.Options
+	done    chan struct{}
+
+	status    JobStatus
+	cached    bool // result came from the cache, no mining ran
+	coalesced int  // extra submits answered by this job
+	result    *lash.Result
+	err       error
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// manager runs mining jobs on a bounded worker pool. Identical in-flight
+// requests (same database, same canonical options) coalesce onto one job,
+// and finished results land in an LRU cache so repeats skip mining
+// entirely.
+type manager struct {
+	mineFn  func(*lash.Database, lash.Options) (*lash.Result, error)
+	cache   *resultCache
+	sem     chan struct{} // worker slots
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*job
+	order    []string        // submission order, for stable listings
+	inflight map[string]*job // key → queued/running job (singleflight)
+	latest   map[string]*job // database → most recent successful job
+	maxJobs  int             // retained job records; older terminal jobs are pruned
+	nextID   uint64
+
+	submitted uint64
+	coalesced uint64
+	minesRun  uint64
+	completed uint64
+	failed    uint64
+}
+
+var (
+	errBadSpec    = errors.New("bad request")
+	errConflict   = errors.New("conflict")
+	errShutdown   = errors.New("server is shutting down")
+	errJobMissing = errors.New("no such job")
+)
+
+func newManager(workers, cacheSize, maxJobs int, mineFn func(*lash.Database, lash.Options) (*lash.Result, error)) *manager {
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &manager{
+		mineFn:   mineFn,
+		cache:    newResultCache(cacheSize),
+		sem:      make(chan struct{}, workers),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		latest:   make(map[string]*job),
+		maxJobs:  maxJobs,
+	}
+}
+
+// jobKey identifies equivalent mining requests: same database, same
+// canonical options.
+func jobKey(dbName string, opt lash.Options) string {
+	return dbName + "|" + opt.CacheKey()
+}
+
+// submit registers a mining request and returns the job that answers it.
+// Three paths, checked in order: a cached result yields an already-done job
+// without mining; an identical in-flight job absorbs the request
+// (singleflight); otherwise a fresh job is queued on the worker pool.
+func (m *manager) submit(dbName string, db *lash.Database, opt lash.Options) (*job, error) {
+	key := jobKey(dbName, opt)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errShutdown
+	}
+	m.submitted++
+
+	if res, ok := m.cache.get(key); ok {
+		j := m.newJobLocked(key, dbName, opt)
+		j.status = JobDone
+		j.cached = true
+		j.result = res
+		j.started = j.created
+		j.finished = j.created
+		close(j.done)
+		m.completed++
+		return j, nil
+	}
+
+	if running, ok := m.inflight[key]; ok {
+		running.coalesced++
+		m.coalesced++
+		return running, nil
+	}
+
+	j := m.newJobLocked(key, dbName, opt)
+	j.status = JobQueued
+	m.inflight[key] = j
+	m.wg.Add(1)
+	go m.run(j, db)
+	return j, nil
+}
+
+// newJobLocked allocates and registers a job record, pruning the oldest
+// terminal records past the retention bound so a long-running server does
+// not accumulate every result ever mined. Caller holds m.mu.
+func (m *manager) newJobLocked(key, dbName string, opt lash.Options) *job {
+	m.nextID++
+	j := &job{
+		id:      fmt.Sprintf("job-%d", m.nextID),
+		key:     key,
+		dbName:  dbName,
+		options: opt,
+		done:    make(chan struct{}),
+		created: time.Now().UTC(),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	if m.maxJobs > 0 && len(m.order) > m.maxJobs {
+		// Drop oldest terminal records first by class: cache-hit
+		// pseudo-jobs (their results remain in the cache) before real
+		// mined jobs, so a flood of cached requests cannot evict a job a
+		// client is still polling. Queued/running jobs are skipped, not
+		// stopped at — a single slow job must not let the history grow
+		// unbounded behind it.
+		excess := len(m.order) - m.maxJobs
+		for _, wantCached := range []bool{true, false} {
+			if excess == 0 {
+				break
+			}
+			kept := m.order[:0]
+			for _, id := range m.order {
+				old := m.jobs[id]
+				terminal := old.status == JobDone || old.status == JobFailed
+				if excess > 0 && terminal && old.cached == wantCached {
+					delete(m.jobs, id)
+					excess--
+					continue
+				}
+				kept = append(kept, id)
+			}
+			m.order = kept
+		}
+	}
+	return j
+}
+
+// run executes one job on a worker slot.
+func (m *manager) run(j *job, db *lash.Database) {
+	defer m.wg.Done()
+
+	select {
+	case m.sem <- struct{}{}:
+	case <-m.baseCtx.Done():
+		m.finish(j, nil, errShutdown)
+		return
+	}
+	defer func() { <-m.sem }()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.finish(j, nil, errShutdown)
+		return
+	}
+	j.status = JobRunning
+	j.started = time.Now().UTC()
+	m.minesRun++
+	m.mu.Unlock()
+
+	res, err := m.mineFn(db, j.options)
+	m.finish(j, res, err)
+}
+
+// finish moves a job to its terminal status, publishes the result to the
+// cache, and wakes all waiters.
+func (m *manager) finish(j *job, res *lash.Result, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.finished = time.Now().UTC()
+	if err != nil {
+		j.status = JobFailed
+		j.err = err
+		m.failed++
+	} else {
+		j.status = JobDone
+		j.result = res
+		m.completed++
+		m.cache.add(j.key, res)
+		m.latest[j.dbName] = j
+	}
+	delete(m.inflight, j.key)
+	close(j.done)
+}
+
+// get returns the job with the given id.
+func (m *manager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// latestResult returns the most recent successful result for a database.
+func (m *manager) latestResult(dbName string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.latest[dbName]
+	return j, ok
+}
+
+// list returns all job ids in submission order.
+func (m *manager) list() []*job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+func (m *manager) stats() JobStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := JobStats{
+		Submitted: m.submitted,
+		Coalesced: m.coalesced,
+		MinesRun:  m.minesRun,
+		Completed: m.completed,
+		Failed:    m.failed,
+	}
+	for _, j := range m.jobs {
+		switch j.status {
+		case JobQueued:
+			s.Queued++
+		case JobRunning:
+			s.Running++
+		}
+	}
+	return s
+}
+
+// close stops accepting jobs and waits for in-flight ones to drain or ctx
+// to expire, whichever comes first. Queued jobs that have not claimed a
+// worker slot yet fail with errShutdown.
+func (m *manager) close(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown timed out with jobs still running: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,502 @@
+// Package server turns the lash library into a long-running, concurrent
+// mining service. A Server owns three pieces:
+//
+//   - a database registry that loads named sequence databases once (from
+//     server-side files, inline request payloads, or the built-in synthetic
+//     generators) and shares the immutable *lash.Database across requests;
+//   - a job manager that runs lash.Mine asynchronously on a bounded worker
+//     pool, coalescing identical in-flight requests onto a single run
+//     (singleflight);
+//   - an LRU result cache keyed by database + canonical options, so repeated
+//     queries are answered without re-mining.
+//
+// The HTTP/JSON API (all stdlib) is:
+//
+//	POST /v1/databases          register a database (DatabaseSpec)
+//	GET  /v1/databases          list registered databases
+//	GET  /v1/databases/{name}   one database's metadata
+//	POST /v1/mine               submit a mining job (MineRequest)
+//	GET  /v1/jobs               list jobs
+//	GET  /v1/jobs/{id}          poll one job; includes the result when done
+//	GET  /v1/patterns           query a database's latest mined patterns
+//	GET  /v1/stats              registry / job / cache counters
+//	GET  /healthz               liveness probe
+//
+// Command lashd wraps this package in a binary with graceful shutdown.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"lash"
+)
+
+// Config parameterizes New. The zero value is usable: 4 mining workers, a
+// 128-entry result cache, 1024 retained job records, file loading
+// disabled, mining with lash.Mine.
+type Config struct {
+	// Workers bounds how many mining jobs run concurrently (default 4).
+	// Each job itself parallelizes internally via Options.Workers.
+	Workers int
+	// CacheSize is the result cache capacity in entries (default 128;
+	// negative disables caching).
+	CacheSize int
+	// JobHistory bounds the retained job records (default 1024; negative
+	// retains everything). Once past the bound, the oldest finished jobs
+	// are forgotten: their ids stop resolving on GET /v1/jobs/{id}, though
+	// each database's most recent result stays available to /v1/patterns.
+	JobHistory int
+	// DataDir, when non-empty, enables file-based DatabaseSpecs resolved
+	// relative to this directory.
+	DataDir string
+	// MineFunc replaces lash.Mine; tests use it to observe and stall
+	// mining runs.
+	MineFunc func(*lash.Database, lash.Options) (*lash.Result, error)
+}
+
+// Server is a concurrent mining service. Create one with New, mount
+// Handler on an http.Server, and call Close on the way out.
+type Server struct {
+	registry *registry
+	jobs     *manager
+	mux      *http.ServeMux
+	started  time.Time
+}
+
+// New assembles a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.JobHistory == 0 {
+		cfg.JobHistory = 1024
+	}
+	mineFn := cfg.MineFunc
+	if mineFn == nil {
+		mineFn = lash.Mine
+	}
+	s := &Server{
+		registry: newRegistry(cfg.DataDir),
+		jobs:     newManager(cfg.Workers, cfg.CacheSize, cfg.JobHistory, mineFn),
+		mux:      http.NewServeMux(),
+		started:  time.Now().UTC(),
+	}
+	s.mux.HandleFunc("POST /v1/databases", s.handleAddDatabase)
+	s.mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
+	s.mux.HandleFunc("GET /v1/databases/{name}", s.handleGetDatabase)
+	s.mux.HandleFunc("POST /v1/mine", s.handleMine)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// AddDatabase registers a database directly, bypassing HTTP — lashd uses it
+// to preload databases from flags before serving.
+func (s *Server) AddDatabase(spec DatabaseSpec) (DatabaseInfo, error) {
+	return s.registry.add(spec)
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops accepting jobs and waits for in-flight mining to drain or
+// ctx to expire. Call it after http.Server.Shutdown.
+func (s *Server) Close(ctx context.Context) error { return s.jobs.close(ctx) }
+
+// OptionsSpec is the wire form of lash.Options: enums travel as the names
+// the CLI accepts (see lash.ParseAlgorithm and friends).
+type OptionsSpec struct {
+	MinSupport      int64  `json:"min_support"`
+	MaxGap          int    `json:"max_gap"`
+	MaxLength       int    `json:"max_length"`
+	Algorithm       string `json:"algorithm,omitempty"`
+	LocalMiner      string `json:"local_miner,omitempty"`
+	Restriction     string `json:"restriction,omitempty"`
+	Workers         int    `json:"workers,omitempty"`
+	MaxIntermediate int64  `json:"max_intermediate,omitempty"`
+}
+
+// toOptions parses and validates the spec.
+func (o OptionsSpec) toOptions() (lash.Options, error) {
+	alg, err := lash.ParseAlgorithm(o.Algorithm)
+	if err != nil {
+		return lash.Options{}, err
+	}
+	mnr, err := lash.ParseLocalMiner(o.LocalMiner)
+	if err != nil {
+		return lash.Options{}, err
+	}
+	restr, err := lash.ParseRestriction(o.Restriction)
+	if err != nil {
+		return lash.Options{}, err
+	}
+	opt := lash.Options{
+		MinSupport:      o.MinSupport,
+		MaxGap:          o.MaxGap,
+		MaxLength:       o.MaxLength,
+		Algorithm:       alg,
+		LocalMiner:      mnr,
+		Restriction:     restr,
+		Workers:         o.Workers,
+		MaxIntermediate: o.MaxIntermediate,
+	}
+	if err := opt.Validate(); err != nil {
+		return lash.Options{}, err
+	}
+	return opt, nil
+}
+
+// MineRequest is the body of POST /v1/mine.
+type MineRequest struct {
+	// Database names a registered database.
+	Database string `json:"database"`
+	// Options configures the run.
+	Options OptionsSpec `json:"options"`
+	// Wait blocks the request until the job finishes and returns the full
+	// JobView instead of an immediate 202.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// PatternView is one mined pattern on the wire.
+type PatternView struct {
+	Items   []string `json:"items"`
+	Support int64    `json:"support"`
+}
+
+// ResultView is a mining result on the wire.
+type ResultView struct {
+	Patterns         []PatternView `json:"patterns"`
+	FrequentItems    []PatternView `json:"frequent_items,omitempty"`
+	NumPartitions    int           `json:"num_partitions"`
+	Explored         int64         `json:"explored"`
+	MapOutputBytes   int64         `json:"map_output_bytes"`
+	MapOutputRecords int64         `json:"map_output_records"`
+}
+
+func viewPatterns(ps []lash.Pattern) []PatternView {
+	out := make([]PatternView, len(ps))
+	for i, p := range ps {
+		out[i] = PatternView{Items: p.Items, Support: p.Support}
+	}
+	return out
+}
+
+func viewResult(res *lash.Result) *ResultView {
+	return &ResultView{
+		Patterns:         viewPatterns(res.Patterns),
+		FrequentItems:    viewPatterns(res.FrequentItems),
+		NumPartitions:    res.NumPartitions,
+		Explored:         res.Explored,
+		MapOutputBytes:   res.Stats.MapOutputBytes,
+		MapOutputRecords: res.Stats.MapOutputRecords,
+	}
+}
+
+// JobView is a job on the wire.
+type JobView struct {
+	ID        string      `json:"job_id"`
+	Database  string      `json:"database"`
+	Status    JobStatus   `json:"status"`
+	Cached    bool        `json:"cached"`
+	Coalesced int         `json:"coalesced"`
+	Error     string      `json:"error,omitempty"`
+	Created   time.Time   `json:"created"`
+	RuntimeMS int64       `json:"runtime_ms,omitempty"`
+	Result    *ResultView `json:"result,omitempty"`
+}
+
+// view snapshots a job. withResult controls whether the (possibly large)
+// pattern list is included.
+func (m *manager) view(j *job, withResult bool) JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		Database:  j.dbName,
+		Status:    j.status,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Created:   j.created,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		v.RuntimeMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	if withResult && j.status == JobDone {
+		v.Result = viewResult(j.result)
+	}
+	return v
+}
+
+// StatsView is the body of GET /v1/stats.
+type StatsView struct {
+	UptimeSeconds int64      `json:"uptime_seconds"`
+	Databases     int        `json:"databases"`
+	Jobs          JobStats   `json:"jobs"`
+	Cache         CacheStats `json:"cache"`
+}
+
+func (s *Server) handleAddDatabase(w http.ResponseWriter, r *http.Request) {
+	var spec DatabaseSpec
+	if err := decodeJSON(w, r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.registry.add(spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"databases": s.registry.list()})
+}
+
+func (s *Server) handleGetDatabase(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.registry.infoFor(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such database %q", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	var req MineRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Database == "" {
+		writeError(w, http.StatusBadRequest, errors.New("database is required"))
+		return
+	}
+	db, ok := s.registry.get(req.Database)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such database %q", req.Database))
+		return
+	}
+	opt, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.jobs.submit(req.Database, db, opt)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if req.Wait {
+		select {
+		case <-j.done:
+			writeJSON(w, http.StatusOK, s.jobs.view(j, true))
+		case <-r.Context().Done():
+			// Client went away; the job keeps running and stays pollable.
+		}
+		return
+	}
+	// Already-terminal submissions (cache hits) carry the result inline so
+	// the client need not poll at all.
+	if _, done := j.terminal(); done {
+		writeJSON(w, http.StatusOK, s.jobs.view(j, true))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.jobs.view(j, false))
+}
+
+// terminal reports whether the job already reached a terminal status.
+func (j *job) terminal() (JobStatus, bool) {
+	select {
+	case <-j.done:
+		return j.status, true
+	default:
+		return "", false
+	}
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = s.jobs.view(j, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", errJobMissing, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.view(j, true))
+}
+
+// handlePatterns answers GET /v1/patterns?db=NAME[&job=ID][&top=K]
+// [&contains=ITEM][&min_support=N] from already-mined results: by default
+// the database's most recent successful job, or the named job. Patterns are
+// ordered by support (descending, ties in canonical mining order).
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	dbName := q.Get("db")
+	if dbName == "" && q.Get("job") == "" {
+		writeError(w, http.StatusBadRequest, errors.New("db or job query parameter is required"))
+		return
+	}
+
+	var j *job
+	if id := q.Get("job"); id != "" {
+		var ok bool
+		if j, ok = s.jobs.get(id); !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", errJobMissing, id))
+			return
+		}
+		if status, done := j.terminal(); !done || status != JobDone {
+			writeError(w, http.StatusConflict, fmt.Errorf("job %s has no result (status %s)", id, s.jobs.view(j, false).Status))
+			return
+		}
+		if dbName != "" && j.dbName != dbName {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("job %s mined database %q, not %q", id, j.dbName, dbName))
+			return
+		}
+	} else {
+		if _, ok := s.registry.get(dbName); !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no such database %q", dbName))
+			return
+		}
+		var ok bool
+		if j, ok = s.jobs.latestResult(dbName); !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("database %q has no mined results yet (POST /v1/mine first)", dbName))
+			return
+		}
+	}
+
+	top := 0
+	if v := q.Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", v))
+			return
+		}
+		top = n
+	}
+	var minSupport int64
+	if v := q.Get("min_support"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad min_support %q", v))
+			return
+		}
+		minSupport = n
+	}
+	contains := q.Get("contains")
+
+	// The job is terminal, so its result is immutable: no lock needed.
+	patterns := j.result.Patterns
+	filtered := make([]PatternView, 0, len(patterns))
+	for _, p := range patterns {
+		if p.Support < minSupport {
+			continue
+		}
+		if contains != "" && !containsItem(p.Items, contains) {
+			continue
+		}
+		filtered = append(filtered, PatternView{Items: p.Items, Support: p.Support})
+	}
+	sortBySupport(filtered)
+	total := len(filtered)
+	if top > 0 && top < len(filtered) {
+		filtered = filtered[:top]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"database": j.dbName,
+		"job_id":   j.id,
+		"total":    total,
+		"returned": len(filtered),
+		"patterns": filtered,
+	})
+}
+
+func containsItem(items []string, want string) bool {
+	for _, it := range items {
+		if it == want {
+			return true
+		}
+	}
+	return false
+}
+
+// sortBySupport orders patterns by descending support, keeping the miner's
+// canonical order among equals (stable).
+func sortBySupport(ps []PatternView) {
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Support > ps[j].Support })
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsView{
+		UptimeSeconds: int64(time.Since(s.started).Seconds()),
+		Databases:     s.registry.len(),
+		Jobs:          s.jobs.stats(),
+		Cache:         s.jobs.cache.stats(),
+	})
+}
+
+// maxBodyBytes bounds request bodies (inline sequence payloads included) so
+// a single oversized POST cannot exhaust server memory.
+const maxBodyBytes = 64 << 20
+
+// decodeJSON strictly decodes a size-capped request body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a broken client pipe
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusFor maps the manager/registry sentinel errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errBadSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, errConflict):
+		return http.StatusConflict
+	case errors.Is(err, errShutdown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errJobMissing):
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}

@@ -1,0 +1,768 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lash"
+	"lash/server"
+)
+
+// testSpec is a small database with a two-level hierarchy: b1 and b2
+// generalize to B, so "a B" is frequent even though neither "a b1" nor
+// "a b2" is.
+func testSpec(name string) server.DatabaseSpec {
+	return server.DatabaseSpec{
+		Name:      name,
+		Hierarchy: []string{"b1 B", "b2 B"},
+		Sequences: []string{"a b1 a", "a b2 c", "a b1 b2"},
+	}
+}
+
+// testDB builds the same database directly, for expected-output checks.
+func testDB(t *testing.T) *lash.Database {
+	t.Helper()
+	b := lash.NewDatabaseBuilder()
+	b.AddParent("b1", "B").AddParent("b2", "B")
+	b.AddSequence("a", "b1", "a")
+	b.AddSequence("a", "b2", "c")
+	b.AddSequence("a", "b1", "b2")
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func testOptions() map[string]any {
+	return map[string]any{"min_support": 2, "max_gap": 1, "max_length": 3}
+}
+
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	return srv, ts
+}
+
+// call sends a JSON request and decodes the JSON response into a generic
+// map.
+func call(t *testing.T, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decoding response: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func mustRegister(t *testing.T, ts *httptest.Server, spec server.DatabaseSpec) {
+	t.Helper()
+	status, body := call(t, "POST", ts.URL+"/v1/databases", spec)
+	if status != http.StatusCreated {
+		t.Fatalf("register %q: status %d, body %v", spec.Name, status, body)
+	}
+}
+
+// waitForJob polls GET /v1/jobs/{id} until the job is terminal.
+func waitForJob(t *testing.T, ts *httptest.Server, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		status, body := call(t, "GET", ts.URL+"/v1/jobs/"+id, nil)
+		if status != http.StatusOK {
+			t.Fatalf("poll %s: status %d, body %v", id, status, body)
+		}
+		switch body["status"] {
+		case "done", "failed":
+			return body
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return nil
+}
+
+// patternSet converts a JobView result payload to "items→support" for
+// comparison with direct lash.Mine output.
+func patternSet(t *testing.T, body map[string]any) map[string]int64 {
+	t.Helper()
+	result, ok := body["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("no result in %v", body)
+	}
+	raw, ok := result["patterns"].([]any)
+	if !ok {
+		t.Fatalf("no patterns in %v", result)
+	}
+	out := map[string]int64{}
+	for _, p := range raw {
+		pm := p.(map[string]any)
+		key := ""
+		for _, it := range pm["items"].([]any) {
+			key += it.(string) + " "
+		}
+		out[key] = int64(pm["support"].(float64))
+	}
+	return out
+}
+
+func TestMineLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	mustRegister(t, ts, testSpec("paper"))
+
+	// Registration metadata reflects the database.
+	status, info := call(t, "GET", ts.URL+"/v1/databases/paper", nil)
+	if status != http.StatusOK {
+		t.Fatalf("get database: %d %v", status, info)
+	}
+	if info["num_sequences"].(float64) != 3 || info["hierarchy_depth"].(float64) != 2 {
+		t.Errorf("database info = %v", info)
+	}
+
+	// Synchronous mining returns the same patterns as a direct library call.
+	status, body := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "paper", "options": testOptions(), "wait": true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("mine: %d %v", status, body)
+	}
+	if body["status"] != "done" {
+		t.Fatalf("job not done: %v", body)
+	}
+	got := patternSet(t, body)
+
+	want := map[string]int64{}
+	res, err := lash.Mine(testDB(t), lash.Options{MinSupport: 2, MaxGap: 1, MaxLength: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		key := ""
+		for _, it := range p.Items {
+			key += it + " "
+		}
+		want[key] = p.Support
+	}
+	if len(want) == 0 {
+		t.Fatal("expected some frequent patterns from the fixture")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("served patterns = %v, want %v", got, want)
+	}
+
+	// The job stays pollable afterwards.
+	id := body["job_id"].(string)
+	polled := waitForJob(t, ts, id)
+	if polled["status"] != "done" {
+		t.Errorf("polled job = %v", polled)
+	}
+}
+
+// TestCoalescingAndCache is the acceptance scenario: two concurrent
+// identical requests share one underlying mine run, and a repeat after
+// completion is served from the cache without re-mining — all observable
+// through /v1/stats.
+func TestCoalescingAndCache(t *testing.T) {
+	gate := make(chan struct{})
+	var runs atomic.Int64
+	_, ts := newTestServer(t, server.Config{
+		Workers: 4,
+		MineFunc: func(db *lash.Database, opt lash.Options) (*lash.Result, error) {
+			runs.Add(1)
+			<-gate // hold the job in-flight so the second request must coalesce
+			return lash.Mine(db, opt)
+		},
+	})
+	mustRegister(t, ts, testSpec("paper"))
+
+	mineReq := map[string]any{"database": "paper", "options": testOptions()}
+
+	// First request: accepted, job queued/running behind the gate.
+	status, first := call(t, "POST", ts.URL+"/v1/mine", mineReq)
+	if status != http.StatusAccepted {
+		t.Fatalf("first mine: %d %v", status, first)
+	}
+	firstID := first["job_id"].(string)
+
+	// Second identical request while the first is in flight: same job.
+	status, second := call(t, "POST", ts.URL+"/v1/mine", mineReq)
+	if status != http.StatusAccepted {
+		t.Fatalf("second mine: %d %v", status, second)
+	}
+	if secondID := second["job_id"].(string); secondID != firstID {
+		t.Fatalf("concurrent identical requests got separate jobs %s and %s", firstID, secondID)
+	}
+
+	_, stats := call(t, "GET", ts.URL+"/v1/stats", nil)
+	jobs := stats["jobs"].(map[string]any)
+	if jobs["coalesced"].(float64) != 1 {
+		t.Errorf("coalesced = %v, want 1 (stats %v)", jobs["coalesced"], stats)
+	}
+
+	close(gate)
+	done := waitForJob(t, ts, firstID)
+	if done["status"] != "done" {
+		t.Fatalf("job failed: %v", done)
+	}
+	if c := done["coalesced"].(float64); c != 1 {
+		t.Errorf("job coalesced = %v, want 1", c)
+	}
+
+	// Third identical request after completion: a cache hit, answered
+	// instantly with status done and no new mine run.
+	status, third := call(t, "POST", ts.URL+"/v1/mine", mineReq)
+	if status != http.StatusOK {
+		t.Fatalf("cached mine: %d %v", status, third)
+	}
+	if third["status"] != "done" || third["cached"] != true {
+		t.Errorf("cached response = %v, want done+cached", third)
+	}
+	if third["job_id"] == firstID {
+		t.Errorf("cache hit reused the original job id")
+	}
+
+	_, stats = call(t, "GET", ts.URL+"/v1/stats", nil)
+	jobs = stats["jobs"].(map[string]any)
+	cache := stats["cache"].(map[string]any)
+	if jobs["mines_run"].(float64) != 1 {
+		t.Errorf("mines_run = %v, want 1: three requests, one run", jobs["mines_run"])
+	}
+	if jobs["submitted"].(float64) != 3 {
+		t.Errorf("submitted = %v, want 3", jobs["submitted"])
+	}
+	if cache["hits"].(float64) != 1 {
+		t.Errorf("cache hits = %v, want 1 (stats %v)", cache["hits"], stats)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("mine function ran %d times, want 1", got)
+	}
+
+	// Different options are a different key: a fourth request mines again.
+	opts := testOptions()
+	opts["min_support"] = 1
+	status, fourth := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "paper", "options": opts,
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("fourth mine: %d %v", status, fourth)
+	}
+	waitForJob(t, ts, fourth["job_id"].(string))
+	if got := runs.Load(); got != 2 {
+		t.Errorf("mine function ran %d times after distinct options, want 2", got)
+	}
+}
+
+func TestInvalidRequests(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	mustRegister(t, ts, testSpec("paper"))
+
+	badOptions := []map[string]any{
+		{"min_support": 0, "max_gap": 1, "max_length": 3},
+		{"min_support": 2, "max_gap": -1, "max_length": 3},
+		{"min_support": 2, "max_gap": 1, "max_length": 1},
+		{"min_support": 2, "max_gap": 1, "max_length": 3, "workers": -1},
+		{"min_support": 2, "max_gap": 1, "max_length": 3, "algorithm": "bogus"},
+		{"min_support": 2, "max_gap": 1, "max_length": 3, "local_miner": "bogus"},
+		{"min_support": 2, "max_gap": 1, "max_length": 3, "restriction": "bogus"},
+	}
+	for i, opts := range badOptions {
+		status, body := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+			"database": "paper", "options": opts,
+		})
+		if status != http.StatusBadRequest {
+			t.Errorf("bad options #%d: status %d, body %v", i, status, body)
+		}
+		if body["error"] == nil || body["error"] == "" {
+			t.Errorf("bad options #%d: no error message", i)
+		}
+	}
+
+	// Unknown database: 404.
+	if status, _ := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "nope", "options": testOptions(),
+	}); status != http.StatusNotFound {
+		t.Errorf("unknown database: status %d, want 404", status)
+	}
+	// Missing database name: 400.
+	if status, _ := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"options": testOptions(),
+	}); status != http.StatusBadRequest {
+		t.Errorf("missing database: status %d, want 400", status)
+	}
+	// Malformed body: 400.
+	resp, err := http.Post(ts.URL+"/v1/mine", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	// Unknown job: 404.
+	if status, _ := call(t, "GET", ts.URL+"/v1/jobs/job-999", nil); status != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", status)
+	}
+	// Invalid-options request must not register a job.
+	_, stats := call(t, "GET", ts.URL+"/v1/stats", nil)
+	if submitted := stats["jobs"].(map[string]any)["submitted"].(float64); submitted != 0 {
+		t.Errorf("submitted = %v after only invalid requests, want 0", submitted)
+	}
+}
+
+func TestRegistryHTTP(t *testing.T) {
+	dir := t.TempDir()
+	seqPath := filepath.Join(dir, "seqs.txt")
+	if err := os.WriteFile(seqPath, []byte("a b1 a\na b2 c\na b1 b2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "hier.txt"), []byte("b1 B\nb2 B\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, server.Config{DataDir: dir})
+
+	// File-based registration works inside the data directory.
+	status, body := call(t, "POST", ts.URL+"/v1/databases", server.DatabaseSpec{
+		Name: "files", SequencesFile: "seqs.txt", HierarchyFile: "hier.txt",
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("file registration: %d %v", status, body)
+	}
+	if body["num_sequences"].(float64) != 3 {
+		t.Errorf("file database info = %v", body)
+	}
+
+	// Mixing a hierarchy file with inline sequences (and vice versa) is
+	// fine — only the sequence source must be unique.
+	if status, body := call(t, "POST", ts.URL+"/v1/databases", server.DatabaseSpec{
+		Name: "mixed", HierarchyFile: "hier.txt", Sequences: []string{"a b1 a"},
+	}); status != http.StatusCreated {
+		t.Errorf("hierarchy_file + inline sequences: %d %v", status, body)
+	}
+	if status, _ := call(t, "POST", ts.URL+"/v1/databases", server.DatabaseSpec{
+		Name: "twosrc", SequencesFile: "seqs.txt", Sequences: []string{"a b1 a"},
+	}); status != http.StatusBadRequest {
+		t.Errorf("two sequence sources: status %d, want 400", status)
+	}
+
+	// Duplicate name: 409.
+	if status, _ := call(t, "POST", ts.URL+"/v1/databases", testSpec("files")); status != http.StatusConflict {
+		t.Errorf("duplicate: status %d, want 409", status)
+	}
+	// Escaping the data directory: 400.
+	if status, _ := call(t, "POST", ts.URL+"/v1/databases", server.DatabaseSpec{
+		Name: "escape", SequencesFile: "../seqs.txt",
+	}); status != http.StatusBadRequest {
+		t.Errorf("path escape: status %d, want 400", status)
+	}
+	if status, _ := call(t, "POST", ts.URL+"/v1/databases", server.DatabaseSpec{
+		Name: "abs", SequencesFile: seqPath,
+	}); status != http.StatusBadRequest {
+		t.Errorf("absolute path: status %d, want 400", status)
+	}
+	// No source at all: 400.
+	if status, _ := call(t, "POST", ts.URL+"/v1/databases", server.DatabaseSpec{Name: "empty"}); status != http.StatusBadRequest {
+		t.Errorf("sourceless spec: status %d, want 400", status)
+	}
+	// Generators work and are deterministic in size.
+	status, body = call(t, "POST", ts.URL+"/v1/databases", server.DatabaseSpec{
+		Name: "gen", Generator: "text", Size: 50, Seed: 7,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("generator registration: %d %v", status, body)
+	}
+	if body["num_sequences"].(float64) != 50 {
+		t.Errorf("generator database info = %v", body)
+	}
+	if status, _ := call(t, "POST", ts.URL+"/v1/databases", server.DatabaseSpec{
+		Name: "badgen", Generator: "bogus",
+	}); status != http.StatusBadRequest {
+		t.Errorf("unknown generator: status %d, want 400", status)
+	}
+	// A generator ignores sequence/hierarchy data, so combining them is an
+	// error rather than a silent drop.
+	if status, _ := call(t, "POST", ts.URL+"/v1/databases", server.DatabaseSpec{
+		Name: "genhier", Generator: "text", Hierarchy: []string{"a b"},
+	}); status != http.StatusBadRequest {
+		t.Errorf("generator + inline hierarchy: status %d, want 400", status)
+	}
+
+	// Listing shows the registered databases in registration order.
+	_, listing := call(t, "GET", ts.URL+"/v1/databases", nil)
+	dbs := listing["databases"].([]any)
+	if len(dbs) != 3 {
+		t.Fatalf("listing = %v", listing)
+	}
+	for i, want := range []string{"files", "mixed", "gen"} {
+		if got := dbs[i].(map[string]any)["name"]; got != want {
+			t.Errorf("listing[%d] = %v, want %s", i, got, want)
+		}
+	}
+}
+
+func TestFileLoadingDisabledWithoutDataDir(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	status, body := call(t, "POST", ts.URL+"/v1/databases", server.DatabaseSpec{
+		Name: "files", SequencesFile: "seqs.txt",
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("file spec without data dir: status %d, body %v", status, body)
+	}
+}
+
+func TestPatternsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	mustRegister(t, ts, testSpec("paper"))
+
+	// Before any mining: 404.
+	if status, _ := call(t, "GET", ts.URL+"/v1/patterns?db=paper", nil); status != http.StatusNotFound {
+		t.Errorf("patterns before mining: status %d, want 404", status)
+	}
+	if status, _ := call(t, "GET", ts.URL+"/v1/patterns?db=nope", nil); status != http.StatusNotFound {
+		t.Errorf("patterns of unknown db: status %d, want 404", status)
+	}
+	if status, _ := call(t, "GET", ts.URL+"/v1/patterns", nil); status != http.StatusBadRequest {
+		t.Errorf("patterns without db: status %d, want 400", status)
+	}
+
+	status, mined := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "paper", "options": testOptions(), "wait": true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("mine: %d %v", status, mined)
+	}
+	all := patternSet(t, mined)
+
+	_, body := call(t, "GET", ts.URL+"/v1/patterns?db=paper", nil)
+	if int(body["total"].(float64)) != len(all) {
+		t.Errorf("total = %v, want %d", body["total"], len(all))
+	}
+	patterns := body["patterns"].([]any)
+	// Ordered by descending support.
+	last := int64(1 << 62)
+	for _, p := range patterns {
+		s := int64(p.(map[string]any)["support"].(float64))
+		if s > last {
+			t.Errorf("patterns not sorted by support: %v", patterns)
+			break
+		}
+		last = s
+	}
+
+	// top=1 truncates but reports the full total.
+	_, top := call(t, "GET", ts.URL+"/v1/patterns?db=paper&top=1", nil)
+	if len(top["patterns"].([]any)) != 1 || int(top["total"].(float64)) != len(all) {
+		t.Errorf("top=1 = %v", top)
+	}
+
+	// contains filters to patterns mentioning the item.
+	_, contains := call(t, "GET", ts.URL+"/v1/patterns?db=paper&contains=B", nil)
+	wantContains := 0
+	for items := range all {
+		for _, it := range bytes.Fields([]byte(items)) {
+			if string(it) == "B" {
+				wantContains++
+				break
+			}
+		}
+	}
+	if len(contains["patterns"].([]any)) != wantContains {
+		t.Errorf("contains=B returned %v, want %d patterns (all: %v)", contains["patterns"], wantContains, all)
+	}
+	for _, p := range contains["patterns"].([]any) {
+		found := false
+		for _, it := range p.(map[string]any)["items"].([]any) {
+			if it == "B" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("pattern %v does not contain B", p)
+		}
+	}
+
+	// job= selects a specific job's result.
+	id := mined["job_id"].(string)
+	_, byJob := call(t, "GET", ts.URL+"/v1/patterns?job="+id, nil)
+	if int(byJob["total"].(float64)) != len(all) {
+		t.Errorf("by job = %v", byJob)
+	}
+	// Bad query parameters: 400.
+	if status, _ := call(t, "GET", ts.URL+"/v1/patterns?db=paper&top=x", nil); status != http.StatusBadRequest {
+		t.Errorf("bad top: status %d, want 400", status)
+	}
+	if status, _ := call(t, "GET", ts.URL+"/v1/patterns?db=paper&min_support=-1", nil); status != http.StatusBadRequest {
+		t.Errorf("bad min_support: status %d, want 400", status)
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{
+		MineFunc: func(db *lash.Database, opt lash.Options) (*lash.Result, error) {
+			return nil, fmt.Errorf("synthetic mining failure")
+		},
+	})
+	mustRegister(t, ts, testSpec("paper"))
+
+	status, body := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "paper", "options": testOptions(), "wait": true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("mine: %d %v", status, body)
+	}
+	if body["status"] != "failed" || body["error"] == "" {
+		t.Fatalf("job = %v, want failed with message", body)
+	}
+
+	// Failures are not cached: a retry mines again (and fails again).
+	status, retry := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "paper", "options": testOptions(), "wait": true,
+	})
+	if status != http.StatusOK || retry["cached"] == true {
+		t.Errorf("retry after failure = %d %v, want a fresh (uncached) run", status, retry)
+	}
+	_, stats := call(t, "GET", ts.URL+"/v1/stats", nil)
+	jobs := stats["jobs"].(map[string]any)
+	if jobs["failed"].(float64) != 2 || jobs["mines_run"].(float64) != 2 {
+		t.Errorf("stats after failures = %v", jobs)
+	}
+	// A failed job has no patterns to serve.
+	id := body["job_id"].(string)
+	if status, _ := call(t, "GET", ts.URL+"/v1/patterns?job="+id, nil); status != http.StatusConflict {
+		t.Errorf("patterns of failed job: status %d, want 409", status)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{})
+	mustRegister(t, ts, testSpec("paper"))
+	status, body := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "paper", "options": testOptions(), "wait": true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("mine: %d %v", status, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// New submissions are refused after Close.
+	status, refused := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "paper", "options": testOptions(),
+	})
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("mine after close: %d %v, want 503", status, refused)
+	}
+}
+
+// TestJobHistoryPruning bounds the retained job records: old finished jobs
+// are forgotten, but each database's latest result stays queryable.
+func TestJobHistoryPruning(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{JobHistory: 3, CacheSize: -1})
+	mustRegister(t, ts, testSpec("paper"))
+
+	ids := make([]string, 6)
+	for i := range ids {
+		opts := testOptions()
+		opts["max_length"] = 3 + i // distinct jobs, no cache hits
+		status, body := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+			"database": "paper", "options": opts, "wait": true,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("mine #%d: %d %v", i, status, body)
+		}
+		ids[i] = body["job_id"].(string)
+	}
+
+	// The oldest jobs fell out of the window...
+	if status, _ := call(t, "GET", ts.URL+"/v1/jobs/"+ids[0], nil); status != http.StatusNotFound {
+		t.Errorf("pruned job %s still resolves (status %d)", ids[0], status)
+	}
+	_, listing := call(t, "GET", ts.URL+"/v1/jobs", nil)
+	if n := len(listing["jobs"].([]any)); n > 3 {
+		t.Errorf("retained %d job records, want ≤ 3", n)
+	}
+	// ...the newest resolves, cumulative stats survive pruning, and the
+	// database's latest result is still queryable.
+	if status, _ := call(t, "GET", ts.URL+"/v1/jobs/"+ids[5], nil); status != http.StatusOK {
+		t.Errorf("recent job %s does not resolve", ids[5])
+	}
+	_, stats := call(t, "GET", ts.URL+"/v1/stats", nil)
+	if got := stats["jobs"].(map[string]any)["completed"].(float64); got != 6 {
+		t.Errorf("completed = %v, want 6 despite pruning", got)
+	}
+	if status, body := call(t, "GET", ts.URL+"/v1/patterns?db=paper", nil); status != http.StatusOK {
+		t.Errorf("patterns after pruning: %d %v", status, body)
+	}
+}
+
+// TestCacheHitJobsEvictFirst: a flood of cache-hit submissions must not
+// evict a real mined job out of the bounded history while a client could
+// still be polling its id.
+func TestCacheHitJobsEvictFirst(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{JobHistory: 3})
+	mustRegister(t, ts, testSpec("paper"))
+
+	status, mined := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "paper", "options": testOptions(), "wait": true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("mine: %d %v", status, mined)
+	}
+	minedID := mined["job_id"].(string)
+
+	for i := 0; i < 6; i++ { // 6 cache hits, twice the history bound
+		if status, body := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+			"database": "paper", "options": testOptions(),
+		}); status != http.StatusOK || body["cached"] != true {
+			t.Fatalf("cache hit #%d: %d %v", i, status, body)
+		}
+	}
+	if status, _ := call(t, "GET", ts.URL+"/v1/jobs/"+minedID, nil); status != http.StatusOK {
+		t.Errorf("real mined job %s evicted by cache-hit records", minedID)
+	}
+	_, listing := call(t, "GET", ts.URL+"/v1/jobs", nil)
+	if n := len(listing["jobs"].([]any)); n > 3 {
+		t.Errorf("retained %d job records, want ≤ 3", n)
+	}
+}
+
+// TestJobHistoryPruningSkipsRunning pins the bound even when the oldest
+// record is a still-running job: terminal records behind it are pruned
+// instead of piling up.
+func TestJobHistoryPruningSkipsRunning(t *testing.T) {
+	gate := make(chan struct{})
+	_, ts := newTestServer(t, server.Config{
+		JobHistory: 2, CacheSize: -1, Workers: 4,
+		MineFunc: func(db *lash.Database, opt lash.Options) (*lash.Result, error) {
+			if opt.MaxLength == 99 { // the marker job blocks until released
+				<-gate
+			}
+			return lash.Mine(db, opt)
+		},
+	})
+	mustRegister(t, ts, testSpec("paper"))
+
+	slowOpts := testOptions()
+	slowOpts["max_length"] = 99
+	status, slow := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "paper", "options": slowOpts,
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("slow mine: %d %v", status, slow)
+	}
+	slowID := slow["job_id"].(string)
+
+	for i := range 4 {
+		opts := testOptions()
+		opts["max_length"] = 3 + i
+		if status, body := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+			"database": "paper", "options": opts, "wait": true,
+		}); status != http.StatusOK {
+			t.Fatalf("fast mine #%d: %d %v", i, status, body)
+		}
+	}
+
+	// The running job survives pruning; the history stays bounded.
+	if status, _ := call(t, "GET", ts.URL+"/v1/jobs/"+slowID, nil); status != http.StatusOK {
+		t.Errorf("running job %s was pruned", slowID)
+	}
+	_, listing := call(t, "GET", ts.URL+"/v1/jobs", nil)
+	if n := len(listing["jobs"].([]any)); n > 3 { // bound + the unprunable running job
+		t.Errorf("retained %d job records, want ≤ 3", n)
+	}
+	close(gate)
+	if body := waitForJob(t, ts, slowID); body["status"] != "done" {
+		t.Errorf("slow job = %v", body)
+	}
+}
+
+func TestWorkerPoolBounds(t *testing.T) {
+	release := make(chan struct{})
+	var concurrent, peak atomic.Int64
+	_, ts := newTestServer(t, server.Config{
+		Workers: 2,
+		MineFunc: func(db *lash.Database, opt lash.Options) (*lash.Result, error) {
+			n := concurrent.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			<-release
+			concurrent.Add(-1)
+			return lash.Mine(db, opt)
+		},
+	})
+	mustRegister(t, ts, testSpec("paper"))
+
+	// Five distinct jobs on two workers: at most two mine at once.
+	ids := make([]string, 5)
+	for i := range ids {
+		opts := testOptions()
+		opts["max_length"] = 3 + i // distinct cache keys
+		status, body := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+			"database": "paper", "options": opts,
+		})
+		if status != http.StatusAccepted {
+			t.Fatalf("mine #%d: %d %v", i, status, body)
+		}
+		ids[i] = body["job_id"].(string)
+	}
+	// Let the pool saturate, then release everything.
+	deadline := time.Now().Add(5 * time.Second)
+	for concurrent.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+	for _, id := range ids {
+		if body := waitForJob(t, ts, id); body["status"] != "done" {
+			t.Fatalf("job %s = %v", id, body)
+		}
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrent mines = %d, want ≤ 2", p)
+	}
+	_, stats := call(t, "GET", ts.URL+"/v1/stats", nil)
+	if got := stats["jobs"].(map[string]any)["mines_run"].(float64); got != 5 {
+		t.Errorf("mines_run = %v, want 5", got)
+	}
+}
