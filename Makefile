@@ -1,6 +1,9 @@
 GO ?= go
+BENCH ?= .
+BENCHTIME ?= 1x
+BENCH_OUT ?= BENCH_PR2.json
 
-.PHONY: build test vet bench race clean
+.PHONY: build test vet bench bench-smoke race clean
 
 build:
 	$(GO) build ./...
@@ -14,8 +17,16 @@ test: vet
 race:
 	$(GO) test -race ./...
 
+# bench runs the mining benchmarks with allocation reporting and records
+# the parsed results as JSON (committed as BENCH_PR2.json). Tune with e.g.
+# `make bench BENCH=Fig4 BENCHTIME=3x`.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=$(BENCH) -benchtime=$(BENCHTIME) -benchmem -run=^$$ . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# bench-smoke is the CI pass: every benchmark must still run (1 iteration),
+# so the harness cannot bit-rot; results are parsed but discarded.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson > /dev/null
 
 clean:
 	$(GO) clean ./...

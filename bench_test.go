@@ -59,6 +59,7 @@ func benchMR() mapreduce.Config {
 
 func mineOrFatal(b *testing.B, db *gsm.Database, opt core.Options) *core.Result {
 	b.Helper()
+	b.ReportAllocs()
 	res, err := core.Mine(db, opt)
 	if err != nil {
 		b.Fatal(err)
@@ -92,6 +93,7 @@ func fig4Params() gsm.Params {
 
 func BenchmarkFig4aNaive(b *testing.B) {
 	benchSetup(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := baseline.MineNaive(nytP, baseline.Options{Params: fig4Params(), MR: benchMR()}); err != nil {
 			b.Fatal(err)
@@ -101,6 +103,7 @@ func BenchmarkFig4aNaive(b *testing.B) {
 
 func BenchmarkFig4aSemiNaive(b *testing.B) {
 	benchSetup(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := baseline.MineSemiNaive(nytP, baseline.Options{Params: fig4Params(), MR: benchMR()}); err != nil {
 			b.Fatal(err)
@@ -117,6 +120,7 @@ func BenchmarkFig4aLASH(b *testing.B) {
 
 func BenchmarkFig4bMapOutputBytes(b *testing.B) {
 	benchSetup(b)
+	b.ReportAllocs()
 	var lashBytes, naiveBytes int64
 	for i := 0; i < b.N; i++ {
 		res := mineOrFatal(b, nytP, core.Options{Params: fig4Params(), MR: benchMR()})

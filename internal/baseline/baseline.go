@@ -8,6 +8,10 @@
 //     is replaced by its closest frequent ancestor (or a blank), and only
 //     blank-free subsequences are enumerated.
 //
+// Both run on the aggregated-shuffle path of internal/mapreduce: the
+// encoded subsequence is the byte key, counts are the weights, and the
+// reducer keeps keys whose aggregated weight reaches σ.
+//
 // Both support an emission cap standing in for the paper's 12-hour abort on
 // NYT-CLP ("> 12 hrs" in Fig. 4a): runs exceeding MaxEmit return
 // ErrEmitCapExceeded and are reported as DNF by the harness.
@@ -15,6 +19,7 @@ package baseline
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 
 	"lash/internal/core"
@@ -47,49 +52,65 @@ func MineNaive(db *gsm.Database, opt Options) (*core.Result, error) {
 	}
 	var emitted atomic.Int64
 	capped := opt.MaxEmit > 0
+	encPool := sync.Pool{New: func() any { return new([]byte) }}
 
 	type pat struct {
-		key     string
+		items   gsm.Sequence
 		support int64
 	}
-	out, stats := mapreduce.Run(opt.MR, db.Seqs, mapreduce.Job[gsm.Sequence, string, int64, pat]{
+	out, stats, err := mapreduce.RunAgg(opt.MR, db.Seqs, mapreduce.AggJob[gsm.Sequence, pat]{
 		Name: "naive",
-		Map: func(t gsm.Sequence, emit func(string, int64)) {
+		Map: func(t gsm.Sequence, emit func(uint32, []byte, int64)) {
+			encp := encPool.Get().(*[]byte)
+			defer encPool.Put(encp)
 			gsm.EnumerateGenSubseqs(db.Forest, t, opt.Params.Gamma, 2, opt.Params.Lambda, nil,
 				func(s gsm.Sequence) bool {
 					if capped && emitted.Add(1) > opt.MaxEmit {
 						return false
 					}
-					emit(string(seqenc.AppendVocabSeq(nil, s)), 1)
+					*encp = seqenc.AppendVocabSeq((*encp)[:0], s)
+					// Each distinct subsequence is its own reduction unit;
+					// group by the key's hash so partitions stay balanced.
+					emit(mapreduce.HashBytes(*encp), *encp, 1)
 					return true
 				})
 		},
-		Combine: func(a, b int64) int64 { return a + b },
-		Hash:    mapreduce.HashString,
-		Size:    func(k string, v int64) int { return len(k) + seqenc.UvarintLen(uint64(v)) },
-		Reduce: func(k string, vs []int64, emit func(pat)) {
-			var sum int64
-			for _, v := range vs {
-				sum += v
+		// Size: the default (keyLen + uvarint(weight)) is exactly this job's
+		// wire format.
+		Reduce: func(_ uint32, entries []mapreduce.Entry, emit func(pat)) error {
+			for _, e := range entries {
+				if e.Weight < opt.Params.Sigma {
+					continue
+				}
+				items, err := seqenc.DecodeVocabSeq(nil, e.Key)
+				if err != nil {
+					return err
+				}
+				emit(pat{items, e.Weight})
 			}
-			if sum >= opt.Params.Sigma {
-				emit(pat{k, sum})
-			}
+			return nil
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
 	if capped && emitted.Load() > opt.MaxEmit {
 		return nil, ErrEmitCapExceeded
 	}
 	res := &core.Result{Jobs: core.JobStats{Mine: stats}}
 	for _, p := range out {
-		items, err := seqenc.DecodeVocabSeq(nil, []byte(p.key))
-		if err != nil {
-			return nil, err
-		}
-		res.Patterns = append(res.Patterns, gsm.Pattern{Items: items, Support: p.support})
+		res.Patterns = append(res.Patterns, gsm.Pattern{Items: p.items, Support: p.support})
 	}
 	gsm.SortPatterns(res.Patterns)
 	return res, nil
+}
+
+// snScratch is the pooled per-map-call working set of the semi-naïve job.
+type snScratch struct {
+	ranks []flist.Rank
+	gen   gsm.Sequence
+	buf   []flist.Rank
+	enc   []byte
 }
 
 // MineSemiNaive runs the semi-naïve algorithm: an f-list job, then the
@@ -107,64 +128,71 @@ func MineSemiNaive(db *gsm.Database, opt Options) (*core.Result, error) {
 	}
 	var emitted atomic.Int64
 	capped := opt.MaxEmit > 0
+	scratch := sync.Pool{New: func() any { return new(snScratch) }}
 
 	type pat struct {
-		key     string // rank-space encoding — frequent items have small ids
+		ranks   []flist.Rank // rank space — frequent items have small ids
 		support int64
 	}
-	out, stats := mapreduce.Run(opt.MR, db.Seqs, mapreduce.Job[gsm.Sequence, string, int64, pat]{
+	out, stats, err := mapreduce.RunAgg(opt.MR, db.Seqs, mapreduce.AggJob[gsm.Sequence, pat]{
 		Name: "semi-naive",
-		Map: func(t gsm.Sequence, emit func(string, int64)) {
+		Map: func(t gsm.Sequence, emit func(uint32, []byte, int64)) {
+			sc := scratch.Get().(*snScratch)
+			defer scratch.Put(sc)
 			// Generalize each item to its closest frequent ancestor; items
 			// without one become blanks (skipped positions that still
 			// consume gap budget).
-			ranks := make([]flist.Rank, len(t))
-			gen := make(gsm.Sequence, len(t))
-			for i, w := range t {
+			sc.ranks = sc.ranks[:0]
+			sc.gen = sc.gen[:0]
+			for _, w := range t {
 				r := fl.FrequentRank(w)
-				ranks[i] = r
+				sc.ranks = append(sc.ranks, r)
 				if r != flist.NoRank {
-					gen[i] = fl.VocabOf(r)
+					sc.gen = append(sc.gen, fl.VocabOf(r))
+				} else {
+					sc.gen = append(sc.gen, 0)
 				}
 			}
-			accept := func(i int) bool { return ranks[i] != flist.NoRank }
-			buf := make([]flist.Rank, 0, opt.Params.Lambda)
-			gsm.EnumerateGenSubseqs(db.Forest, gen, opt.Params.Gamma, 2, opt.Params.Lambda, accept,
+			accept := func(i int) bool { return sc.ranks[i] != flist.NoRank }
+			gsm.EnumerateGenSubseqs(db.Forest, sc.gen, opt.Params.Gamma, 2, opt.Params.Lambda, accept,
 				func(s gsm.Sequence) bool {
 					if capped && emitted.Add(1) > opt.MaxEmit {
 						return false
 					}
-					buf = buf[:0]
+					sc.buf = sc.buf[:0]
 					for _, w := range s {
-						buf = append(buf, fl.RankOf(w))
+						sc.buf = append(sc.buf, fl.RankOf(w))
 					}
-					emit(string(seqenc.AppendSeq(nil, buf)), 1)
+					sc.enc = seqenc.AppendSeq(sc.enc[:0], sc.buf)
+					emit(mapreduce.HashBytes(sc.enc), sc.enc, 1)
 					return true
 				})
 		},
-		Combine: func(a, b int64) int64 { return a + b },
-		Hash:    mapreduce.HashString,
-		Size:    func(k string, v int64) int { return len(k) + seqenc.UvarintLen(uint64(v)) },
-		Reduce: func(k string, vs []int64, emit func(pat)) {
-			var sum int64
-			for _, v := range vs {
-				sum += v
+		// Size: the default (keyLen + uvarint(weight)) is exactly this job's
+		// wire format.
+		Reduce: func(_ uint32, entries []mapreduce.Entry, emit func(pat)) error {
+			for _, e := range entries {
+				if e.Weight < opt.Params.Sigma {
+					continue
+				}
+				ranks, err := seqenc.DecodeSeq(nil, e.Key)
+				if err != nil {
+					return err
+				}
+				emit(pat{ranks, e.Weight})
 			}
-			if sum >= opt.Params.Sigma {
-				emit(pat{k, sum})
-			}
+			return nil
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
 	if capped && emitted.Load() > opt.MaxEmit {
 		return nil, ErrEmitCapExceeded
 	}
 	res := &core.Result{Jobs: core.JobStats{FList: flStats, Mine: stats}, FList: fl}
 	for _, p := range out {
-		ranks, err := seqenc.DecodeSeq(nil, []byte(p.key))
-		if err != nil {
-			return nil, err
-		}
-		items, err := fl.TranslateFromRanks(nil, ranks)
+		items, err := fl.TranslateFromRanks(nil, p.ranks)
 		if err != nil {
 			return nil, err
 		}

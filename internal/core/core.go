@@ -13,7 +13,7 @@
 package core
 
 import (
-	"sort"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -172,7 +172,7 @@ func FListJob(db *gsm.Database, sigma int64, cfg mapreduce.Config) (*flist.FList
 		w hierarchy.Item
 		n int64
 	}
-	out, stats := mapreduce.Run(cfg, db.Seqs, mapreduce.Job[gsm.Sequence, hierarchy.Item, int64, itemFreq]{
+	out, stats, err := mapreduce.Run(cfg, db.Seqs, mapreduce.Job[gsm.Sequence, hierarchy.Item, int64, itemFreq]{
 		Name: "flist",
 		Map: func(t gsm.Sequence, emit func(hierarchy.Item, int64)) {
 			for _, g := range gsm.ItemGeneralizations(db.Forest, t) {
@@ -190,6 +190,9 @@ func FListJob(db *gsm.Database, sigma int64, cfg mapreduce.Config) (*flist.FList
 			emit(itemFreq{w, sum})
 		},
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	freq := make([]int64, db.Forest.Size())
 	for _, f := range out {
 		freq[f.w] = f.n
@@ -207,17 +210,32 @@ type patternOut struct {
 	support int64
 }
 
-// mineJob runs the partitioning and mining phases (Alg. 1).
+// mineScratch is the pooled per-map-call working set of the partition+mine
+// job: the rewriter plus reusable pivot, rank, and encode buffers, so the
+// map hot path performs no per-emit heap allocation.
+type mineScratch struct {
+	rw     *rewrite.Rewriter
+	pivots []flist.Rank
+	buf    []flist.Rank
+	enc    []byte
+}
+
+// mineJob runs the partitioning and mining phases (Alg. 1) as one streaming
+// aggregated-shuffle job: map rewrites each input sequence per pivot and
+// emits the encoded partition sequence with weight 1; the substrate
+// aggregates duplicates (§4.4) map-side and during the partition merge; and
+// each partition is mined the moment its last input arrives, overlapping
+// shuffle, merge, and local mining.
 func mineJob(db *gsm.Database, fl *flist.FList, opt Options) (*Result, error) {
 	res := &Result{}
 	var explored, output atomic.Int64
 	var partitions, partSeqs atomic.Int64
 	var maxPart atomic.Int64
 
-	rewriters := sync.Pool{New: func() any {
+	scratch := sync.Pool{New: func() any {
 		rw := rewrite.NewRewriter(fl, opt.Params.Gamma, opt.Params.Lambda)
 		rw.Mode = opt.Rewrites
-		return rw
+		return &mineScratch{rw: rw}
 	}}
 	localCfg := miner.Config{
 		Sigma:     opt.Params.Sigma,
@@ -227,66 +245,43 @@ func mineJob(db *gsm.Database, fl *flist.FList, opt Options) (*Result, error) {
 	}
 	parent := fl.ParentTable()
 
-	out, stats := mapreduce.Run(opt.MR, db.Seqs, mapreduce.Job[gsm.Sequence, flist.Rank, map[string]int64, patternOut]{
+	out, stats, err := mapreduce.RunAgg(opt.MR, db.Seqs, mapreduce.AggJob[gsm.Sequence, patternOut]{
 		Name: "partition+mine",
-		Map: func(t gsm.Sequence, emit func(flist.Rank, map[string]int64)) {
-			rw := rewriters.Get().(*rewrite.Rewriter)
-			defer rewriters.Put(rw)
-			var pivots []flist.Rank
-			var buf []flist.Rank
-			for _, pivot := range fl.PivotRanks(pivots, t) {
-				buf = rw.Rewrite(buf[:0], t, pivot)
-				if len(buf) == 0 {
+		Map: func(t gsm.Sequence, emit func(uint32, []byte, int64)) {
+			s := scratch.Get().(*mineScratch)
+			defer scratch.Put(s)
+			s.pivots = fl.PivotRanks(s.pivots[:0], t)
+			for _, pivot := range s.pivots {
+				s.buf = s.rw.Rewrite(s.buf[:0], t, pivot)
+				if len(s.buf) == 0 {
 					continue
 				}
-				enc := seqenc.AppendSeq(nil, buf)
-				emit(pivot, map[string]int64{string(enc): 1})
+				s.enc = seqenc.AppendSeq(s.enc[:0], s.buf)
+				emit(uint32(pivot), s.enc, 1)
 			}
 		},
-		Combine: func(a, b map[string]int64) map[string]int64 {
-			if len(a) < len(b) {
-				a, b = b, a
-			}
-			for k, v := range b {
-				a[k] += v
-			}
-			return a
+		// Partition by pivot only: a pivot's whole partition must reach one
+		// Reduce call.
+		Hash: func(pivot uint32, _ []byte) uint32 { return mapreduce.HashUint32(pivot) },
+		Size: func(pivot uint32, keyLen int, weight int64) int {
+			return seqenc.UvarintLen(uint64(pivot)) + keyLen + seqenc.UvarintLen(uint64(weight))
 		},
-		Hash: func(pivot flist.Rank) uint32 { return mapreduce.HashUint32(uint32(pivot)) },
-		Size: func(pivot flist.Rank, seqs map[string]int64) int {
-			size := 0
-			for k, v := range seqs {
-				size += seqenc.UvarintLen(uint64(pivot)) + len(k) + seqenc.UvarintLen(uint64(v))
+		Reduce: func(group uint32, entries []mapreduce.Entry, emit func(patternOut)) error {
+			pivot := flist.Rank(group)
+			p := &miner.Partition{
+				Pivot:  pivot,
+				Parent: parent,
+				Seqs:   make([]miner.WSeq, 0, len(entries)),
 			}
-			return size
-		},
-		Reduce: func(pivot flist.Rank, parts []map[string]int64, emit func(patternOut)) {
-			// Merge the per-map-task dictionaries into the final partition,
-			// aggregating duplicate sequences (§4.4).
-			merged := parts[0]
-			for _, m := range parts[1:] {
-				if len(merged) < len(m) {
-					merged, m = m, merged
-				}
-				for k, v := range m {
-					merged[k] += v
-				}
-			}
-			p := &miner.Partition{Pivot: pivot, Parent: parent}
-			keys := make([]string, 0, len(merged))
-			for k := range merged {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				items, err := seqenc.DecodeSeq(nil, []byte(k))
+			for _, e := range entries {
+				items, err := seqenc.DecodeSeq(nil, e.Key)
 				if err != nil {
-					continue // cannot happen: we encoded these bytes
+					// A decode failure means partition data was corrupted in
+					// flight; dropping the sequence would silently undercount
+					// supports, so fail the run instead.
+					return fmt.Errorf("core: partition %d: corrupt partition sequence: %w", pivot, err)
 				}
-				p.Seqs = append(p.Seqs, miner.WSeq{Items: items, Weight: merged[k]})
-			}
-			if len(p.Seqs) == 0 {
-				return
+				p.Seqs = append(p.Seqs, miner.WSeq{Items: items, Weight: e.Weight})
 			}
 			partitions.Add(1)
 			partSeqs.Add(int64(len(p.Seqs)))
@@ -301,8 +296,12 @@ func mineJob(db *gsm.Database, fl *flist.FList, opt Options) (*Result, error) {
 			})
 			explored.Add(st.Explored)
 			output.Add(st.Output)
+			return nil
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	res.Jobs.Mine = stats
 	res.Miner = miner.Stats{Explored: explored.Load(), Output: output.Load()}

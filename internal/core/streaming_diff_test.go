@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"lash/internal/core"
+	"lash/internal/datagen"
+	"lash/internal/flist"
+	"lash/internal/gsm"
+	"lash/internal/mapreduce"
+	"lash/internal/miner"
+	"lash/internal/rewrite"
+	"lash/internal/seqenc"
+)
+
+// refMineJob is the pre-streaming partition+mine job, kept verbatim as the
+// differential-testing reference: classic barriered Run, one singleton
+// map[string]int64 per emit, map-merge combiner, string-sorted partition
+// keys. The streaming aggregated-shuffle path must reproduce its output
+// exactly.
+func refMineJob(t *testing.T, db *gsm.Database, fl *flist.FList, kind miner.Kind, p gsm.Params, mr mapreduce.Config) []gsm.Pattern {
+	t.Helper()
+	type patternOut struct {
+		ranks   []flist.Rank
+		support int64
+	}
+	rewriters := sync.Pool{New: func() any {
+		return rewrite.NewRewriter(fl, p.Gamma, p.Lambda)
+	}}
+	localCfg := miner.Config{Sigma: p.Sigma, Gamma: p.Gamma, Lambda: p.Lambda, PivotOnly: true}
+	parent := fl.ParentTable()
+
+	out, _, err := mapreduce.Run(mr, db.Seqs, mapreduce.Job[gsm.Sequence, flist.Rank, map[string]int64, patternOut]{
+		Name: "ref-partition+mine",
+		Map: func(t gsm.Sequence, emit func(flist.Rank, map[string]int64)) {
+			rw := rewriters.Get().(*rewrite.Rewriter)
+			defer rewriters.Put(rw)
+			var buf []flist.Rank
+			for _, pivot := range fl.PivotRanks(nil, t) {
+				buf = rw.Rewrite(buf[:0], t, pivot)
+				if len(buf) == 0 {
+					continue
+				}
+				enc := seqenc.AppendSeq(nil, buf)
+				emit(pivot, map[string]int64{string(enc): 1})
+			}
+		},
+		Combine: func(a, b map[string]int64) map[string]int64 {
+			if len(a) < len(b) {
+				a, b = b, a
+			}
+			for k, v := range b {
+				a[k] += v
+			}
+			return a
+		},
+		Hash: func(pivot flist.Rank) uint32 { return mapreduce.HashUint32(uint32(pivot)) },
+		Reduce: func(pivot flist.Rank, parts []map[string]int64, emit func(patternOut)) {
+			merged := parts[0]
+			for _, m := range parts[1:] {
+				if len(merged) < len(m) {
+					merged, m = m, merged
+				}
+				for k, v := range m {
+					merged[k] += v
+				}
+			}
+			p := &miner.Partition{Pivot: pivot, Parent: parent}
+			keys := make([]string, 0, len(merged))
+			for k := range merged {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				items, err := seqenc.DecodeSeq(nil, []byte(k))
+				if err != nil {
+					continue
+				}
+				p.Seqs = append(p.Seqs, miner.WSeq{Items: items, Weight: merged[k]})
+			}
+			if len(p.Seqs) == 0 {
+				return
+			}
+			miner.New(kind).Mine(p, localCfg, func(pat []flist.Rank, sup int64) {
+				emit(patternOut{ranks: append([]flist.Rank(nil), pat...), support: sup})
+			})
+		},
+	})
+	if err != nil {
+		t.Fatalf("reference job: %v", err)
+	}
+	var patterns []gsm.Pattern
+	for _, po := range out {
+		items, err := fl.TranslateFromRanks(nil, po.ranks)
+		if err != nil {
+			t.Fatalf("reference translate: %v", err)
+		}
+		patterns = append(patterns, gsm.Pattern{Items: items, Support: po.support})
+	}
+	gsm.SortPatterns(patterns)
+	return patterns
+}
+
+// The streaming aggregated-shuffle pipeline must return byte-identical
+// patterns and supports to the old barriered path on randomized databases.
+func TestStreamingMatchesReferenceOnRandomDBs(t *testing.T) {
+	type dbCase struct {
+		name string
+		db   *gsm.Database
+	}
+	var cases []dbCase
+	for seed := int64(1); seed <= 3; seed++ {
+		corpus := datagen.GenerateText(datagen.TextConfig{Sentences: 250, Lemmas: 150, Seed: seed})
+		for _, variant := range []datagen.TextHierarchy{datagen.HierarchyLP, datagen.HierarchyCLP} {
+			db, err := corpus.Build(variant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cases = append(cases, dbCase{fmt.Sprintf("text/seed%d/%s", seed, variant), db})
+		}
+	}
+	market := datagen.GenerateMarket(datagen.MarketConfig{Users: 250, Seed: 7})
+	mdb, err := market.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, dbCase{"market/h4", mdb})
+
+	params := gsm.Params{Sigma: 8, Gamma: 1, Lambda: 4}
+	mr := mapreduce.Config{Workers: 4, MapTasks: 7, ReduceTasks: 5}
+	sawPatterns := false
+	for _, c := range cases {
+		for _, kind := range []miner.Kind{miner.KindPSM, miner.KindBFS} {
+			t.Run(fmt.Sprintf("%s/%s", c.name, kind), func(t *testing.T) {
+				res, err := core.Mine(c.db, core.Options{Params: params, Miner: kind, MR: mr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := refMineJob(t, c.db, res.FList, kind, params, mr)
+				if len(res.Patterns) > 0 {
+					sawPatterns = true
+				}
+				if !gsm.EqualPatterns(res.Patterns, want) {
+					t.Fatalf("streaming output diverges from reference:\nstreaming: %d patterns %v\nreference: %d patterns %v",
+						len(res.Patterns), res.Patterns, len(want), want)
+				}
+			})
+		}
+	}
+	if !sawPatterns {
+		t.Fatal("differential test vacuous: no case produced patterns")
+	}
+}

@@ -1,0 +1,412 @@
+package mapreduce
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Entry is one aggregated intermediate record: a byte key and the summed
+// weight of every emit of that (group, key). Key aliases the substrate's
+// internal arena and is only valid during the Reduce call it is handed to.
+type Entry struct {
+	Key    []byte
+	Weight int64
+}
+
+// AggJob is a byte-key weighted-aggregation job — the shape of every heavy
+// LASH shuffle: map emits (group, key, weight) triples, equal (group, key)
+// pairs have their weights summed (map-side in flat per-task hash tables,
+// then again in the per-partition merge), and Reduce receives each group
+// with its aggregated entries sorted by key bytes.
+//
+// The group is the unit of reduction (the pivot item for the partition+mine
+// job); the key is an opaque encoded record (a rewritten sequence). Keys
+// are copied into an internal arena on first sight, so callers may reuse
+// one scratch buffer across emits — the emit path performs no per-record
+// heap allocation.
+type AggJob[I any, R any] struct {
+	Name string
+
+	// Map processes one input record. Emit may be called any number of
+	// times; key is copied before Map regains control.
+	Map func(item I, emit func(group uint32, key []byte, weight int64))
+
+	// Hash places a (group, key) pair on a reduce partition. Every emit of
+	// the same (group, key) must hash identically; emits of the same group
+	// that should reach the same Reduce call must too (hash the group only,
+	// as the mining job does). Optional: the default hashes group and key
+	// together, which spreads group-less jobs (distinct keys are their own
+	// reduction unit) evenly.
+	Hash func(group uint32, key []byte) uint32
+
+	// Size returns the encoded size of one aggregated record for the
+	// MAP_OUTPUT_BYTES counter. Optional: the default is
+	// keyLen + uvarint(weight).
+	Size func(group uint32, keyLen int, weight int64) int
+
+	// Reduce processes one group with its aggregated entries, sorted by key
+	// bytes. Entries (and their Key slices) are only valid during the call.
+	// Reduce runs streamingly: a partition's groups are reduced as soon as
+	// the partition's last map input has been merged, concurrently with
+	// other partitions' merges. Returning an error fails the whole run.
+	Reduce func(group uint32, entries []Entry, emit func(R)) error
+}
+
+func (job AggJob[I, R]) hash(group uint32, key []byte) uint32 {
+	if job.Hash != nil {
+		return job.Hash(group, key)
+	}
+	return HashUint32(group) ^ HashBytes(key)
+}
+
+func (job AggJob[I, R]) size(group uint32, keyLen int, weight int64) int {
+	if job.Size != nil {
+		return job.Size(group, keyLen, weight)
+	}
+	return keyLen + uvarintLen(uint64(weight))
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// aggEntry is one slot of a byteTable. hash == 0 marks an empty slot (real
+// hashes are forced non-zero).
+type aggEntry struct {
+	hash   uint64
+	group  uint32
+	klen   uint32
+	off    uint64 // key bytes at arena[off : off+klen]
+	weight int64
+}
+
+// byteTable is an open-addressing hash table from (group, key bytes) to an
+// int64 weight. Key bytes live in a single append-only arena, so inserting
+// n distinct keys costs O(log n) slice growths instead of n map/string
+// allocations — this replaces the per-emit singleton map[string]int64 of
+// the old partition+mine hot path.
+type byteTable struct {
+	entries []aggEntry // power-of-two length
+	arena   []byte
+	n       int
+}
+
+func hashGK(group uint32, key []byte) uint64 {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(group >> (8 * i)))
+		h *= 1099511628211
+	}
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1 // 0 marks empty slots
+	}
+	return h
+}
+
+func (t *byteTable) key(e *aggEntry) []byte {
+	return t.arena[e.off : e.off+uint64(e.klen)]
+}
+
+// add sums weight into the (group, key) entry, inserting it (copying key
+// into the arena) on first sight.
+func (t *byteTable) add(group uint32, key []byte, weight int64) {
+	if t.n >= len(t.entries)-len(t.entries)/4 { // load factor 3/4
+		t.grow()
+	}
+	h := hashGK(group, key)
+	mask := uint64(len(t.entries) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if e.hash == 0 {
+			off := uint64(len(t.arena))
+			t.arena = append(t.arena, key...)
+			*e = aggEntry{hash: h, group: group, klen: uint32(len(key)), off: off, weight: weight}
+			t.n++
+			return
+		}
+		if e.hash == h && e.group == group && e.klen == uint32(len(key)) && bytes.Equal(t.key(e), key) {
+			e.weight += weight
+			return
+		}
+	}
+}
+
+// grow doubles the slot array, rehashing entries (the arena is untouched —
+// offsets stay valid).
+func (t *byteTable) grow() {
+	newCap := 16
+	if len(t.entries) > 0 {
+		newCap = 2 * len(t.entries)
+	}
+	old := t.entries
+	t.entries = make([]aggEntry, newCap)
+	mask := uint64(newCap - 1)
+	for i := range old {
+		e := old[i]
+		if e.hash == 0 {
+			continue
+		}
+		for j := e.hash & mask; ; j = (j + 1) & mask {
+			if t.entries[j].hash == 0 {
+				t.entries[j] = e
+				break
+			}
+		}
+	}
+}
+
+// merge folds src into t.
+func (t *byteTable) merge(src *byteTable) {
+	for i := range src.entries {
+		e := &src.entries[i]
+		if e.hash != 0 {
+			t.add(e.group, src.key(e), e.weight)
+		}
+	}
+}
+
+// reset clears the table for reuse, keeping capacity.
+func (t *byteTable) reset() {
+	for i := range t.entries {
+		t.entries[i] = aggEntry{}
+	}
+	t.arena = t.arena[:0]
+	t.n = 0
+}
+
+// aggPart is the reduce-side state of one partition.
+type aggPart[R any] struct {
+	mu      sync.Mutex
+	merged  *byteTable
+	contrib int // map tasks merged so far; == mapTasks ⇒ ready
+	out     []R
+}
+
+// RunAgg executes a byte-key weighted-aggregation job over the input. The
+// reduce outputs are ordered by reduce partition, then by ascending group,
+// then by Reduce's emit order — deterministic for a fixed Config regardless
+// of Workers. Panics in any task and errors returned by Reduce cancel the
+// run and are returned annotated with the job name and task/partition.
+func RunAgg[I any, R any](cfg Config, input []I, job AggJob[I, R]) ([]R, *Stats, error) {
+	cfg = cfg.withDefaults()
+	stats := &Stats{}
+	stats.MapInputRecords = int64(len(input))
+	errs := &errOnce{}
+
+	mapTasks := cfg.MapTasks
+	if mapTasks > len(input) {
+		mapTasks = len(input)
+	}
+	if mapTasks < 1 {
+		mapTasks = 1
+	}
+	reduceTasks := cfg.ReduceTasks
+
+	parts := make([]aggPart[R], reduceTasks)
+	ready := make(chan int, reduceTasks)
+	tablePool := sync.Pool{New: func() any { return &byteTable{} }}
+
+	var outRecords, outBytes atomic.Int64
+	var redKeys, redRecords atomic.Int64
+	mapTimes := make([]time.Duration, mapTasks)
+	redTimes := make([]time.Duration, reduceTasks)
+
+	start := time.Now()
+	var mapsDone, mergesDone atomic.Int64
+	var mapWall, shufWall time.Duration // written once by the last task of each kind
+
+	reduceOne := guard(errs, job.Name, "reduce partition", func(p int) error {
+		st := &parts[p]
+		t := st.merged
+		if t == nil || t.n == 0 {
+			return nil
+		}
+		begin := time.Now()
+		defer func() { redTimes[p] = time.Since(begin) }()
+
+		// Deterministic group order: sort entries by (group, key bytes).
+		idx := make([]int32, 0, t.n)
+		for i := range t.entries {
+			if t.entries[i].hash != 0 {
+				idx = append(idx, int32(i))
+			}
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ea, eb := &t.entries[idx[a]], &t.entries[idx[b]]
+			if ea.group != eb.group {
+				return ea.group < eb.group
+			}
+			return bytes.Compare(t.key(ea), t.key(eb)) < 0
+		})
+
+		emit := func(r R) { st.out = append(st.out, r) }
+		entries := make([]Entry, 0, len(idx))
+		for lo := 0; lo < len(idx); {
+			group := t.entries[idx[lo]].group
+			hi := lo
+			entries = entries[:0]
+			for ; hi < len(idx) && t.entries[idx[hi]].group == group; hi++ {
+				e := &t.entries[idx[hi]]
+				entries = append(entries, Entry{Key: t.key(e), Weight: e.weight})
+			}
+			redKeys.Add(1)
+			if err := job.Reduce(group, entries, emit); err != nil {
+				return err
+			}
+			lo = hi
+		}
+		redRecords.Add(int64(len(st.out)))
+		return nil
+	})
+
+	// --- map + map-side aggregation + merge ------------------------------
+	mapOne := guard(errs, job.Name, "map", func(task int) error {
+		lo := len(input) * task / mapTasks
+		hi := len(input) * (task + 1) / mapTasks
+		begin := time.Now()
+		tables := make([]*byteTable, reduceTasks)
+		emit := func(group uint32, key []byte, weight int64) {
+			p := int(job.hash(group, key) % uint32(reduceTasks))
+			t := tables[p]
+			if t == nil {
+				t = tablePool.Get().(*byteTable)
+				tables[p] = t
+			}
+			t.add(group, key, weight)
+		}
+		for _, rec := range input[lo:hi] {
+			job.Map(rec, emit)
+		}
+		mapTimes[task] = time.Since(begin)
+		if mapsDone.Add(1) == int64(mapTasks) {
+			mapWall = time.Since(start)
+		}
+
+		// Account post-aggregation output, then merge into the partitions.
+		// Merging happens as each map task retires — the shuffle overlaps
+		// the map phase instead of waiting behind it.
+		var recs, size int64
+		for _, t := range tables {
+			if t == nil {
+				continue
+			}
+			recs += int64(t.n)
+			for i := range t.entries {
+				if e := &t.entries[i]; e.hash != 0 {
+					size += int64(job.size(e.group, int(e.klen), e.weight))
+				}
+			}
+		}
+		outRecords.Add(recs)
+		outBytes.Add(size)
+
+		for p := range tables {
+			t := tables[p]
+			st := &parts[p]
+			st.mu.Lock()
+			if t != nil {
+				if st.merged == nil {
+					st.merged = t // first contributor's table is adopted wholesale
+				} else {
+					st.merged.merge(t)
+					t.reset()
+					tablePool.Put(t)
+				}
+			}
+			st.contrib++
+			isLast := st.contrib == mapTasks
+			st.mu.Unlock()
+			if isLast && !errs.canceled.Load() {
+				ready <- p // hand the completed partition to a worker now
+			}
+		}
+		if mergesDone.Add(1) == int64(mapTasks) {
+			shufWall = time.Since(start)
+		}
+		return nil
+	})
+
+	// One pool of cfg.Workers goroutines serves both phases, so real
+	// concurrency never exceeds the configured bound (the per-task
+	// durations feed the simulated-cluster model and must not be inflated
+	// by oversubscription). Ready partitions are drained in preference to
+	// starting new map tasks — the streaming overlap — and workers block on
+	// `ready` once the map tasks are exhausted. The worker that retires the
+	// last map task (whether it ran or was skipped by cancellation) closes
+	// the channel.
+	var nextMap, mapsRetired atomic.Int64
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case p, ok := <-ready:
+					if !ok {
+						return
+					}
+					reduceOne(p)
+					continue
+				default:
+				}
+				if task := int(nextMap.Add(1)) - 1; task < mapTasks {
+					mapOne(task)
+					// Count retirements (run, skipped, or panicked alike):
+					// the worker that retires the last map task closes the
+					// channel — all merges, and therefore all sends, have
+					// happened by then.
+					if mapsRetired.Add(1) == int64(mapTasks) {
+						close(ready)
+					}
+					continue
+				}
+				p, ok := <-ready
+				if !ok {
+					return
+				}
+				reduceOne(p)
+			}
+		}()
+	}
+	wg.Wait()
+
+	stats.Wall.Map = mapWall
+	if shufWall > mapWall {
+		stats.Wall.Shuffle = shufWall - mapWall
+	}
+	stats.Wall.Reduce = time.Since(start) - stats.Wall.Map - stats.Wall.Shuffle
+	stats.MapTaskTimes = mapTimes
+	stats.ReduceTaskTimes = redTimes
+	stats.MapOutputRecords = outRecords.Load()
+	stats.MapOutputBytes = outBytes.Load()
+	stats.ReduceInputKeys = redKeys.Load()
+	stats.ReduceOutputRecords = redRecords.Load()
+	if err := errs.get(); err != nil {
+		return nil, stats, err
+	}
+
+	simulate(stats, cfg)
+
+	var flat []R
+	for p := range parts {
+		flat = append(flat, parts[p].out...)
+	}
+	return flat, stats, nil
+}

@@ -10,10 +10,35 @@
 // experimental claims rest on bytes shuffled and relative per-phase work,
 // both of which are preserved by measuring real task costs and real encoded
 // bytes; the scheduler then reproduces cluster scaling shapes (Fig. 6).
+//
+// Two job shapes are provided:
+//
+//   - Run executes a classic generic job (Job): map emits (K, V) pairs, an
+//     optional combiner pre-aggregates per map task, the shuffle groups by
+//     key, and Reduce sees each key with its value slice. Phases are
+//     barriers: all map tasks finish before the shuffle, the shuffle before
+//     the reduce.
+//   - RunAgg executes a byte-key weighted-aggregation job (AggJob), the
+//     shape of every heavy LASH shuffle: map emits (group, key bytes,
+//     int64 weight) triples that are aggregated into per-map-task flat hash
+//     tables (open addressing over a shared key arena — no per-emit
+//     allocations), merged per reduce partition as map tasks retire, and
+//     reduced *streamingly*: each partition is handed to Reduce as soon as
+//     its last input is merged, overlapping shuffle, merge, and reduce work
+//     instead of phase barriers.
+//
+// Error contract: a panic inside any user-supplied task function (Map,
+// Combine, Reduce, Size, Hash) is recovered, annotated with the job name,
+// phase, and task index, and returned as an error — one misbehaving job
+// must not take down the process hosting the substrate (lashd runs many).
+// The first task error cancels the run: unstarted tasks are skipped and the
+// partial output is discarded.
 package mapreduce
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,6 +89,11 @@ func (c Config) withDefaults() Config {
 }
 
 // Counters are Hadoop-style job counters.
+//
+// On the aggregated path (RunAgg), MapOutputRecords counts aggregated
+// (group, key) entries — each distinct entry in a map task's table is one
+// shuffled record, mirroring what a Hadoop combiner would actually ship —
+// and ReduceInputKeys counts the groups handed to Reduce.
 type Counters struct {
 	MapInputRecords     int64
 	MapOutputRecords    int64 // after combining, i.e. records shuffled
@@ -73,6 +103,12 @@ type Counters struct {
 }
 
 // PhaseTimes breaks a job into the phases the paper reports.
+//
+// On the streaming aggregated path the phases overlap; the wall times are
+// then cumulative watermarks: Map is the time until the last map function
+// returned, Shuffle the additional time until the last partition merge
+// completed, and Reduce the remaining tail until the last Reduce returned.
+// Their sum is still the true job wall time.
 type PhaseTimes struct {
 	Map     time.Duration
 	Shuffle time.Duration
@@ -115,13 +151,62 @@ type Job[I any, K comparable, V any, R any] struct {
 	Reduce func(key K, values []V, emit func(R))
 }
 
+// errOnce records the first task error of a run and flips a cancellation
+// flag that unstarted tasks observe.
+type errOnce struct {
+	canceled atomic.Bool
+	mu       sync.Mutex
+	err      error
+}
+
+func (e *errOnce) set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+	e.canceled.Store(true)
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// guard wraps one task body with cancellation and panic recovery. A
+// recovered panic is annotated with the job name, phase, and task index and
+// recorded as the run's error.
+func guard(errs *errOnce, jobName, phase string, fn func(task int) error) func(int) {
+	return func(task int) {
+		if errs.canceled.Load() {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				errs.set(fmt.Errorf("mapreduce: job %q: %s task %d: panic: %v\n%s",
+					jobName, phase, task, r, debug.Stack()))
+			}
+		}()
+		if err := fn(task); err != nil {
+			errs.set(fmt.Errorf("mapreduce: job %q: %s task %d: %w", jobName, phase, task, err))
+		}
+	}
+}
+
 // Run executes the job over the input and returns the reduce outputs
 // (ordered by reduce task, then by key hash order — callers needing a total
-// order must sort) together with run statistics.
-func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K, V, R]) ([]R, *Stats) {
+// order must sort) together with run statistics. A panic in any task is
+// converted into an error; the first error cancels the run and is returned
+// with partial statistics.
+func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K, V, R]) ([]R, *Stats, error) {
 	cfg = cfg.withDefaults()
 	stats := &Stats{}
 	stats.MapInputRecords = int64(len(input))
+	errs := &errOnce{}
 
 	mapTasks := cfg.MapTasks
 	if mapTasks > len(input) {
@@ -142,7 +227,7 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 	var outRecords, outBytes atomic.Int64
 
 	mapStart := time.Now()
-	runPool(cfg.Workers, mapTasks, func(task int) {
+	runPool(cfg.Workers, mapTasks, guard(errs, job.Name, "map", func(task int) error {
 		lo := len(input) * task / mapTasks
 		hi := len(input) * (task + 1) / mapTasks
 		start := time.Now()
@@ -195,16 +280,20 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 		outRecords.Add(recs)
 		outBytes.Add(bytes)
 		taskTimes[task] = time.Since(start)
-	})
+		return nil
+	}))
 	stats.Wall.Map = time.Since(mapStart)
 	stats.MapTaskTimes = taskTimes
 	stats.MapOutputRecords = outRecords.Load()
 	stats.MapOutputBytes = outBytes.Load()
+	if err := errs.get(); err != nil {
+		return nil, stats, err
+	}
 
 	// --- shuffle: group by key within each reduce partition -------------
 	shufStart := time.Now()
 	groups := make([]map[K][]V, reduceTasks)
-	runPool(cfg.Workers, reduceTasks, func(p int) {
+	runPool(cfg.Workers, reduceTasks, guard(errs, job.Name, "shuffle", func(p int) error {
 		g := make(map[K][]V)
 		for t := range outs {
 			if job.Combine != nil {
@@ -218,15 +307,19 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 			}
 		}
 		groups[p] = g
-	})
+		return nil
+	}))
 	stats.Wall.Shuffle = time.Since(shufStart)
+	if err := errs.get(); err != nil {
+		return nil, stats, err
+	}
 
 	// --- reduce phase ----------------------------------------------------
 	redStart := time.Now()
 	results := make([][]R, reduceTasks)
 	redTimes := make([]time.Duration, reduceTasks)
 	var redKeys, redRecords atomic.Int64
-	runPool(cfg.Workers, reduceTasks, func(p int) {
+	runPool(cfg.Workers, reduceTasks, guard(errs, job.Name, "reduce", func(p int) error {
 		start := time.Now()
 		var out []R
 		emit := func(r R) { out = append(out, r) }
@@ -237,24 +330,33 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 		redRecords.Add(int64(len(out)))
 		results[p] = out
 		redTimes[p] = time.Since(start)
-	})
+		return nil
+	}))
 	stats.Wall.Reduce = time.Since(redStart)
 	stats.ReduceTaskTimes = redTimes
 	stats.ReduceInputKeys = redKeys.Load()
 	stats.ReduceOutputRecords = redRecords.Load()
+	if err := errs.get(); err != nil {
+		return nil, stats, err
+	}
 
-	// --- simulated cluster times ----------------------------------------
-	slots := cfg.Cluster.Machines * cfg.Cluster.SlotsPerMachine
-	stats.Sim.Map = lptMakespan(stats.MapTaskTimes, slots)
-	stats.Sim.Reduce = lptMakespan(stats.ReduceTaskTimes, slots)
-	stats.Sim.Shuffle = time.Duration(float64(stats.MapOutputBytes) /
-		(float64(cfg.Cluster.Machines) * cfg.Cluster.NetBytesPerSec) * float64(time.Second))
+	simulate(stats, cfg)
 
 	var flat []R
 	for _, rs := range results {
 		flat = append(flat, rs...)
 	}
-	return flat, stats
+	return flat, stats, nil
+}
+
+// simulate fills Stats.Sim from the measured task durations and shuffled
+// bytes (see package doc).
+func simulate(stats *Stats, cfg Config) {
+	slots := cfg.Cluster.Machines * cfg.Cluster.SlotsPerMachine
+	stats.Sim.Map = lptMakespan(stats.MapTaskTimes, slots)
+	stats.Sim.Reduce = lptMakespan(stats.ReduceTaskTimes, slots)
+	stats.Sim.Shuffle = time.Duration(float64(stats.MapOutputBytes) /
+		(float64(cfg.Cluster.Machines) * cfg.Cluster.NetBytesPerSec) * float64(time.Second))
 }
 
 type kv[K comparable, V any] struct {
@@ -330,6 +432,16 @@ func HashString(s string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(s); i++ {
 		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// HashBytes is an FNV-1a partitioner for byte keys.
+func HashBytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
 		h *= 16777619
 	}
 	return h

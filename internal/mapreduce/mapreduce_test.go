@@ -15,7 +15,7 @@ func wordCount(cfg mapreduce.Config, docs []string) (map[string]int64, *mapreduc
 		word string
 		n    int64
 	}
-	out, stats := mapreduce.Run(cfg, docs, mapreduce.Job[string, string, int64, outKV]{
+	out, stats, err := mapreduce.Run(cfg, docs, mapreduce.Job[string, string, int64, outKV]{
 		Name: "wordcount",
 		Map: func(doc string, emit func(string, int64)) {
 			for _, w := range strings.Fields(doc) {
@@ -33,6 +33,9 @@ func wordCount(cfg mapreduce.Config, docs []string) (map[string]int64, *mapreduc
 			emit(outKV{k, sum})
 		},
 	})
+	if err != nil {
+		panic(err)
+	}
 	m := make(map[string]int64)
 	for _, o := range out {
 		m[o.word] = o.n
@@ -98,7 +101,7 @@ func TestDeterminismAcrossConfigs(t *testing.T) {
 
 // Without a combiner, every intermediate pair must reach the reducer.
 func TestNoCombiner(t *testing.T) {
-	out, stats := mapreduce.Run(
+	out, stats, err := mapreduce.Run(
 		mapreduce.Config{Workers: 2, MapTasks: 2, ReduceTasks: 2},
 		docs,
 		mapreduce.Job[string, string, int64, int64]{
@@ -112,6 +115,9 @@ func TestNoCombiner(t *testing.T) {
 				emit(int64(len(vs)))
 			},
 		})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var total int64
 	for _, n := range out {
 		total += n

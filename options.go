@@ -35,6 +35,20 @@ func (o Options) Validate() error {
 	default:
 		return fmt.Errorf("lash: unknown local miner %d", int(o.LocalMiner))
 	}
+	// AlgorithmMGFSM is defined as item-based partitioning with the BFS
+	// local miner (§6.3): it never consults Options.LocalMiner. Accept only
+	// the zero value (MinerPSM doubles as "unset") and the miner it actually
+	// runs, and reject contradictory combinations instead of silently
+	// overriding them. This keeps Validate, Canonical, and Mine in
+	// agreement: every accepted combination canonicalizes to the same key
+	// and mines with BFS.
+	if o.Algorithm == AlgorithmMGFSM {
+		switch o.LocalMiner {
+		case MinerPSM, MinerBFS:
+		default:
+			return fmt.Errorf("lash: AlgorithmMGFSM always mines with MinerBFS; contradictory LocalMiner %s (leave it unset)", o.LocalMiner)
+		}
+	}
 	switch o.Restriction {
 	case RestrictNone, RestrictClosed, RestrictMaximal:
 	default:

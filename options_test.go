@@ -28,6 +28,8 @@ func TestOptionsValidate(t *testing.T) {
 		{"bad algorithm", func(o *lash.Options) { o.Algorithm = lash.Algorithm(42) }, "algorithm"},
 		{"bad miner", func(o *lash.Options) { o.LocalMiner = lash.LocalMiner(42) }, "miner"},
 		{"bad restriction", func(o *lash.Options) { o.Restriction = lash.Restriction(42) }, "restriction"},
+		{"mgfsm with dfs", func(o *lash.Options) { o.Algorithm = lash.AlgorithmMGFSM; o.LocalMiner = lash.MinerDFS }, "MinerBFS"},
+		{"mgfsm with psm-noindex", func(o *lash.Options) { o.Algorithm = lash.AlgorithmMGFSM; o.LocalMiner = lash.MinerPSMNoIndex }, "MinerBFS"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -41,6 +43,25 @@ func TestOptionsValidate(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, c.want)
 			}
 		})
+	}
+}
+
+// MG-FSM always mines with BFS: an unset LocalMiner and an explicit
+// MinerBFS are both accepted (and canonicalize to the same cache key, so
+// Validate, Canonical, and Mine agree); everything else is contradictory.
+func TestMGFSMLocalMinerAgreement(t *testing.T) {
+	unset := validOptions()
+	unset.Algorithm = lash.AlgorithmMGFSM
+	if err := unset.Validate(); err != nil {
+		t.Fatalf("MGFSM with unset LocalMiner rejected: %v", err)
+	}
+	bfs := unset
+	bfs.LocalMiner = lash.MinerBFS
+	if err := bfs.Validate(); err != nil {
+		t.Fatalf("MGFSM with MinerBFS rejected: %v", err)
+	}
+	if unset.CacheKey() != bfs.CacheKey() {
+		t.Errorf("cache keys differ: %q vs %q", unset.CacheKey(), bfs.CacheKey())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -228,8 +229,21 @@ func (m *manager) run(j *job, db *lash.Database) {
 	m.minesRun++
 	m.mu.Unlock()
 
-	res, err := m.mineFn(db, j.options)
+	res, err := m.mine(db, j.options)
 	m.finish(j, res, err)
+}
+
+// mine invokes the mining function, converting a panic into a job error.
+// The MapReduce substrate already recovers panics inside map/reduce tasks;
+// this guards the rest of the mining path so a single bad request can fail
+// its job without taking down the long-running server.
+func (m *manager) mine(db *lash.Database, opt lash.Options) (res *lash.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: mining panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return m.mineFn(db, opt)
 }
 
 // finish moves a job to its terminal status, publishes the result to the

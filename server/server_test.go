@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -764,5 +765,48 @@ func TestWorkerPoolBounds(t *testing.T) {
 	_, stats := call(t, "GET", ts.URL+"/v1/stats", nil)
 	if got := stats["jobs"].(map[string]any)["mines_run"].(float64); got != 5 {
 		t.Errorf("mines_run = %v, want 5", got)
+	}
+}
+
+// A panic inside mining (a misbehaving miner or corrupt database) must fail
+// that one job — surfaced with an error message — and leave the server
+// serving subsequent requests, not crash the process.
+func TestPanickingMineFailsJob(t *testing.T) {
+	calls := 0
+	_, ts := newTestServer(t, server.Config{
+		MineFunc: func(db *lash.Database, opt lash.Options) (*lash.Result, error) {
+			calls++
+			if calls == 1 {
+				panic("miner exploded")
+			}
+			return &lash.Result{}, nil
+		},
+	})
+	mustRegister(t, ts, testSpec("paper"))
+
+	status, body := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "paper", "options": testOptions(), "wait": true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("mine: %d %v", status, body)
+	}
+	if body["status"] != "failed" {
+		t.Fatalf("job = %v, want failed", body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "miner exploded") {
+		t.Fatalf("job error %q does not carry the panic value", body["error"])
+	}
+
+	// The server survived: the next request is served normally.
+	status, retry := call(t, "POST", ts.URL+"/v1/mine", map[string]any{
+		"database": "paper", "options": testOptions(), "wait": true,
+	})
+	if status != http.StatusOK || retry["status"] != "done" {
+		t.Fatalf("post-panic request = %d %v, want a successful run", status, retry)
+	}
+	_, stats := call(t, "GET", ts.URL+"/v1/stats", nil)
+	jobs := stats["jobs"].(map[string]any)
+	if jobs["failed"].(float64) != 1 || jobs["completed"].(float64) != 1 {
+		t.Errorf("stats after panic = %v", jobs)
 	}
 }
