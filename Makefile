@@ -1,9 +1,12 @@
 GO ?= go
 BENCH ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR3.json
+BENCH_BASE ?= BENCH_PR2.json
+PROFILE_BENCH ?= BenchmarkFig4a
+PROFILE_BENCHTIME ?= 3x
 
-.PHONY: build test vet bench bench-smoke race clean
+.PHONY: build test vet bench bench-smoke bench-ci bench-diff profile race clean
 
 build:
 	$(GO) build ./...
@@ -18,7 +21,7 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the mining benchmarks with allocation reporting and records
-# the parsed results as JSON (committed as BENCH_PR2.json). Tune with e.g.
+# the parsed results as JSON (committed as $(BENCH_OUT)). Tune with e.g.
 # `make bench BENCH=Fig4 BENCHTIME=3x`.
 bench:
 	$(GO) test -bench=$(BENCH) -benchtime=$(BENCHTIME) -benchmem -run=^$$ . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
@@ -28,5 +31,29 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson > /dev/null
 
+# bench-ci runs the smoke pass, keeps its JSON, and prints a non-failing
+# delta report against the committed baseline. A 1-iteration run on a shared
+# runner is noisy — the report is informational, never a merge gate.
+bench-ci:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson > /tmp/lash-bench-ci.json
+	-$(GO) run ./cmd/benchjson -diff $(BENCH_OUT) /tmp/lash-bench-ci.json
+
+# bench-diff compares two committed benchmark documents (ns/op and allocs/op
+# with % change), e.g. the PR-over-PR record:
+#	make bench-diff BENCH_BASE=BENCH_PR2.json BENCH_OUT=BENCH_PR3.json
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff $(BENCH_BASE) $(BENCH_OUT)
+
+# profile captures CPU and heap profiles of the Fig. 4(a) benchmarks (the
+# end-to-end distributed-mining comparison). See "Profiling" in README.md.
+profile:
+	$(GO) test -bench=$(PROFILE_BENCH) -benchtime=$(PROFILE_BENCHTIME) -benchmem -run=^$$ \
+		-cpuprofile=cpu.pprof -memprofile=mem.pprof -o lash-bench.test .
+	@echo ""
+	@echo "profiles written: cpu.pprof mem.pprof (binary: lash-bench.test)"
+	@echo "  $(GO) tool pprof -top cpu.pprof"
+	@echo "  $(GO) tool pprof -top -sample_index=alloc_objects mem.pprof"
+
 clean:
 	$(GO) clean ./...
+	rm -f cpu.pprof mem.pprof lash-bench.test

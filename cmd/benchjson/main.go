@@ -2,20 +2,30 @@
 // stdin) into a stable JSON document, so benchmark results can be committed
 // and diffed across PRs:
 //
-//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson > BENCH_PR2.json
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson > BENCH_PR3.json
 //
 // Each benchmark line becomes one record with ns/op, B/op, allocs/op, and
 // any custom metrics (b.ReportMetric) keyed by unit. Environment header
 // lines (goos, goarch, pkg, cpu) are captured once.
+//
+// With -diff, benchjson instead compares two such documents and prints a
+// per-benchmark delta table (ns/op and allocs/op with % change):
+//
+//	go run ./cmd/benchjson -diff BENCH_PR2.json BENCH_PR3.json
+//
+// The diff is informational and always exits 0 when both files parse, so it
+// can run in CI without gating merges on a noisy shared runner.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Result is one parsed benchmark line.
@@ -35,6 +45,23 @@ type Report struct {
 }
 
 func main() {
+	diff := flag.Bool("diff", false, "compare two benchmark JSON files: benchjson -diff OLD NEW")
+	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	runParse()
+}
+
+func runParse() {
 	report := Report{Env: map[string]string{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -93,5 +120,78 @@ func main() {
 	if err := enc.Encode(report); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func runDiff(oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Result, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newSeen := make(map[string]bool, len(newRep.Benchmarks))
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "benchmark\tns/op %s\tns/op %s\tΔ\tallocs %s\tallocs %s\tΔ\t\n",
+		oldPath, newPath, oldPath, newPath)
+	for _, nb := range newRep.Benchmarks {
+		newSeen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%s\t(new)\t-\t%s\t(new)\t\n",
+				nb.Name, fmtVal(nb.NsPerOp), fmtVal(nb.AllocsOp))
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n", nb.Name,
+			fmtVal(ob.NsPerOp), fmtVal(nb.NsPerOp), fmtDelta(ob.NsPerOp, nb.NsPerOp),
+			fmtVal(ob.AllocsOp), fmtVal(nb.AllocsOp), fmtDelta(ob.AllocsOp, nb.AllocsOp))
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !newSeen[ob.Name] {
+			fmt.Fprintf(w, "%s\t%s\t-\t(gone)\t%s\t-\t(gone)\t\n",
+				ob.Name, fmtVal(ob.NsPerOp), fmtVal(ob.AllocsOp))
+		}
+	}
+	return w.Flush()
+}
+
+// fmtVal prints a measured value; 0 is a real measurement (0 allocs/op is
+// the goal state of this repo's hot paths), not missing data — absent
+// benchmarks are rendered as explicit (new)/(gone) rows instead.
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+func fmtDelta(old, new float64) string {
+	switch {
+	case old == new:
+		return "+0.0%"
+	case old == 0:
+		// A 0 → N regression has no finite percentage; make it loud.
+		return "+inf%"
+	default:
+		return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
 	}
 }

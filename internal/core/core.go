@@ -143,7 +143,9 @@ func flatForest(f *hierarchy.Forest) *hierarchy.Forest {
 
 // Frequencies runs only the frequency-counting part of the preprocessing
 // job and returns the per-item hierarchy-aware document frequencies, for
-// reuse across Mine calls via Options.Freqs.
+// reuse across Mine calls via Options.Freqs. It reads the counts straight
+// off the f-list job output without deriving a rank space (no σ is involved
+// in the counts themselves).
 func Frequencies(db *gsm.Database, flat bool, cfg mapreduce.Config) ([]int64, error) {
 	work := db
 	if flat {
@@ -152,22 +154,14 @@ func Frequencies(db *gsm.Database, flat bool, cfg mapreduce.Config) ([]int64, er
 	if err := work.Validate(); err != nil {
 		return nil, err
 	}
-	// Any σ ≥ 1 yields the same frequencies; build with σ=1 and discard the
-	// rank space.
-	fl, _, err := FListJob(work, 1, cfg)
-	if err != nil {
-		return nil, err
-	}
-	freqs := make([]int64, work.Forest.Size())
-	for w := range freqs {
-		freqs[w] = fl.Freq(hierarchy.Item(w))
-	}
-	return freqs, nil
+	freq, _, err := flistFrequencies(work, cfg)
+	return freq, err
 }
 
-// FListJob computes the generalized f-list with a MapReduce job (§3.3): map
-// emits each item of G1(T) once per sequence; reduce sums.
-func FListJob(db *gsm.Database, sigma int64, cfg mapreduce.Config) (*flist.FList, *mapreduce.Stats, error) {
+// flistFrequencies is the MapReduce core of the preprocessing job (§3.3):
+// map emits each item of G1(T) once per sequence; reduce sums. It returns
+// the per-item hierarchy-aware document frequencies.
+func flistFrequencies(db *gsm.Database, cfg mapreduce.Config) ([]int64, *mapreduce.Stats, error) {
 	type itemFreq struct {
 		w hierarchy.Item
 		n int64
@@ -197,6 +191,16 @@ func FListJob(db *gsm.Database, sigma int64, cfg mapreduce.Config) (*flist.FList
 	for _, f := range out {
 		freq[f.w] = f.n
 	}
+	return freq, stats, nil
+}
+
+// FListJob computes the generalized f-list with a MapReduce job and derives
+// the rank space for the given σ.
+func FListJob(db *gsm.Database, sigma int64, cfg mapreduce.Config) (*flist.FList, *mapreduce.Stats, error) {
+	freq, stats, err := flistFrequencies(db, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	fl, err := flist.Build(db.Forest, freq, sigma)
 	if err != nil {
 		return nil, nil, err
@@ -220,6 +224,17 @@ type mineScratch struct {
 	enc    []byte
 }
 
+// reduceScratch is the pooled per-Reduce working set of the partition+mine
+// job: a miner instance, its Scratch (candidate tables, posting arenas),
+// and — via the Scratch's exported decode buffers — the rank arena every
+// partition sequence is decoded into. One reduceScratch serves one Reduce
+// call at a time; the pool hands them to the reduce workers.
+type reduceScratch struct {
+	m    miner.Miner
+	sc   *miner.Scratch
+	part miner.Partition
+}
+
 // mineJob runs the partitioning and mining phases (Alg. 1) as one streaming
 // aggregated-shuffle job: map rewrites each input sequence per pivot and
 // emits the encoded partition sequence with weight 1; the substrate
@@ -236,6 +251,9 @@ func mineJob(db *gsm.Database, fl *flist.FList, opt Options) (*Result, error) {
 		rw := rewrite.NewRewriter(fl, opt.Params.Gamma, opt.Params.Lambda)
 		rw.Mode = opt.Rewrites
 		return &mineScratch{rw: rw}
+	}}
+	reducers := sync.Pool{New: func() any {
+		return &reduceScratch{m: miner.New(opt.Miner), sc: miner.NewScratch()}
 	}}
 	localCfg := miner.Config{
 		Sigma:     opt.Params.Sigma,
@@ -268,31 +286,60 @@ func mineJob(db *gsm.Database, fl *flist.FList, opt Options) (*Result, error) {
 		},
 		Reduce: func(group uint32, entries []mapreduce.Entry, emit func(patternOut)) error {
 			pivot := flist.Rank(group)
-			p := &miner.Partition{
-				Pivot:  pivot,
-				Parent: parent,
-				Seqs:   make([]miner.WSeq, 0, len(entries)),
-			}
+			rs := reducers.Get().(*reduceScratch)
+			defer reducers.Put(rs)
+			sc := rs.sc
+			// Decode the whole partition into one grown-once rank arena:
+			// size it exactly, then append every sequence back to back.
+			total := 0
 			for _, e := range entries {
-				items, err := seqenc.DecodeSeq(nil, e.Key)
+				n, err := seqenc.DecodedLen(e.Key)
 				if err != nil {
 					// A decode failure means partition data was corrupted in
 					// flight; dropping the sequence would silently undercount
 					// supports, so fail the run instead.
 					return fmt.Errorf("core: partition %d: corrupt partition sequence: %w", pivot, err)
 				}
-				p.Seqs = append(p.Seqs, miner.WSeq{Items: items, Weight: e.Weight})
+				total += n
 			}
+			if cap(sc.RankArena) < total {
+				sc.RankArena = make([]flist.Rank, 0, total)
+			} else {
+				sc.RankArena = sc.RankArena[:0]
+			}
+			sc.Seqs = sc.Seqs[:0]
+			for _, e := range entries {
+				start := len(sc.RankArena)
+				var err error
+				sc.RankArena, err = seqenc.DecodeSeq(sc.RankArena, e.Key)
+				if err != nil {
+					return fmt.Errorf("core: partition %d: corrupt partition sequence: %w", pivot, err)
+				}
+				sc.Seqs = append(sc.Seqs, miner.WSeq{
+					Items:  sc.RankArena[start:len(sc.RankArena):len(sc.RankArena)],
+					Weight: e.Weight,
+				})
+			}
+			rs.part = miner.Partition{Pivot: pivot, Parent: parent, Seqs: sc.Seqs}
 			partitions.Add(1)
-			partSeqs.Add(int64(len(p.Seqs)))
+			partSeqs.Add(int64(len(sc.Seqs)))
 			for {
 				cur := maxPart.Load()
-				if int64(len(p.Seqs)) <= cur || maxPart.CompareAndSwap(cur, int64(len(p.Seqs))) {
+				if int64(len(sc.Seqs)) <= cur || maxPart.CompareAndSwap(cur, int64(len(sc.Seqs))) {
 					break
 				}
 			}
-			st := miner.New(opt.Miner).Mine(p, localCfg, func(pat []flist.Rank, sup int64) {
-				emit(patternOut{ranks: append([]flist.Rank(nil), pat...), support: sup})
+			// Emitted patterns escape the reduce call, so they cannot live in
+			// pooled scratch; copy them into chunks amortizing one allocation
+			// over many patterns instead of one per pattern.
+			var chunk []flist.Rank
+			st := rs.m.Mine(&rs.part, localCfg, sc, func(pat []flist.Rank, sup int64) {
+				if len(chunk)+len(pat) > cap(chunk) {
+					chunk = make([]flist.Rank, 0, max(1024, len(pat)))
+				}
+				start := len(chunk)
+				chunk = append(chunk, pat...)
+				emit(patternOut{ranks: chunk[start:len(chunk):len(chunk)], support: sup})
 			})
 			explored.Add(st.Explored)
 			output.Add(st.Output)

@@ -84,7 +84,7 @@ func refMineJob(t *testing.T, db *gsm.Database, fl *flist.FList, kind miner.Kind
 			if len(p.Seqs) == 0 {
 				return
 			}
-			miner.New(kind).Mine(p, localCfg, func(pat []flist.Rank, sup int64) {
+			miner.New(kind).Mine(p, localCfg, nil, func(pat []flist.Rank, sup int64) {
 				emit(patternOut{ranks: append([]flist.Rank(nil), pat...), support: sup})
 			})
 		},

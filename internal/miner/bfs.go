@@ -1,7 +1,7 @@
 package miner
 
 import (
-	"sort"
+	"slices"
 
 	"lash/internal/flist"
 )
@@ -14,23 +14,109 @@ import (
 // generated GSP-style — candidate S·a requires both its length-l prefix and
 // suffix to be frequent — and counted with a gap-constrained temporal join
 // of posting(S) with the single-item posting of a.
+//
+// Patterns are interned into a per-level rank-slice table (ids assigned in
+// generation order, postings flattened); the per-occurrence string keys of
+// the original formulation are gone — the only remaining per-pattern
+// allocation is the interning key itself, paid once per distinct pattern.
+// Each level emits its frequent patterns in rank-lexicographic order.
 type BFS struct{}
 
-// plEntry is one vertical posting entry: sequence id plus sorted distinct
-// end positions of the pattern's occurrences.
-type plEntry struct {
-	tid  int32
-	ends []int32
+// bfsScratch is the reusable BFS state inside Scratch.
+type bfsScratch struct {
+	items      postTable // hierarchy-aware single-item postings
+	f1         []flist.Rank
+	f1set      []bool
+	cur        bfsLevel
+	next       bfsLevel
+	keyBuf     []byte
+	seedPrefix [1]flist.Rank
+	joinBuf    bfsPosting
+	emitIDs    []int32
 }
 
-type posting struct {
-	entries []plEntry
+// bfsLevel interns the candidate patterns of one level: pattern id i has
+// ranks pats[i*l:(i+1)*l] and flattened posting posts[i].
+type bfsLevel struct {
+	l     int
+	n     int
+	pats  []flist.Rank
+	ids   map[string]int32
+	posts []bfsPosting
+}
+
+func (lv *bfsLevel) reset(l int) {
+	lv.l = l
+	lv.n = 0
+	lv.pats = lv.pats[:0]
+	if lv.ids == nil {
+		lv.ids = make(map[string]int32)
+	} else {
+		clear(lv.ids)
+	}
+}
+
+func (lv *bfsLevel) pat(id int32) []flist.Rank {
+	return lv.pats[int(id)*lv.l : (int(id)+1)*lv.l]
+}
+
+// lookup resolves an interned pattern by its key bytes without allocating.
+func (lv *bfsLevel) lookup(key []byte) (int32, bool) {
+	id, ok := lv.ids[string(key)]
+	return id, ok
+}
+
+// getOrAdd interns the pattern encoded in key (ranks pat·last), resetting
+// the posting row of a newly created id.
+func (lv *bfsLevel) getOrAdd(key []byte, pat []flist.Rank, last flist.Rank) int32 {
+	if id, ok := lv.ids[string(key)]; ok {
+		return id
+	}
+	id := int32(lv.n)
+	lv.ids[string(key)] = id
+	lv.pats = append(lv.pats, pat...)
+	lv.pats = append(lv.pats, last)
+	if lv.n == len(lv.posts) {
+		lv.posts = append(lv.posts, bfsPosting{})
+	}
+	p := &lv.posts[lv.n]
+	p.support = 0
+	p.tids = p.tids[:0]
+	p.offs = p.offs[:0]
+	p.ends = p.ends[:0]
+	lv.n++
+	return id
+}
+
+// bfsPosting is a flattened vertical posting list (see postList); offs
+// carries the closing sentinel once the posting is sealed.
+type bfsPosting struct {
 	support int64
+	tids    []int32
+	offs    []int32
+	ends    []int32
+}
+
+func (p *bfsPosting) add(tid int32, w int64, q int32) {
+	if n := len(p.tids); n == 0 || p.tids[n-1] != tid {
+		p.tids = append(p.tids, tid)
+		p.offs = append(p.offs, int32(len(p.ends)))
+		p.support += w
+	}
+	p.ends = append(p.ends, q)
+}
+
+// appendRankKey appends the 4-byte interning key of a rank.
+func appendRankKey(b []byte, r flist.Rank) []byte {
+	return append(b, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
 }
 
 // Mine implements Miner.
-func (BFS) Mine(p *Partition, cfg Config, emit Emit) Stats {
-	b := &bfsRun{p: p, cfg: cfg, emit: emit, bound: cfg.bound(p)}
+func (BFS) Mine(p *Partition, cfg Config, sc *Scratch, emit Emit) Stats {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	b := &bfsRun{p: p, cfg: cfg, emit: emit, bound: cfg.bound(p), sc: sc, n: maxRankPlus1(p)}
 	b.run()
 	return b.stats
 }
@@ -41,97 +127,106 @@ type bfsRun struct {
 	emit  Emit
 	stats Stats
 	bound flist.Rank
-	anc   []flist.Rank
-	anc2  []flist.Rank
+	sc    *Scratch
+	n     int // dense table size (1 + max rank in the partition)
 }
 
 func (b *bfsRun) run() {
+	bs := &b.sc.bfs
 	items := b.itemPostings()
 	// Frequent single items, in rank order.
-	f1 := make([]flist.Rank, 0, len(items))
-	for a, pl := range items {
+	bs.f1 = bs.f1[:0]
+	if len(bs.f1set) < b.n {
+		bs.f1set = append(bs.f1set, make([]bool, b.n-len(bs.f1set))...)
+	}
+	clear(bs.f1set[:b.n])
+	for _, a := range items {
 		b.stats.Explored++
-		if pl.support >= b.cfg.Sigma {
-			f1 = append(f1, a)
+		if bs.items.rows[a].support >= b.cfg.Sigma {
+			bs.f1 = append(bs.f1, a)
+			bs.f1set[a] = true
 		}
 	}
-	sortRanks(f1)
-	f1set := make(map[flist.Rank]bool, len(f1))
-	for _, a := range f1 {
-		f1set[a] = true
-	}
-	if b.cfg.Lambda < 2 || len(f1) == 0 {
+	if b.cfg.Lambda < 2 || len(bs.f1) == 0 {
 		return
 	}
 
 	// Level 2: seed postings from G2(T) scans.
-	level := b.seedLevel2(f1set)
+	level := &bs.cur
+	b.seedLevel2(level)
 	b.emitLevel(level)
 
 	// Levels 3..λ: GSP-style candidate generation + temporal joins.
-	for l := 3; l <= b.cfg.Lambda && len(level) > 0; l++ {
-		next := make(map[string]*posting)
-		for key, pl := range level {
+	next := &bs.next
+	for l := 3; l <= b.cfg.Lambda && level.n > 0; l++ {
+		next.reset(l)
+		for id := int32(0); int(id) < level.n; id++ {
+			pl := &level.posts[id]
 			if pl.support < b.cfg.Sigma {
 				continue
 			}
-			prefix := ranksFromKey(key)
-			suffixKey := rankKey(prefix[1:])
-			for _, a := range f1 {
+			prefix := level.pat(id)
+			for _, a := range bs.f1 {
 				// Apriori: the suffix extended by a must be frequent.
-				sfx, ok := level[suffixKey+rankKey1(a)]
-				if !ok || sfx.support < b.cfg.Sigma {
+				key := appendRanksKey(bs.keyBuf[:0], prefix[1:])
+				key = appendRankKey(key, a)
+				bs.keyBuf = key
+				sid, ok := level.lookup(key)
+				if !ok || level.posts[sid].support < b.cfg.Sigma {
 					continue
 				}
-				cand := b.join(pl, items[a])
+				b.join(pl, bs.items.rows[a].list(), &bs.joinBuf)
 				b.stats.Explored++
-				if cand.support >= b.cfg.Sigma {
-					next[key+rankKey1(a)] = cand
+				if bs.joinBuf.support >= b.cfg.Sigma {
+					key = appendRanksKey(bs.keyBuf[:0], prefix)
+					key = appendRankKey(key, a)
+					bs.keyBuf = key
+					nid := next.getOrAdd(key, prefix, a)
+					next.posts[nid], bs.joinBuf = bs.joinBuf, next.posts[nid]
 				}
 			}
 		}
-		level = next
+		level, next = next, level
 		b.emitLevel(level)
 	}
 }
 
+func appendRanksKey(b []byte, rs []flist.Rank) []byte {
+	for _, r := range rs {
+		b = appendRankKey(b, r)
+	}
+	return b
+}
+
 // itemPostings builds the vertical single-item index, hierarchy-aware: the
 // posting of item a holds every position where a or a descendant occurs.
-func (b *bfsRun) itemPostings() map[flist.Rank]*posting {
-	out := make(map[flist.Rank]*posting)
+// It returns the occurring ranks ascending; postings stay valid (and are
+// joined against) for the whole run.
+func (b *bfsRun) itemPostings() []flist.Rank {
+	t := &b.sc.bfs.items
+	t.begin(b.n)
 	for tid, ws := range b.p.Seqs {
 		for pos, r := range ws.Items {
 			if r == flist.NoRank {
 				continue
 			}
-			b.anc = b.p.SelfAnc(b.anc[:0], r)
-			for _, a := range b.anc {
+			b.sc.anc = b.p.SelfAnc(b.sc.anc[:0], r)
+			for _, a := range b.sc.anc {
 				if a > b.bound {
 					continue
 				}
-				pl := out[a]
-				if pl == nil {
-					pl = &posting{}
-					out[a] = pl
-				}
-				if n := len(pl.entries); n == 0 || pl.entries[n-1].tid != int32(tid) {
-					pl.entries = append(pl.entries, plEntry{tid: int32(tid)})
-					pl.support += ws.Weight
-				}
-				e := &pl.entries[len(pl.entries)-1]
-				if n := len(e.ends); n == 0 || e.ends[n-1] != int32(pos) {
-					e.ends = append(e.ends, int32(pos))
-				}
+				t.add(a, int32(tid), ws.Weight, int32(pos), true)
 			}
 		}
 	}
-	return out
+	return t.finish()
 }
 
 // seedLevel2 scans each sequence for G2(T): all generalized 2-subsequences
 // within the gap constraint whose items are locally frequent.
-func (b *bfsRun) seedLevel2(f1 map[flist.Rank]bool) map[string]*posting {
-	out := make(map[string]*posting)
+func (b *bfsRun) seedLevel2(lv *bfsLevel) {
+	bs := &b.sc.bfs
+	lv.reset(2)
 	gamma := b.cfg.Gamma
 	for tid, ws := range b.p.Seqs {
 		seq := ws.Items
@@ -147,131 +242,116 @@ func (b *bfsRun) seedLevel2(f1 map[flist.Rank]bool) map[string]*posting {
 				if seq[j] == flist.NoRank {
 					continue
 				}
-				b.anc = b.p.SelfAnc(b.anc[:0], seq[i])
-				b.anc2 = b.p.SelfAnc(b.anc2[:0], seq[j])
-				for _, u := range b.anc {
-					if !f1[u] {
+				b.sc.anc = b.p.SelfAnc(b.sc.anc[:0], seq[i])
+				b.sc.anc2 = b.p.SelfAnc(b.sc.anc2[:0], seq[j])
+				for _, u := range b.sc.anc {
+					if !bs.f1set[u] {
 						continue
 					}
-					for _, v := range b.anc2 {
-						if !f1[v] {
+					for _, v := range b.sc.anc2 {
+						if !bs.f1set[v] {
 							continue
 						}
-						key := rankKey1(u) + rankKey1(v)
-						pl := out[key]
-						if pl == nil {
-							pl = &posting{}
-							out[key] = pl
-						}
-						if n := len(pl.entries); n == 0 || pl.entries[n-1].tid != int32(tid) {
-							pl.entries = append(pl.entries, plEntry{tid: int32(tid)})
-							pl.support += ws.Weight
-						}
-						e := &pl.entries[len(pl.entries)-1]
-						e.ends = append(e.ends, int32(j)) // deduped below
+						key := appendRankKey(appendRankKey(bs.keyBuf[:0], u), v)
+						bs.keyBuf = key
+						bs.seedPrefix[0] = u
+						id := lv.getOrAdd(key, bs.seedPrefix[:], v) // pat = u·v
+						lv.posts[id].add(int32(tid), ws.Weight, int32(j))
 					}
 				}
 			}
 		}
 	}
 	// The scan can record the same end twice (different first positions);
-	// sort + dedupe each entry, then account one exploration per candidate.
-	for _, pl := range out {
+	// sort + dedupe each entry, seal the offsets, then account one
+	// exploration per candidate.
+	for id := 0; id < lv.n; id++ {
 		b.stats.Explored++
-		for i := range pl.entries {
-			pl.entries[i].ends = sortUnique(pl.entries[i].ends)
+		p := &lv.posts[id]
+		ends := p.ends
+		w := int32(0)
+		for i := range p.tids {
+			lo := p.offs[i]
+			hi := int32(len(ends))
+			if i+1 < len(p.offs) {
+				hi = p.offs[i+1]
+			}
+			region := ends[lo:hi]
+			slices.Sort(region)
+			p.offs[i] = w
+			for k := range region {
+				if k > 0 && region[k] == region[k-1] {
+					continue
+				}
+				ends[w] = region[k]
+				w++
+			}
 		}
+		p.ends = ends[:w]
+		p.offs = append(p.offs, w)
 	}
-	return out
 }
 
 // join computes the posting of pattern S·a from posting(S) and the item
-// posting of a: an occurrence of S ending at e extends to one ending at q
-// when 0 < q−e ≤ γ+1.
-func (b *bfsRun) join(pl *posting, item *posting) *posting {
-	out := &posting{}
+// posting of a into out: an occurrence of S ending at e extends to one
+// ending at q when 0 < q−e ≤ γ+1.
+func (b *bfsRun) join(pl *bfsPosting, item postList, out *bfsPosting) {
+	out.support = 0
+	out.tids = out.tids[:0]
+	out.offs = out.offs[:0]
+	out.ends = out.ends[:0]
 	gamma := int32(b.cfg.Gamma)
 	i, j := 0, 0
-	for i < len(pl.entries) && j < len(item.entries) {
-		pe, ie := &pl.entries[i], &item.entries[j]
+	for i < len(pl.tids) && j < len(item.tids) {
 		switch {
-		case pe.tid < ie.tid:
+		case pl.tids[i] < item.tids[j]:
 			i++
-		case pe.tid > ie.tid:
+		case pl.tids[i] > item.tids[j]:
 			j++
 		default:
-			var ends []int32
+			start := int32(len(out.ends))
+			pe := pl.ends[pl.offs[i]:pl.offs[i+1]]
 			ei := 0
-			for _, q := range ie.ends {
+			for _, q := range item.ends[item.offs[j]:item.offs[j+1]] {
 				// Advance past ends too far left to reach q.
-				for ei < len(pe.ends) && q-pe.ends[ei] > gamma+1 {
+				for ei < len(pe) && q-pe[ei] > gamma+1 {
 					ei++
 				}
-				if ei < len(pe.ends) && pe.ends[ei] < q {
-					ends = append(ends, q)
+				if ei < len(pe) && pe[ei] < q {
+					out.ends = append(out.ends, q)
 				}
 			}
-			if len(ends) > 0 {
-				out.entries = append(out.entries, plEntry{tid: pe.tid, ends: ends})
-				out.support += b.p.Seqs[pe.tid].Weight
+			if int32(len(out.ends)) > start {
+				out.tids = append(out.tids, pl.tids[i])
+				out.offs = append(out.offs, start)
+				out.support += b.p.Seqs[pl.tids[i]].Weight
 			}
 			i++
 			j++
 		}
 	}
-	return out
+	out.offs = append(out.offs, int32(len(out.ends)))
 }
 
-// emitLevel outputs the frequent patterns of a level.
-func (b *bfsRun) emitLevel(level map[string]*posting) {
-	keys := make([]string, 0, len(level))
-	for k, pl := range level {
-		if pl.support >= b.cfg.Sigma {
-			keys = append(keys, k)
+// emitLevel outputs the frequent patterns of a level in rank-lexicographic
+// order.
+func (b *bfsRun) emitLevel(lv *bfsLevel) {
+	bs := &b.sc.bfs
+	bs.emitIDs = bs.emitIDs[:0]
+	for id := int32(0); int(id) < lv.n; id++ {
+		if lv.posts[id].support >= b.cfg.Sigma {
+			bs.emitIDs = append(bs.emitIDs, id)
 		}
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		pat := ranksFromKey(k)
+	slices.SortFunc(bs.emitIDs, func(a, c int32) int {
+		return slices.Compare(lv.pat(a), lv.pat(c))
+	})
+	for _, id := range bs.emitIDs {
+		pat := lv.pat(id)
 		if b.cfg.PivotOnly && !ContainsPivot(pat, b.p.Pivot) {
 			continue
 		}
-		b.emit(pat, level[k].support)
+		b.emit(pat, lv.posts[id].support)
 		b.stats.Output++
 	}
-}
-
-func rankKey1(r flist.Rank) string {
-	return string([]byte{byte(r), byte(r >> 8), byte(r >> 16), byte(r >> 24)})
-}
-
-func rankKey(rs []flist.Rank) string {
-	b := make([]byte, 0, 4*len(rs))
-	for _, r := range rs {
-		b = append(b, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
-	}
-	return string(b)
-}
-
-func ranksFromKey(k string) []flist.Rank {
-	rs := make([]flist.Rank, len(k)/4)
-	for i := range rs {
-		rs[i] = flist.Rank(k[4*i]) | flist.Rank(k[4*i+1])<<8 |
-			flist.Rank(k[4*i+2])<<16 | flist.Rank(k[4*i+3])<<24
-	}
-	return rs
-}
-
-func sortUnique(xs []int32) []int32 {
-	if len(xs) < 2 {
-		return xs
-	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
-	out := xs[:1]
-	for _, x := range xs[1:] {
-		if x != out[len(out)-1] {
-			out = append(out, x)
-		}
-	}
-	return out
 }

@@ -7,25 +7,20 @@ import "lash/internal/flist"
 // right-expands: for the current pattern S, the projected database holds the
 // end positions of S's occurrences per sequence; the right items of a
 // sequence are the generalizations of the items within gap γ after any end.
+//
+// Projected databases are accumulated in the dense rank-indexed tables of
+// Scratch, one table per pattern length, reused across sibling expansions
+// via the epoch counter.
 type DFS struct{}
 
-// dproj is one projected-database entry: a sequence id and the sorted,
-// distinct end positions of the current pattern's occurrences in it.
-type dproj struct {
-	tid  int32
-	ends []int32
-}
-
-// dcand accumulates a right-expansion candidate during a scan.
-type dcand struct {
-	proj    []dproj
-	support int64
-}
-
 // Mine implements Miner.
-func (DFS) Mine(p *Partition, cfg Config, emit Emit) Stats {
-	d := &dfsRun{p: p, cfg: cfg, emit: emit, bound: cfg.bound(p)}
+func (DFS) Mine(p *Partition, cfg Config, sc *Scratch, emit Emit) Stats {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	d := &dfsRun{p: p, cfg: cfg, emit: emit, bound: cfg.bound(p), sc: sc, n: maxRankPlus1(p)}
 	d.run()
+	sc.pattern = d.pattern[:0]
 	return d.stats
 }
 
@@ -35,74 +30,61 @@ type dfsRun struct {
 	emit  Emit
 	stats Stats
 	bound flist.Rank
+	sc    *Scratch
+	n     int // dense table size (1 + max rank in the partition)
 
 	pattern []flist.Rank
-	anc     []flist.Rank
-	qbuf    []int32
 }
 
 func (d *dfsRun) run() {
 	// Initial projections: one per locally frequent item; the "ends" of a
 	// single-item pattern are all positions where the item or one of its
 	// descendants occurs.
-	cands := make(map[flist.Rank]*dcand)
+	rt := d.sc.rightAt(0)
+	rt.begin(d.n)
 	for tid, ws := range d.p.Seqs {
 		for pos, r := range ws.Items {
 			if r == flist.NoRank {
 				continue
 			}
-			d.anc = d.p.SelfAnc(d.anc[:0], r)
-			for _, a := range d.anc {
+			d.sc.anc = d.p.SelfAnc(d.sc.anc[:0], r)
+			for _, a := range d.sc.anc {
 				if a > d.bound {
 					continue
 				}
-				c := cands[a]
-				if c == nil {
-					c = &dcand{}
-					cands[a] = c
-				}
-				if n := len(c.proj); n == 0 || c.proj[n-1].tid != int32(tid) {
-					c.proj = append(c.proj, dproj{tid: int32(tid)})
-					c.support += ws.Weight
-				}
-				e := &c.proj[len(c.proj)-1]
-				if n := len(e.ends); n == 0 || e.ends[n-1] != int32(pos) {
-					e.ends = append(e.ends, int32(pos))
-				}
+				rt.add(a, int32(tid), ws.Weight, int32(pos), true)
 			}
 		}
 	}
-	items := make([]flist.Rank, 0, len(cands))
-	for a := range cands {
-		items = append(items, a)
-	}
-	sortRanks(items)
-	for _, a := range items {
-		c := cands[a]
+	d.pattern = d.sc.pattern[:0]
+	for _, a := range rt.finish() {
+		row := &rt.rows[a]
 		d.stats.Explored++ // the frequency of each single item is computed
-		if c.support < d.cfg.Sigma {
+		if row.support < d.cfg.Sigma {
 			continue
 		}
 		d.pattern = append(d.pattern[:0], a)
-		d.expand(c.proj, a == d.p.Pivot)
+		d.expand(row.list(), a == d.p.Pivot)
 	}
-	return
 }
 
 // expand grows the current pattern (already frequent) to the right.
-func (d *dfsRun) expand(proj []dproj, hasPivot bool) {
+func (d *dfsRun) expand(proj postList, hasPivot bool) {
 	if len(d.pattern) == d.cfg.Lambda {
 		return
 	}
 	gamma := int32(d.cfg.Gamma)
-	cands := make(map[flist.Rank]*dcand)
-	for _, e := range proj {
-		seq := d.p.Seqs[e.tid].Items
+	rt := d.sc.rightAt(len(d.pattern))
+	rt.begin(d.n)
+	for i := range proj.tids {
+		tid := proj.tids[i]
+		ws := d.p.Seqs[tid]
+		seq := ws.Items
 		// Merge the per-end windows into a sorted, distinct position list.
-		d.qbuf = d.qbuf[:0]
+		qbuf := d.sc.qbuf[:0]
 		n := int32(len(seq))
 		next := int32(0) // next unvisited position, keeps qbuf sorted+unique
-		for _, end := range e.ends {
+		for _, end := range proj.ends[proj.offs[i]:proj.offs[i+1]] {
 			lo := end + 1
 			if lo < next {
 				lo = next
@@ -112,55 +94,40 @@ func (d *dfsRun) expand(proj []dproj, hasPivot bool) {
 				hi = n - 1
 			}
 			for q := lo; q <= hi; q++ {
-				d.qbuf = append(d.qbuf, q)
+				qbuf = append(qbuf, q)
 			}
 			if hi+1 > next {
 				next = hi + 1
 			}
 		}
-		w := d.p.Seqs[e.tid].Weight
-		for _, q := range d.qbuf {
+		d.sc.qbuf = qbuf
+		for _, q := range qbuf {
 			r := seq[q]
 			if r == flist.NoRank {
 				continue
 			}
-			d.anc = d.p.SelfAnc(d.anc[:0], r)
-			for _, a := range d.anc {
+			d.sc.anc = d.p.SelfAnc(d.sc.anc[:0], r)
+			for _, a := range d.sc.anc {
 				if a > d.bound {
 					continue
 				}
-				c := cands[a]
-				if c == nil {
-					c = &dcand{}
-					cands[a] = c
-				}
-				if n := len(c.proj); n == 0 || c.proj[n-1].tid != e.tid {
-					c.proj = append(c.proj, dproj{tid: e.tid})
-					c.support += w
-				}
-				pe := &c.proj[len(c.proj)-1]
-				pe.ends = append(pe.ends, q) // q ascending per tid → sorted+unique
+				rt.add(a, tid, ws.Weight, q, false) // q ascending per tid → sorted+unique
 			}
 		}
 	}
-	items := make([]flist.Rank, 0, len(cands))
-	for a := range cands {
-		items = append(items, a)
-	}
-	sortRanks(items)
-	for _, a := range items {
-		c := cands[a]
+	for _, a := range rt.finish() {
+		row := &rt.rows[a]
 		d.stats.Explored++
-		if c.support < d.cfg.Sigma {
+		if row.support < d.cfg.Sigma {
 			continue
 		}
 		d.pattern = append(d.pattern, a)
 		hp := hasPivot || a == d.p.Pivot
 		if len(d.pattern) >= 2 && (!d.cfg.PivotOnly || hp) {
-			d.emit(d.pattern, c.support)
+			d.emit(d.pattern, row.support)
 			d.stats.Output++
 		}
-		d.expand(c.proj, hp)
+		d.expand(row.list(), hp)
 		d.pattern = d.pattern[:len(d.pattern)-1]
 	}
 }

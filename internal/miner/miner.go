@@ -14,11 +14,18 @@
 // frequency ranks, blanks are flist.NoRank and match nothing, and the item
 // hierarchy is the rank-parent table. Support is weighted: partitions store
 // aggregated duplicate sequences (§4.4).
+//
+// The miners share a reusable working set, Scratch: dense rank-indexed
+// candidate tables (candidate ranks inside a partition are bounded by the
+// pivot's rank, §4.2), flattened arena-backed posting lists, and per-depth
+// bitsets for PSM's right-expansion index. Callers that mine many partitions
+// should pool Scratch values (one per worker) and pass them to Mine; the
+// hot path then performs no per-expansion allocation.
 package miner
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"lash/internal/flist"
 )
@@ -92,9 +99,11 @@ func (s *Stats) Add(o Stats) {
 // pattern slice is only valid during the call.
 type Emit func(pattern []flist.Rank, support int64)
 
-// Miner is a local GSM mining algorithm.
+// Miner is a local GSM mining algorithm. Mine accumulates all intermediate
+// state in sc, which may be reused across calls (see Scratch for the reuse
+// contract); a nil sc makes Mine allocate a private scratch.
 type Miner interface {
-	Mine(p *Partition, cfg Config, emit Emit) Stats
+	Mine(p *Partition, cfg Config, sc *Scratch, emit Emit) Stats
 }
 
 // Kind selects a local miner implementation.
@@ -154,29 +163,27 @@ func ContainsPivot(pattern []flist.Rank, pivot flist.Rank) bool {
 	return false
 }
 
-// sortRanks sorts a rank slice ascending (deterministic iteration order).
-func sortRanks(rs []flist.Rank) {
-	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+// sortUniqueTail sorts dst[start:] ascending, removes duplicates in place,
+// and returns dst truncated after the unique region.
+func sortUniqueTail(dst []int32, start int) []int32 {
+	region := dst[start:]
+	slices.Sort(region)
+	return dst[:start+len(slices.Compact(region))]
 }
 
-// CollectPatterns is a test convenience: runs a miner and returns patterns
-// sorted canonically (by length, then rank-lexicographic).
+// CollectPatterns is a test convenience: runs a miner (with a private
+// scratch) and returns patterns sorted canonically (by length, then
+// rank-lexicographic).
 func CollectPatterns(m Miner, p *Partition, cfg Config) ([]WSeq, Stats) {
 	var out []WSeq
-	stats := m.Mine(p, cfg, func(pattern []flist.Rank, support int64) {
+	stats := m.Mine(p, cfg, nil, func(pattern []flist.Rank, support int64) {
 		out = append(out, WSeq{Items: append([]flist.Rank(nil), pattern...), Weight: support})
 	})
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Items, out[j].Items
-		if len(a) != len(b) {
-			return len(a) < len(b)
+	slices.SortFunc(out, func(a, b WSeq) int {
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) - len(b.Items)
 		}
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
+		return slices.Compare(a.Items, b.Items)
 	})
 	return out, stats
 }

@@ -236,7 +236,7 @@ func bruteMine(p *miner.Partition, cfg miner.Config) map[string]int64 {
 
 func minerOutputMap(m miner.Miner, p *miner.Partition, cfg miner.Config) (map[string]int64, miner.Stats) {
 	out := make(map[string]int64)
-	stats := m.Mine(p, cfg, func(pat []flist.Rank, sup int64) {
+	stats := m.Mine(p, cfg, nil, func(pat []flist.Rank, sup int64) {
 		out[rankKey(pat)] = sup
 	})
 	return out, stats

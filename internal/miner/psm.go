@@ -1,10 +1,6 @@
 package miner
 
-import (
-	"sort"
-
-	"lash/internal/flist"
-)
+import "lash/internal/flist"
 
 // PSM is the pivot sequence miner (§5.2 of the paper). It explores only
 // pivot sequences by growing patterns from the pivot item outwards, using
@@ -20,58 +16,28 @@ import (
 // further left expansion, right candidates at depth d are restricted to that
 // set (sound by support monotonicity, Lemma 1) without computing their
 // support — the "PSM + Index" variant of Fig. 4(c,d).
+//
+// Candidates are accumulated in the dense rank-indexed tables of Scratch
+// (every rank in the partition is bounded by the pivot's rank, §4.2), and
+// the index is a per-depth bitset; the hot path allocates nothing once the
+// scratch buffers have grown.
 type PSM struct {
 	UseIndex bool
 }
 
-// occPair is one occurrence of a left-anchor pattern: the positions of its
-// first and last matched items.
-type occPair struct {
-	start, end int32
-}
-
-// aEntry is the per-sequence state of a left-anchor pattern.
-type aEntry struct {
-	tid  int32
-	occs []occPair
-}
-
-// rEntry is the per-sequence state inside a right-expansion chain: only the
-// distinct occurrence end positions matter there.
-type rEntry struct {
-	tid  int32
-	ends []int32
-}
-
-// rIndex is the right-expansion index: levels[d-1] holds the items that were
-// frequent as the d-th right expansion of the anchor it was recorded for.
-type rIndex struct {
-	levels []map[flist.Rank]bool
-}
-
-func newRIndex(lambda int) *rIndex {
-	return &rIndex{levels: make([]map[flist.Rank]bool, lambda)}
-}
-
-func (x *rIndex) add(depth int, a flist.Rank) {
-	if x == nil {
-		return
-	}
-	if x.levels[depth-1] == nil {
-		x.levels[depth-1] = make(map[flist.Rank]bool)
-	}
-	x.levels[depth-1][a] = true
-}
-
-func (x *rIndex) has(depth int, a flist.Rank) bool {
-	return x.levels[depth-1][a]
-}
-
 // Mine implements Miner. PSM produces pivot sequences natively, so the
 // PivotOnly flag is effectively always on.
-func (m *PSM) Mine(p *Partition, cfg Config, emit Emit) Stats {
-	run := &psmRun{p: p, cfg: cfg, emit: emit, useIndex: m.UseIndex, bound: p.Pivot}
+func (m *PSM) Mine(p *Partition, cfg Config, sc *Scratch, emit Emit) Stats {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	n := maxRankPlus1(p)
+	run := &psmRun{
+		p: p, cfg: cfg, emit: emit, useIndex: m.UseIndex,
+		bound: p.Pivot, sc: sc, n: n, words: (n + 63) / 64,
+	}
 	run.run()
+	sc.pattern = run.pattern[:0]
 	return run.stats
 }
 
@@ -82,10 +48,11 @@ type psmRun struct {
 	useIndex bool
 	stats    Stats
 	bound    flist.Rank // pivot sequences never contain larger items
+	sc       *Scratch
+	n        int // dense table size (1 + max rank in the partition)
+	words    int // bitset words per index level
 
 	pattern []flist.Rank
-	anc     []flist.Rank
-	qbuf    []int32
 }
 
 func (d *psmRun) run() {
@@ -93,60 +60,65 @@ func (d *psmRun) run() {
 	// the pivot. (After w-generalization these are exactly the positions
 	// equal to the pivot, but accepting descendants keeps PSM correct on
 	// arbitrary partitions.)
-	var anchor []aEntry
+	sc := d.sc
+	sc.anchorTids = sc.anchorTids[:0]
+	sc.anchorOffs = sc.anchorOffs[:0]
+	sc.anchorOccs = sc.anchorOccs[:0]
 	for tid, ws := range d.p.Seqs {
 		for pos, r := range ws.Items {
 			if r == flist.NoRank {
 				continue
 			}
-			d.anc = d.p.SelfAnc(d.anc[:0], r)
-			for _, a := range d.anc {
+			sc.anc = d.p.SelfAnc(sc.anc[:0], r)
+			for _, a := range sc.anc {
 				if a != d.p.Pivot {
 					continue
 				}
-				if n := len(anchor); n == 0 || anchor[n-1].tid != int32(tid) {
-					anchor = append(anchor, aEntry{tid: int32(tid)})
+				if n := len(sc.anchorTids); n == 0 || sc.anchorTids[n-1] != int32(tid) {
+					sc.anchorTids = append(sc.anchorTids, int32(tid))
+					sc.anchorOffs = append(sc.anchorOffs, int32(len(sc.anchorOccs)))
 				}
-				e := &anchor[len(anchor)-1]
-				e.occs = append(e.occs, occPair{int32(pos), int32(pos)})
+				sc.anchorOccs = append(sc.anchorOccs, occPair{int32(pos), int32(pos)})
 				break
 			}
 		}
 	}
-	if len(anchor) == 0 {
+	if len(sc.anchorTids) == 0 {
 		return
 	}
-	d.pattern = append(d.pattern[:0], d.p.Pivot)
-	d.expandAnchor(anchor, nil)
+	sc.anchorOffs = append(sc.anchorOffs, int32(len(sc.anchorOccs)))
+	d.pattern = append(sc.pattern[:0], d.p.Pivot)
+	d.expandAnchor(occList{sc.anchorTids, sc.anchorOffs, sc.anchorOccs}, nil)
 }
 
 // expandAnchor handles a left-anchor pattern (of the form Sl·w): first all
 // right-expansion chains, then the left expansions, each recursing as a new
 // anchor (Alg. 2 lines 16-22).
-func (d *psmRun) expandAnchor(anchor []aEntry, parentIdx *rIndex) {
+func (d *psmRun) expandAnchor(anchor occList, parentIdx *rIndex) {
 	var myIdx *rIndex
 	if d.useIndex {
-		myIdx = newRIndex(d.cfg.Lambda)
+		myIdx = d.sc.ridxAt(len(d.pattern), d.cfg.Lambda, d.words)
 	}
 	d.expandRight(d.endsOf(anchor), 1, parentIdx, myIdx)
 
 	if len(d.pattern) == d.cfg.Lambda {
 		return
 	}
-	cands, order := d.collectLeft(anchor)
+	lt := d.sc.leftAt(len(d.pattern))
+	order := d.collectLeft(anchor, lt)
 	for _, a := range order {
-		c := cands[a]
+		row := &lt.rows[a]
 		d.stats.Explored++
-		if c.support < d.cfg.Sigma {
+		if row.support < d.cfg.Sigma {
 			continue
 		}
 		// Prepend a to the pattern.
 		d.pattern = append(d.pattern, 0)
 		copy(d.pattern[1:], d.pattern)
 		d.pattern[0] = a
-		d.emit(d.pattern, c.support)
+		d.emit(d.pattern, row.support)
 		d.stats.Output++
-		d.expandAnchor(c.entries, myIdx)
+		d.expandAnchor(row.list(), myIdx)
 		copy(d.pattern, d.pattern[1:])
 		d.pattern = d.pattern[:len(d.pattern)-1]
 	}
@@ -154,11 +126,12 @@ func (d *psmRun) expandAnchor(anchor []aEntry, parentIdx *rIndex) {
 
 // expandRight extends the current pattern to the right (never with the
 // pivot), restricted by the parent anchor's right-expansion index.
-func (d *psmRun) expandRight(state []rEntry, depth int, parentIdx, myIdx *rIndex) {
-	if len(d.pattern) == d.cfg.Lambda || len(state) == 0 {
+func (d *psmRun) expandRight(state postList, depth int, parentIdx, myIdx *rIndex) {
+	if len(d.pattern) == d.cfg.Lambda || len(state.tids) == 0 {
 		return
 	}
-	cands, order := d.collectRight(state)
+	rt := d.sc.rightAt(len(d.pattern))
+	order := d.collectRight(state, rt)
 	for _, a := range order {
 		if a == d.p.Pivot {
 			continue // pivot never appears in Sr (unique decomposition)
@@ -166,37 +139,33 @@ func (d *psmRun) expandRight(state []rEntry, depth int, parentIdx, myIdx *rIndex
 		if parentIdx != nil && !parentIdx.has(depth, a) {
 			continue // pruned by the index: support not even computed
 		}
-		c := cands[a]
+		row := &rt.rows[a]
 		d.stats.Explored++
-		if c.support < d.cfg.Sigma {
+		if row.support < d.cfg.Sigma {
 			continue
 		}
 		myIdx.add(depth, a)
 		d.pattern = append(d.pattern, a)
-		d.emit(d.pattern, c.support)
+		d.emit(d.pattern, row.support)
 		d.stats.Output++
-		d.expandRight(c.entries, depth+1, parentIdx, myIdx)
+		d.expandRight(row.list(), depth+1, parentIdx, myIdx)
 		d.pattern = d.pattern[:len(d.pattern)-1]
 	}
 }
 
-type rCand struct {
-	entries []rEntry
-	support int64
-}
-
 // collectRight gathers W^right: the generalizations of items occurring within
-// gap γ after any occurrence end.
-func (d *psmRun) collectRight(state []rEntry) (map[flist.Rank]*rCand, []flist.Rank) {
-	cands := make(map[flist.Rank]*rCand)
+// gap γ after any occurrence end, accumulated into the dense table rt.
+func (d *psmRun) collectRight(state postList, rt *postTable) []flist.Rank {
+	rt.begin(d.n)
 	gamma := int32(d.cfg.Gamma)
-	for _, e := range state {
-		ws := d.p.Seqs[e.tid]
+	for i := range state.tids {
+		tid := state.tids[i]
+		ws := d.p.Seqs[tid]
 		seq := ws.Items
 		n := int32(len(seq))
-		d.qbuf = d.qbuf[:0]
+		qbuf := d.sc.qbuf[:0]
 		next := int32(0)
-		for _, end := range e.ends {
+		for _, end := range state.ends[state.offs[i]:state.offs[i+1]] {
 			lo := end + 1
 			if lo < next {
 				lo = next
@@ -206,54 +175,41 @@ func (d *psmRun) collectRight(state []rEntry) (map[flist.Rank]*rCand, []flist.Ra
 				hi = n - 1
 			}
 			for q := lo; q <= hi; q++ {
-				d.qbuf = append(d.qbuf, q)
+				qbuf = append(qbuf, q)
 			}
 			if hi+1 > next {
 				next = hi + 1
 			}
 		}
-		for _, q := range d.qbuf {
+		d.sc.qbuf = qbuf
+		for _, q := range qbuf {
 			r := seq[q]
 			if r == flist.NoRank {
 				continue
 			}
-			d.anc = d.p.SelfAnc(d.anc[:0], r)
-			for _, a := range d.anc {
+			d.sc.anc = d.p.SelfAnc(d.sc.anc[:0], r)
+			for _, a := range d.sc.anc {
 				if a > d.bound {
 					continue
 				}
-				c := cands[a]
-				if c == nil {
-					c = &rCand{}
-					cands[a] = c
-				}
-				if n := len(c.entries); n == 0 || c.entries[n-1].tid != e.tid {
-					c.entries = append(c.entries, rEntry{tid: e.tid})
-					c.support += ws.Weight
-				}
-				ce := &c.entries[len(c.entries)-1]
-				ce.ends = append(ce.ends, q)
+				rt.add(a, tid, ws.Weight, q, false)
 			}
 		}
 	}
-	return cands, sortedCandRanks(cands)
-}
-
-type aCand struct {
-	entries []aEntry
-	support int64
+	return rt.finish()
 }
 
 // collectLeft gathers W^left: the generalizations of items occurring within
 // gap γ before any occurrence start; new occurrences keep the old ends so
 // that subsequent right expansions of the extended anchor stay exact.
-func (d *psmRun) collectLeft(anchor []aEntry) (map[flist.Rank]*aCand, []flist.Rank) {
-	cands := make(map[flist.Rank]*aCand)
+func (d *psmRun) collectLeft(anchor occList, lt *occTable) []flist.Rank {
+	lt.begin(d.n)
 	gamma := int32(d.cfg.Gamma)
-	for _, e := range anchor {
-		ws := d.p.Seqs[e.tid]
+	for i := range anchor.tids {
+		tid := anchor.tids[i]
+		ws := d.p.Seqs[tid]
 		seq := ws.Items
-		for _, oc := range e.occs {
+		for _, oc := range anchor.occs[anchor.offs[i]:anchor.offs[i+1]] {
 			lo := oc.start - 1 - gamma
 			if lo < 0 {
 				lo = 0
@@ -263,83 +219,36 @@ func (d *psmRun) collectLeft(anchor []aEntry) (map[flist.Rank]*aCand, []flist.Ra
 				if r == flist.NoRank {
 					continue
 				}
-				d.anc = d.p.SelfAnc(d.anc[:0], r)
-				for _, a := range d.anc {
+				d.sc.anc = d.p.SelfAnc(d.sc.anc[:0], r)
+				for _, a := range d.sc.anc {
 					if a > d.bound {
 						continue
 					}
-					c := cands[a]
-					if c == nil {
-						c = &aCand{}
-						cands[a] = c
-					}
-					if n := len(c.entries); n == 0 || c.entries[n-1].tid != e.tid {
-						c.entries = append(c.entries, aEntry{tid: e.tid})
-						c.support += ws.Weight
-					}
-					ce := &c.entries[len(c.entries)-1]
-					ce.occs = append(ce.occs, occPair{q, oc.end})
+					lt.add(a, tid, ws.Weight, occPair{q, oc.end})
 				}
 			}
 		}
 	}
-	// Deduplicate occurrence pairs (the same (start,end) can arise from
-	// different parent occurrences).
-	for _, c := range cands {
-		for i := range c.entries {
-			c.entries[i].occs = sortUniquePairs(c.entries[i].occs)
-		}
-	}
-	return cands, sortedLeftRanks(cands)
+	// finish deduplicates occurrence pairs (the same (start,end) can arise
+	// from different parent occurrences).
+	return lt.finish()
 }
 
 // endsOf projects anchor occurrences to their distinct end positions.
-func (d *psmRun) endsOf(anchor []aEntry) []rEntry {
-	out := make([]rEntry, 0, len(anchor))
-	for _, e := range anchor {
-		ends := make([]int32, 0, len(e.occs))
-		for _, oc := range e.occs {
-			ends = append(ends, oc.end)
+func (d *psmRun) endsOf(anchor occList) postList {
+	eb := d.sc.endsAt(len(d.pattern))
+	eb.tids = eb.tids[:0]
+	eb.offs = eb.offs[:0]
+	eb.ends = eb.ends[:0]
+	for i := range anchor.tids {
+		start := len(eb.ends)
+		for _, oc := range anchor.occs[anchor.offs[i]:anchor.offs[i+1]] {
+			eb.ends = append(eb.ends, oc.end)
 		}
-		out = append(out, rEntry{tid: e.tid, ends: sortUnique(ends)})
+		eb.ends = sortUniqueTail(eb.ends, start)
+		eb.tids = append(eb.tids, anchor.tids[i])
+		eb.offs = append(eb.offs, int32(start))
 	}
-	return out
-}
-
-func sortedCandRanks(cands map[flist.Rank]*rCand) []flist.Rank {
-	out := make([]flist.Rank, 0, len(cands))
-	for a := range cands {
-		out = append(out, a)
-	}
-	sortRanks(out)
-	return out
-}
-
-func sortedLeftRanks(cands map[flist.Rank]*aCand) []flist.Rank {
-	out := make([]flist.Rank, 0, len(cands))
-	for a := range cands {
-		out = append(out, a)
-	}
-	sortRanks(out)
-	return out
-}
-
-func sortUniquePairs(ps []occPair) []occPair {
-	if len(ps) < 2 {
-		return ps
-	}
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].start != ps[j].start {
-			return ps[i].start < ps[j].start
-		}
-		return ps[i].end < ps[j].end
-	})
-	out := ps[:1]
-	for _, p := range ps[1:] {
-		last := out[len(out)-1]
-		if p != last {
-			out = append(out, p)
-		}
-	}
-	return out
+	eb.offs = append(eb.offs, int32(len(eb.ends)))
+	return postList{eb.tids, eb.offs, eb.ends}
 }

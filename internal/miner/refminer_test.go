@@ -1,0 +1,709 @@
+package miner_test
+
+// This file preserves the PR 2 local miners verbatim (hash-map candidate
+// tables, per-candidate slices, string pattern keys) as the differential-
+// testing reference for the dense-table rewrite. The production miners must
+// reproduce their patterns, supports, and Stats counters exactly; see
+// diff_test.go.
+
+import (
+	"sort"
+
+	"lash/internal/flist"
+	"lash/internal/miner"
+)
+
+func refNew(k miner.Kind) miner.Miner {
+	switch k {
+	case miner.KindPSM:
+		return &refPSM{UseIndex: true}
+	case miner.KindPSMNoIndex:
+		return &refPSM{}
+	case miner.KindBFS:
+		return refBFS{}
+	case miner.KindDFS:
+		return refDFS{}
+	}
+	panic("refminer: unknown kind")
+}
+
+func refSortRanks(rs []flist.Rank) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+}
+
+func refSortUnique(xs []int32) []int32 {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// --- PSM (reference) --------------------------------------------------------
+
+type refPSM struct {
+	UseIndex bool
+}
+
+type refOccPair struct {
+	start, end int32
+}
+
+type refAEntry struct {
+	tid  int32
+	occs []refOccPair
+}
+
+type refREntry struct {
+	tid  int32
+	ends []int32
+}
+
+type refRIndex struct {
+	levels []map[flist.Rank]bool
+}
+
+func newRefRIndex(lambda int) *refRIndex {
+	return &refRIndex{levels: make([]map[flist.Rank]bool, lambda)}
+}
+
+func (x *refRIndex) add(depth int, a flist.Rank) {
+	if x == nil {
+		return
+	}
+	if x.levels[depth-1] == nil {
+		x.levels[depth-1] = make(map[flist.Rank]bool)
+	}
+	x.levels[depth-1][a] = true
+}
+
+func (x *refRIndex) has(depth int, a flist.Rank) bool {
+	return x.levels[depth-1][a]
+}
+
+func (m *refPSM) Mine(p *miner.Partition, cfg miner.Config, _ *miner.Scratch, emit miner.Emit) miner.Stats {
+	run := &refPSMRun{p: p, cfg: cfg, emit: emit, useIndex: m.UseIndex, bound: p.Pivot}
+	run.run()
+	return run.stats
+}
+
+type refPSMRun struct {
+	p        *miner.Partition
+	cfg      miner.Config
+	emit     miner.Emit
+	useIndex bool
+	stats    miner.Stats
+	bound    flist.Rank
+
+	pattern []flist.Rank
+	anc     []flist.Rank
+	qbuf    []int32
+}
+
+func (d *refPSMRun) run() {
+	var anchor []refAEntry
+	for tid, ws := range d.p.Seqs {
+		for pos, r := range ws.Items {
+			if r == flist.NoRank {
+				continue
+			}
+			d.anc = d.p.SelfAnc(d.anc[:0], r)
+			for _, a := range d.anc {
+				if a != d.p.Pivot {
+					continue
+				}
+				if n := len(anchor); n == 0 || anchor[n-1].tid != int32(tid) {
+					anchor = append(anchor, refAEntry{tid: int32(tid)})
+				}
+				e := &anchor[len(anchor)-1]
+				e.occs = append(e.occs, refOccPair{int32(pos), int32(pos)})
+				break
+			}
+		}
+	}
+	if len(anchor) == 0 {
+		return
+	}
+	d.pattern = append(d.pattern[:0], d.p.Pivot)
+	d.expandAnchor(anchor, nil)
+}
+
+func (d *refPSMRun) expandAnchor(anchor []refAEntry, parentIdx *refRIndex) {
+	var myIdx *refRIndex
+	if d.useIndex {
+		myIdx = newRefRIndex(d.cfg.Lambda)
+	}
+	d.expandRight(d.endsOf(anchor), 1, parentIdx, myIdx)
+
+	if len(d.pattern) == d.cfg.Lambda {
+		return
+	}
+	cands, order := d.collectLeft(anchor)
+	for _, a := range order {
+		c := cands[a]
+		d.stats.Explored++
+		if c.support < d.cfg.Sigma {
+			continue
+		}
+		d.pattern = append(d.pattern, 0)
+		copy(d.pattern[1:], d.pattern)
+		d.pattern[0] = a
+		d.emit(d.pattern, c.support)
+		d.stats.Output++
+		d.expandAnchor(c.entries, myIdx)
+		copy(d.pattern, d.pattern[1:])
+		d.pattern = d.pattern[:len(d.pattern)-1]
+	}
+}
+
+func (d *refPSMRun) expandRight(state []refREntry, depth int, parentIdx, myIdx *refRIndex) {
+	if len(d.pattern) == d.cfg.Lambda || len(state) == 0 {
+		return
+	}
+	cands, order := d.collectRight(state)
+	for _, a := range order {
+		if a == d.p.Pivot {
+			continue
+		}
+		if parentIdx != nil && !parentIdx.has(depth, a) {
+			continue
+		}
+		c := cands[a]
+		d.stats.Explored++
+		if c.support < d.cfg.Sigma {
+			continue
+		}
+		myIdx.add(depth, a)
+		d.pattern = append(d.pattern, a)
+		d.emit(d.pattern, c.support)
+		d.stats.Output++
+		d.expandRight(c.entries, depth+1, parentIdx, myIdx)
+		d.pattern = d.pattern[:len(d.pattern)-1]
+	}
+}
+
+type refRCand struct {
+	entries []refREntry
+	support int64
+}
+
+func (d *refPSMRun) collectRight(state []refREntry) (map[flist.Rank]*refRCand, []flist.Rank) {
+	cands := make(map[flist.Rank]*refRCand)
+	gamma := int32(d.cfg.Gamma)
+	for _, e := range state {
+		ws := d.p.Seqs[e.tid]
+		seq := ws.Items
+		n := int32(len(seq))
+		d.qbuf = d.qbuf[:0]
+		next := int32(0)
+		for _, end := range e.ends {
+			lo := end + 1
+			if lo < next {
+				lo = next
+			}
+			hi := end + 1 + gamma
+			if hi >= n {
+				hi = n - 1
+			}
+			for q := lo; q <= hi; q++ {
+				d.qbuf = append(d.qbuf, q)
+			}
+			if hi+1 > next {
+				next = hi + 1
+			}
+		}
+		for _, q := range d.qbuf {
+			r := seq[q]
+			if r == flist.NoRank {
+				continue
+			}
+			d.anc = d.p.SelfAnc(d.anc[:0], r)
+			for _, a := range d.anc {
+				if a > d.bound {
+					continue
+				}
+				c := cands[a]
+				if c == nil {
+					c = &refRCand{}
+					cands[a] = c
+				}
+				if n := len(c.entries); n == 0 || c.entries[n-1].tid != e.tid {
+					c.entries = append(c.entries, refREntry{tid: e.tid})
+					c.support += ws.Weight
+				}
+				ce := &c.entries[len(c.entries)-1]
+				ce.ends = append(ce.ends, q)
+			}
+		}
+	}
+	order := make([]flist.Rank, 0, len(cands))
+	for a := range cands {
+		order = append(order, a)
+	}
+	refSortRanks(order)
+	return cands, order
+}
+
+type refACand struct {
+	entries []refAEntry
+	support int64
+}
+
+func (d *refPSMRun) collectLeft(anchor []refAEntry) (map[flist.Rank]*refACand, []flist.Rank) {
+	cands := make(map[flist.Rank]*refACand)
+	gamma := int32(d.cfg.Gamma)
+	for _, e := range anchor {
+		ws := d.p.Seqs[e.tid]
+		seq := ws.Items
+		for _, oc := range e.occs {
+			lo := oc.start - 1 - gamma
+			if lo < 0 {
+				lo = 0
+			}
+			for q := lo; q < oc.start; q++ {
+				r := seq[q]
+				if r == flist.NoRank {
+					continue
+				}
+				d.anc = d.p.SelfAnc(d.anc[:0], r)
+				for _, a := range d.anc {
+					if a > d.bound {
+						continue
+					}
+					c := cands[a]
+					if c == nil {
+						c = &refACand{}
+						cands[a] = c
+					}
+					if n := len(c.entries); n == 0 || c.entries[n-1].tid != e.tid {
+						c.entries = append(c.entries, refAEntry{tid: e.tid})
+						c.support += ws.Weight
+					}
+					ce := &c.entries[len(c.entries)-1]
+					ce.occs = append(ce.occs, refOccPair{q, oc.end})
+				}
+			}
+		}
+	}
+	for _, c := range cands {
+		for i := range c.entries {
+			c.entries[i].occs = refSortUniquePairs(c.entries[i].occs)
+		}
+	}
+	order := make([]flist.Rank, 0, len(cands))
+	for a := range cands {
+		order = append(order, a)
+	}
+	refSortRanks(order)
+	return cands, order
+}
+
+func (d *refPSMRun) endsOf(anchor []refAEntry) []refREntry {
+	out := make([]refREntry, 0, len(anchor))
+	for _, e := range anchor {
+		ends := make([]int32, 0, len(e.occs))
+		for _, oc := range e.occs {
+			ends = append(ends, oc.end)
+		}
+		out = append(out, refREntry{tid: e.tid, ends: refSortUnique(ends)})
+	}
+	return out
+}
+
+func refSortUniquePairs(ps []refOccPair) []refOccPair {
+	if len(ps) < 2 {
+		return ps
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].start != ps[j].start {
+			return ps[i].start < ps[j].start
+		}
+		return ps[i].end < ps[j].end
+	})
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		last := out[len(out)-1]
+		if p != last {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// --- DFS (reference) --------------------------------------------------------
+
+type refDFS struct{}
+
+type refDProj struct {
+	tid  int32
+	ends []int32
+}
+
+type refDCand struct {
+	proj    []refDProj
+	support int64
+}
+
+func refBound(cfg miner.Config, p *miner.Partition) flist.Rank {
+	if cfg.PivotOnly {
+		return p.Pivot
+	}
+	return flist.NoRank
+}
+
+func (refDFS) Mine(p *miner.Partition, cfg miner.Config, _ *miner.Scratch, emit miner.Emit) miner.Stats {
+	d := &refDFSRun{p: p, cfg: cfg, emit: emit, bound: refBound(cfg, p)}
+	d.run()
+	return d.stats
+}
+
+type refDFSRun struct {
+	p     *miner.Partition
+	cfg   miner.Config
+	emit  miner.Emit
+	stats miner.Stats
+	bound flist.Rank
+
+	pattern []flist.Rank
+	anc     []flist.Rank
+	qbuf    []int32
+}
+
+func (d *refDFSRun) run() {
+	cands := make(map[flist.Rank]*refDCand)
+	for tid, ws := range d.p.Seqs {
+		for pos, r := range ws.Items {
+			if r == flist.NoRank {
+				continue
+			}
+			d.anc = d.p.SelfAnc(d.anc[:0], r)
+			for _, a := range d.anc {
+				if a > d.bound {
+					continue
+				}
+				c := cands[a]
+				if c == nil {
+					c = &refDCand{}
+					cands[a] = c
+				}
+				if n := len(c.proj); n == 0 || c.proj[n-1].tid != int32(tid) {
+					c.proj = append(c.proj, refDProj{tid: int32(tid)})
+					c.support += ws.Weight
+				}
+				e := &c.proj[len(c.proj)-1]
+				if n := len(e.ends); n == 0 || e.ends[n-1] != int32(pos) {
+					e.ends = append(e.ends, int32(pos))
+				}
+			}
+		}
+	}
+	items := make([]flist.Rank, 0, len(cands))
+	for a := range cands {
+		items = append(items, a)
+	}
+	refSortRanks(items)
+	for _, a := range items {
+		c := cands[a]
+		d.stats.Explored++
+		if c.support < d.cfg.Sigma {
+			continue
+		}
+		d.pattern = append(d.pattern[:0], a)
+		d.expand(c.proj, a == d.p.Pivot)
+	}
+}
+
+func (d *refDFSRun) expand(proj []refDProj, hasPivot bool) {
+	if len(d.pattern) == d.cfg.Lambda {
+		return
+	}
+	gamma := int32(d.cfg.Gamma)
+	cands := make(map[flist.Rank]*refDCand)
+	for _, e := range proj {
+		seq := d.p.Seqs[e.tid].Items
+		d.qbuf = d.qbuf[:0]
+		n := int32(len(seq))
+		next := int32(0)
+		for _, end := range e.ends {
+			lo := end + 1
+			if lo < next {
+				lo = next
+			}
+			hi := end + 1 + gamma
+			if hi >= n {
+				hi = n - 1
+			}
+			for q := lo; q <= hi; q++ {
+				d.qbuf = append(d.qbuf, q)
+			}
+			if hi+1 > next {
+				next = hi + 1
+			}
+		}
+		w := d.p.Seqs[e.tid].Weight
+		for _, q := range d.qbuf {
+			r := seq[q]
+			if r == flist.NoRank {
+				continue
+			}
+			d.anc = d.p.SelfAnc(d.anc[:0], r)
+			for _, a := range d.anc {
+				if a > d.bound {
+					continue
+				}
+				c := cands[a]
+				if c == nil {
+					c = &refDCand{}
+					cands[a] = c
+				}
+				if n := len(c.proj); n == 0 || c.proj[n-1].tid != e.tid {
+					c.proj = append(c.proj, refDProj{tid: e.tid})
+					c.support += w
+				}
+				pe := &c.proj[len(c.proj)-1]
+				pe.ends = append(pe.ends, q)
+			}
+		}
+	}
+	items := make([]flist.Rank, 0, len(cands))
+	for a := range cands {
+		items = append(items, a)
+	}
+	refSortRanks(items)
+	for _, a := range items {
+		c := cands[a]
+		d.stats.Explored++
+		if c.support < d.cfg.Sigma {
+			continue
+		}
+		d.pattern = append(d.pattern, a)
+		hp := hasPivot || a == d.p.Pivot
+		if len(d.pattern) >= 2 && (!d.cfg.PivotOnly || hp) {
+			d.emit(d.pattern, c.support)
+			d.stats.Output++
+		}
+		d.expand(c.proj, hp)
+		d.pattern = d.pattern[:len(d.pattern)-1]
+	}
+}
+
+// --- BFS (reference) --------------------------------------------------------
+
+type refBFS struct{}
+
+type refPLEntry struct {
+	tid  int32
+	ends []int32
+}
+
+type refPosting struct {
+	entries []refPLEntry
+	support int64
+}
+
+func (refBFS) Mine(p *miner.Partition, cfg miner.Config, _ *miner.Scratch, emit miner.Emit) miner.Stats {
+	b := &refBFSRun{p: p, cfg: cfg, emit: emit, bound: refBound(cfg, p)}
+	b.run()
+	return b.stats
+}
+
+type refBFSRun struct {
+	p     *miner.Partition
+	cfg   miner.Config
+	emit  miner.Emit
+	stats miner.Stats
+	bound flist.Rank
+	anc   []flist.Rank
+	anc2  []flist.Rank
+}
+
+func (b *refBFSRun) run() {
+	items := b.itemPostings()
+	f1 := make([]flist.Rank, 0, len(items))
+	for a, pl := range items {
+		b.stats.Explored++
+		if pl.support >= b.cfg.Sigma {
+			f1 = append(f1, a)
+		}
+	}
+	refSortRanks(f1)
+	f1set := make(map[flist.Rank]bool, len(f1))
+	for _, a := range f1 {
+		f1set[a] = true
+	}
+	if b.cfg.Lambda < 2 || len(f1) == 0 {
+		return
+	}
+
+	level := b.seedLevel2(f1set)
+	b.emitLevel(level)
+
+	for l := 3; l <= b.cfg.Lambda && len(level) > 0; l++ {
+		next := make(map[string]*refPosting)
+		for key, pl := range level {
+			if pl.support < b.cfg.Sigma {
+				continue
+			}
+			prefix := ranksFromKey(key)
+			suffixKey := rankKey(prefix[1:])
+			for _, a := range f1 {
+				sfx, ok := level[suffixKey+refRankKey1(a)]
+				if !ok || sfx.support < b.cfg.Sigma {
+					continue
+				}
+				cand := b.join(pl, items[a])
+				b.stats.Explored++
+				if cand.support >= b.cfg.Sigma {
+					next[key+refRankKey1(a)] = cand
+				}
+			}
+		}
+		level = next
+		b.emitLevel(level)
+	}
+}
+
+func (b *refBFSRun) itemPostings() map[flist.Rank]*refPosting {
+	out := make(map[flist.Rank]*refPosting)
+	for tid, ws := range b.p.Seqs {
+		for pos, r := range ws.Items {
+			if r == flist.NoRank {
+				continue
+			}
+			b.anc = b.p.SelfAnc(b.anc[:0], r)
+			for _, a := range b.anc {
+				if a > b.bound {
+					continue
+				}
+				pl := out[a]
+				if pl == nil {
+					pl = &refPosting{}
+					out[a] = pl
+				}
+				if n := len(pl.entries); n == 0 || pl.entries[n-1].tid != int32(tid) {
+					pl.entries = append(pl.entries, refPLEntry{tid: int32(tid)})
+					pl.support += ws.Weight
+				}
+				e := &pl.entries[len(pl.entries)-1]
+				if n := len(e.ends); n == 0 || e.ends[n-1] != int32(pos) {
+					e.ends = append(e.ends, int32(pos))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (b *refBFSRun) seedLevel2(f1 map[flist.Rank]bool) map[string]*refPosting {
+	out := make(map[string]*refPosting)
+	gamma := b.cfg.Gamma
+	for tid, ws := range b.p.Seqs {
+		seq := ws.Items
+		for i := 0; i < len(seq); i++ {
+			if seq[i] == flist.NoRank {
+				continue
+			}
+			hi := i + 1 + gamma
+			if hi >= len(seq) {
+				hi = len(seq) - 1
+			}
+			for j := i + 1; j <= hi; j++ {
+				if seq[j] == flist.NoRank {
+					continue
+				}
+				b.anc = b.p.SelfAnc(b.anc[:0], seq[i])
+				b.anc2 = b.p.SelfAnc(b.anc2[:0], seq[j])
+				for _, u := range b.anc {
+					if !f1[u] {
+						continue
+					}
+					for _, v := range b.anc2 {
+						if !f1[v] {
+							continue
+						}
+						key := refRankKey1(u) + refRankKey1(v)
+						pl := out[key]
+						if pl == nil {
+							pl = &refPosting{}
+							out[key] = pl
+						}
+						if n := len(pl.entries); n == 0 || pl.entries[n-1].tid != int32(tid) {
+							pl.entries = append(pl.entries, refPLEntry{tid: int32(tid)})
+							pl.support += ws.Weight
+						}
+						e := &pl.entries[len(pl.entries)-1]
+						e.ends = append(e.ends, int32(j))
+					}
+				}
+			}
+		}
+	}
+	for _, pl := range out {
+		b.stats.Explored++
+		for i := range pl.entries {
+			pl.entries[i].ends = refSortUnique(pl.entries[i].ends)
+		}
+	}
+	return out
+}
+
+func (b *refBFSRun) join(pl *refPosting, item *refPosting) *refPosting {
+	out := &refPosting{}
+	gamma := int32(b.cfg.Gamma)
+	i, j := 0, 0
+	for i < len(pl.entries) && j < len(item.entries) {
+		pe, ie := &pl.entries[i], &item.entries[j]
+		switch {
+		case pe.tid < ie.tid:
+			i++
+		case pe.tid > ie.tid:
+			j++
+		default:
+			var ends []int32
+			ei := 0
+			for _, q := range ie.ends {
+				for ei < len(pe.ends) && q-pe.ends[ei] > gamma+1 {
+					ei++
+				}
+				if ei < len(pe.ends) && pe.ends[ei] < q {
+					ends = append(ends, q)
+				}
+			}
+			if len(ends) > 0 {
+				out.entries = append(out.entries, refPLEntry{tid: pe.tid, ends: ends})
+				out.support += b.p.Seqs[pe.tid].Weight
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func (b *refBFSRun) emitLevel(level map[string]*refPosting) {
+	keys := make([]string, 0, len(level))
+	for k, pl := range level {
+		if pl.support >= b.cfg.Sigma {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pat := ranksFromKey(k)
+		if b.cfg.PivotOnly && !miner.ContainsPivot(pat, b.p.Pivot) {
+			continue
+		}
+		b.emit(pat, level[k].support)
+		b.stats.Output++
+	}
+}
+
+func refRankKey1(r flist.Rank) string {
+	return string([]byte{byte(r), byte(r >> 8), byte(r >> 16), byte(r >> 24)})
+}

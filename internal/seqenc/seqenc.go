@@ -38,8 +38,17 @@ func AppendSeq(dst []byte, seq []flist.Rank) []byte {
 	return dst
 }
 
-// DecodeSeq decodes an encoded rank sequence, appending to dst.
+// MaxDecodedLen caps how many ranks a single encoded sequence may decode to
+// (2^24 ≈ 16M items — far beyond any real sequence). A blank run can claim
+// an astronomic length in a handful of corrupt bytes; the bound rejects such
+// input before the decoder materializes it.
+const MaxDecodedLen = 1 << 24
+
+// DecodeSeq decodes an encoded rank sequence, appending to dst. dst may
+// already hold earlier sequences (arena decoding); the MaxDecodedLen bound
+// applies to this call's contribution only.
 func DecodeSeq(dst []flist.Rank, buf []byte) ([]flist.Rank, error) {
+	decoded := 0
 	for len(buf) > 0 {
 		v, n := binary.Uvarint(buf)
 		if n <= 0 {
@@ -51,6 +60,10 @@ func DecodeSeq(dst []flist.Rank, buf []byte) ([]flist.Rank, error) {
 			if run == 0 {
 				return dst, fmt.Errorf("seqenc: zero-length blank run")
 			}
+			if run > MaxDecodedLen || decoded+int(run) > MaxDecodedLen {
+				return dst, fmt.Errorf("seqenc: decoded sequence exceeds %d items", MaxDecodedLen)
+			}
+			decoded += int(run)
 			for j := uint64(0); j < run; j++ {
 				dst = append(dst, flist.NoRank)
 			}
@@ -60,9 +73,45 @@ func DecodeSeq(dst []flist.Rank, buf []byte) ([]flist.Rank, error) {
 		if r >= uint64(flist.NoRank) {
 			return dst, fmt.Errorf("seqenc: rank overflow %d", r)
 		}
+		if decoded++; decoded > MaxDecodedLen {
+			return dst, fmt.Errorf("seqenc: decoded sequence exceeds %d items", MaxDecodedLen)
+		}
 		dst = append(dst, flist.Rank(r))
 	}
 	return dst, nil
+}
+
+// DecodedLen returns the number of ranks DecodeSeq would append for buf,
+// without materializing them, validating the encoding exactly as DecodeSeq
+// does. Callers use it to size a decode arena once up front.
+func DecodedLen(buf []byte) (int, error) {
+	decoded := 0
+	for len(buf) > 0 {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return decoded, fmt.Errorf("seqenc: truncated varint")
+		}
+		buf = buf[n:]
+		if v&1 == 1 { // blank run
+			run := v >> 1
+			if run == 0 {
+				return decoded, fmt.Errorf("seqenc: zero-length blank run")
+			}
+			if run > MaxDecodedLen || decoded+int(run) > MaxDecodedLen {
+				return decoded, fmt.Errorf("seqenc: decoded sequence exceeds %d items", MaxDecodedLen)
+			}
+			decoded += int(run)
+			continue
+		}
+		r := v>>1 - 1
+		if r >= uint64(flist.NoRank) {
+			return decoded, fmt.Errorf("seqenc: rank overflow %d", r)
+		}
+		if decoded++; decoded > MaxDecodedLen {
+			return decoded, fmt.Errorf("seqenc: decoded sequence exceeds %d items", MaxDecodedLen)
+		}
+	}
+	return decoded, nil
 }
 
 // EncodedSize returns len(AppendSeq(nil, seq)) without allocating.

@@ -2,6 +2,8 @@ package lash
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"lash/internal/core"
 	"lash/internal/mapreduce"
@@ -14,13 +16,27 @@ import (
 // generalized f-list needs to be adapted"). Typical use: parameter sweeps
 // over σ, γ, or λ.
 //
-// A Miner is safe for sequential reuse; for the baseline algorithms (which
-// have no reusable preprocessing) it behaves exactly like Mine.
+// A Miner is safe for concurrent use by multiple goroutines (lashd serves
+// concurrent jobs against one database): each hierarchy mode's lazy
+// frequency cache has its own lock, so the first caller per mode runs the
+// counting job while concurrent callers for the same mode wait for its
+// result (callers for the other mode proceed independently); the mining
+// itself runs outside any lock. The cached slices are shared read-only with
+// core.Mine and never mutated afterwards.
+//
+// For the baseline algorithms (which have no reusable preprocessing) it
+// behaves exactly like Mine.
 type Miner struct {
-	db        *Database
-	freqs     []int64 // hierarchy-aware frequencies (lazy)
-	flatFreqs []int64 // flat frequencies (lazy)
-	computes  int
+	db       *Database
+	hier     freqCache // hierarchy-aware frequencies (lazy)
+	flat     freqCache // flat frequencies (lazy)
+	computes atomic.Int64
+}
+
+// freqCache is one hierarchy mode's lazily computed frequency slice.
+type freqCache struct {
+	mu    sync.Mutex
+	freqs []int64
 }
 
 // NewMiner wraps a database for repeated mining.
@@ -33,7 +49,7 @@ func NewMiner(db *Database) (*Miner, error) {
 
 // FrequencyJobsRun reports how many frequency-counting jobs this Miner has
 // executed (at most one per hierarchy mode; useful to observe the reuse).
-func (m *Miner) FrequencyJobsRun() int { return m.computes }
+func (m *Miner) FrequencyJobsRun() int { return int(m.computes.Load()) }
 
 // Mine runs one configuration, reusing cached item frequencies for the LASH
 // algorithm variants.
@@ -55,18 +71,20 @@ func (m *Miner) Mine(opt Options) (*Result, error) {
 }
 
 func (m *Miner) frequencies(flat bool, workers int) ([]int64, error) {
-	cached := &m.freqs
+	c := &m.hier
 	if flat {
-		cached = &m.flatFreqs
+		c = &m.flat
 	}
-	if *cached != nil {
-		return *cached, nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.freqs != nil {
+		return c.freqs, nil
 	}
 	freqs, err := core.Frequencies(m.db.db, flat, mapreduce.Config{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	*cached = freqs
-	m.computes++
+	c.freqs = freqs
+	m.computes.Add(1)
 	return freqs, nil
 }

@@ -1,0 +1,69 @@
+package lash_test
+
+import (
+	"sync"
+	"testing"
+
+	"lash"
+)
+
+// A Miner is documented as safe for concurrent use: lashd can serve many
+// jobs against one database at once, and the first calls race to populate
+// the lazy frequency caches. Hammer Mine from many goroutines across
+// algorithms and parameters; run under -race this catches any unguarded
+// access to the caches, and the checksums catch torn results.
+func TestMinerConcurrentMine(t *testing.T) {
+	db := paperDB(t)
+	m, err := lash.NewMiner(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []lash.Options{
+		{MinSupport: 2, MaxGap: 1, MaxLength: 3},
+		{MinSupport: 3, MaxGap: 1, MaxLength: 3},
+		{MinSupport: 2, MaxGap: 0, MaxLength: 3},
+		{MinSupport: 2, MaxGap: 1, MaxLength: 3, Algorithm: lash.AlgorithmMGFSM},
+		{MinSupport: 2, MaxGap: 1, MaxLength: 3, Algorithm: lash.AlgorithmLASHFlat},
+		{MinSupport: 2, MaxGap: 1, MaxLength: 3, LocalMiner: lash.MinerBFS},
+	}
+	want := make([]uint64, len(opts))
+	for i, opt := range opts {
+		res, err := lash.Mine(db, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = patternChecksum(res.Patterns)
+	}
+
+	const goroutines = 8
+	const iters = 5
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(opts)
+				res, err := m.Mine(opts[i])
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got := patternChecksum(res.Patterns); got != want[i] {
+					t.Errorf("goroutine %d: result for %+v diverges under concurrency", g, opts[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	// The frequency jobs must still have run at most once per hierarchy mode.
+	if n := m.FrequencyJobsRun(); n > 2 {
+		t.Fatalf("frequency job ran %d times under concurrency, want ≤ 2", n)
+	}
+}
