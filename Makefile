@@ -1,8 +1,8 @@
 GO ?= go
 BENCH ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_PR3.json
-BENCH_BASE ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR4.json
+BENCH_BASE ?= BENCH_PR3.json
 PROFILE_BENCH ?= BenchmarkFig4a
 PROFILE_BENCHTIME ?= 3x
 

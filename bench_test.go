@@ -7,6 +7,7 @@
 package lash_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -60,7 +61,7 @@ func benchMR() mapreduce.Config {
 func mineOrFatal(b *testing.B, db *gsm.Database, opt core.Options) *core.Result {
 	b.Helper()
 	b.ReportAllocs()
-	res, err := core.Mine(db, opt)
+	res, err := core.Mine(context.Background(), db, opt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func BenchmarkFig4aNaive(b *testing.B) {
 	benchSetup(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := baseline.MineNaive(nytP, baseline.Options{Params: fig4Params(), MR: benchMR()}); err != nil {
+		if _, err := baseline.MineNaive(context.Background(), nytP, baseline.Options{Params: fig4Params(), MR: benchMR()}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +106,7 @@ func BenchmarkFig4aSemiNaive(b *testing.B) {
 	benchSetup(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := baseline.MineSemiNaive(nytP, baseline.Options{Params: fig4Params(), MR: benchMR()}); err != nil {
+		if _, err := baseline.MineSemiNaive(context.Background(), nytP, baseline.Options{Params: fig4Params(), MR: benchMR()}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -125,7 +126,7 @@ func BenchmarkFig4bMapOutputBytes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := mineOrFatal(b, nytP, core.Options{Params: fig4Params(), MR: benchMR()})
 		lashBytes = res.Jobs.Mine.MapOutputBytes
-		nv, err := baseline.MineNaive(nytP, baseline.Options{Params: fig4Params(), MR: benchMR()})
+		nv, err := baseline.MineNaive(context.Background(), nytP, baseline.Options{Params: fig4Params(), MR: benchMR()})
 		if err != nil {
 			b.Fatal(err)
 		}

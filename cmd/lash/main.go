@@ -7,22 +7,35 @@
 // The sequences file holds one input sequence per line (items separated by
 // whitespace). The optional hierarchy file holds one "child parent" edge
 // per line. Output is one pattern per line: support, TAB, items.
+//
+// Ctrl-C (SIGINT) or SIGTERM cancels a run in flight: mining aborts
+// cooperatively and the command exits non-zero without writing partial
+// (non-streamed) output. With -stream, patterns are printed the moment
+// their partition finishes mining — in partition-completion order, not the
+// canonical sorted order — so interrupted runs keep everything printed so
+// far. -progress reports live phase/partition progress on stderr.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"lash"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		ue, isUsage := err.(usageError)
 		if err != flag.ErrHelp && !(isUsage && ue.printed) {
 			msg := err.Error()
@@ -54,8 +67,9 @@ func exitCode(err error) int {
 }
 
 // run executes the CLI flow: parse flags, build the database, mine, print.
-// It is main minus the process plumbing, so tests can drive it end to end.
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+// It is main minus the process plumbing, so tests can drive it end to end;
+// cancelling ctx (main wires SIGINT/SIGTERM to it) aborts the mining run.
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lash", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -70,6 +84,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		output      = fs.String("output", "", "output file (default stdout)")
 		items       = fs.Bool("items", false, "also print frequent single items")
 		quiet       = fs.Bool("quiet", false, "suppress the run summary on stderr")
+		stream      = fs.Bool("stream", false, "print patterns as partitions finish mining (completion order, unsorted)")
+		progress    = fs.Bool("progress", false, "report live mining progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -111,13 +127,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if opt.Restriction, err = lash.ParseRestriction(*restriction); err != nil {
 		return usageError{err, false}
 	}
-
-	start := time.Now()
-	res, err := lash.Mine(db, opt)
-	if err != nil {
-		return err
+	if *progress {
+		opt.Progress = progressPrinter(stderr)
 	}
-	elapsed := time.Since(start)
 
 	out := stdout
 	var outFile *os.File
@@ -128,6 +140,34 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		out = outFile
 	}
+
+	start := time.Now()
+	var (
+		res      *lash.Result
+		streamed int
+	)
+	if *stream {
+		// Streamed patterns go out unbuffered as they arrive, so a
+		// cancelled run keeps everything printed so far.
+		res, err = lash.Stream(ctx, db, opt, func(p lash.Pattern) error {
+			streamed++
+			_, werr := fmt.Fprintf(out, "%d\t%s\n", p.Support, strings.Join(p.Items, " "))
+			return werr
+		})
+	} else {
+		res, err = lash.MineContext(ctx, db, opt)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if *stream {
+				return fmt.Errorf("interrupted (%d patterns streamed): %w", streamed, err)
+			}
+			return fmt.Errorf("interrupted: %w", err)
+		}
+		return err
+	}
+	elapsed := time.Since(start)
+
 	w := bufio.NewWriter(out)
 	if *items {
 		for _, p := range res.FrequentItems {
@@ -146,12 +186,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	patterns := len(res.Patterns)
+	if *stream {
+		patterns = streamed
+	}
 	if !*quiet {
 		fmt.Fprintf(stderr, "lash: %d sequences, %d frequent items, %d patterns, %d partitions, %s shuffled, %v\n",
-			db.NumSequences(), len(res.FrequentItems), len(res.Patterns),
+			db.NumSequences(), len(res.FrequentItems), patterns,
 			res.NumPartitions, byteCount(res.Stats.MapOutputBytes), elapsed.Round(time.Millisecond))
 	}
 	return nil
+}
+
+// progressPrinter renders progress events as single-line updates on w,
+// printing only when the rendered line changes so dense event streams stay
+// readable in a log and cheap on a terminal.
+func progressPrinter(w io.Writer) func(lash.ProgressEvent) {
+	var last string
+	return func(e lash.ProgressEvent) {
+		line := fmt.Sprintf("lash: %s: %s — map %d/%d, partitions %d/%d, %s shuffled",
+			e.Job, e.Phase, e.MapTasksDone, e.MapTasks,
+			e.PartitionsMined, e.Partitions, byteCount(e.ShuffleBytes))
+		if line == last {
+			return
+		}
+		last = line
+		fmt.Fprintln(w, line)
+	}
 }
 
 // readInto opens path and feeds it to read (ReadSequences/ReadHierarchy).

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -28,7 +29,7 @@ func fixture(t *testing.T) (seqs, hier string) {
 func runCLI(t *testing.T, stdin string, args ...string) (stdout, stderr string, err error) {
 	t.Helper()
 	var out, errBuf bytes.Buffer
-	err = run(args, strings.NewReader(stdin), &out, &errBuf)
+	err = run(context.Background(), args, strings.NewReader(stdin), &out, &errBuf)
 	return out.String(), errBuf.String(), err
 }
 

@@ -7,14 +7,18 @@
 //
 // lashd loads each -db database once at startup (paths are relative to
 // -data) and then answers mining queries concurrently: jobs run
-// asynchronously on a bounded worker pool, identical in-flight requests
-// coalesce onto one run, and finished results are cached so repeats are
-// answered instantly. See package lash/server for the HTTP API.
+// asynchronously on a bounded worker pool under per-job contexts,
+// identical in-flight requests coalesce onto one run, and finished results
+// are cached so repeats are answered instantly. DELETE /v1/jobs/{id}
+// cancels a queued or running job; POST /v1/mine/stream streams patterns
+// as NDJSON while the run is still mining. See package lash/server for
+// the HTTP API.
 //
 // A quick session against -demo:
 //
 //	lashd -demo &
 //	curl -s localhost:8080/v1/mine -d '{"database":"demo-text","options":{"min_support":100,"max_gap":1,"max_length":3},"wait":true}'
+//	curl -sN localhost:8080/v1/mine/stream -d '{"database":"demo-text","options":{"min_support":100,"max_gap":1,"max_length":3}}'
 //	curl -s 'localhost:8080/v1/patterns?db=demo-text&top=5'
 //	curl -s localhost:8080/v1/stats
 package main

@@ -1,0 +1,100 @@
+// Streaming: mine a generated corpus with live progress and incremental
+// pattern delivery, cancellable with ctrl-C.
+//
+// The program generates a synthetic text database, then mines it with
+// lash.Stream: a progress bar on stderr tracks map tasks and mined
+// partitions as the MapReduce substrate works through them, and the first
+// patterns print the moment their partition's local mining finishes —
+// long before the run completes. Press ctrl-C to cancel: the run aborts
+// cooperatively and reports how many patterns made it out.
+//
+// Run: go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lash"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	db, err := lash.GenerateTextDatabase(lash.TextConfig{Sentences: 20000, Seed: 42})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mining %d sequences (ctrl-C cancels)\n", db.NumSequences())
+
+	opt := lash.Options{
+		MinSupport: 100,
+		MaxGap:     1,
+		MaxLength:  4,
+		Progress:   progressBar(os.Stderr),
+	}
+
+	start := time.Now()
+	streamed := 0
+	res, err := lash.Stream(ctx, db, opt, func(p lash.Pattern) error {
+		streamed++
+		// Show the first few in full; after that the bar tells the story.
+		if streamed <= 10 {
+			fmt.Printf("\r\x1b[K%6d  %s\n", p.Support, strings.Join(p.Items, " "))
+		}
+		return nil
+	})
+	fmt.Fprintln(os.Stderr) // finish the progress bar's line
+
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "cancelled after %v — %d patterns streamed before the interrupt\n",
+			time.Since(start).Round(time.Millisecond), streamed)
+		os.Exit(1)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v: %d patterns streamed, %d frequent items, %d partitions\n",
+		time.Since(start).Round(time.Millisecond), streamed, len(res.FrequentItems), res.NumPartitions)
+}
+
+// progressBar renders a single carriage-return progress line: the mining
+// job's map tasks and mined partitions, plus the shuffle volume.
+func progressBar(w *os.File) func(lash.ProgressEvent) {
+	var last string
+	return func(e lash.ProgressEvent) {
+		var line string
+		if e.Job == "flist" {
+			line = fmt.Sprintf("[preprocess] %s %d/%d", e.Phase, e.MapTasksDone, e.MapTasks)
+		} else {
+			line = fmt.Sprintf("[%s] map %s  partitions %s  %dKiB shuffled",
+				e.Job, bar(e.MapTasksDone, e.MapTasks), bar(e.PartitionsMined, e.Partitions),
+				e.ShuffleBytes>>10)
+		}
+		if line == last {
+			return
+		}
+		last = line
+		fmt.Fprintf(w, "\r\x1b[K%s", line)
+	}
+}
+
+// bar renders "done/total" as a small fixed-width meter.
+func bar(done, total int) string {
+	const width = 20
+	if total <= 0 {
+		return strings.Repeat(" ", width+len(" 0/0"))
+	}
+	fill := done * width / total
+	return fmt.Sprintf("%s%s %d/%d",
+		strings.Repeat("█", fill), strings.Repeat("░", width-fill), done, total)
+}

@@ -18,6 +18,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -40,10 +41,16 @@ type Options struct {
 	// MaxEmit caps the total number of emitted generalized subsequences
 	// across all mappers (0 = unlimited).
 	MaxEmit int64
+	// Stream, when non-nil, receives every frequent pattern (vocabulary
+	// item space) as its reduce partition is aggregated, instead of the
+	// pattern being collected into Result.Patterns. Calls are serialized;
+	// order is partition-completion order. A non-nil error fails the run.
+	Stream func(items gsm.Sequence, support int64) error
 }
 
-// MineNaive runs the naïve algorithm.
-func MineNaive(db *gsm.Database, opt Options) (*core.Result, error) {
+// MineNaive runs the naïve algorithm. Cancelling ctx aborts the run
+// cooperatively and returns the wrapped ctx.Err().
+func MineNaive(ctx context.Context, db *gsm.Database, opt Options) (*core.Result, error) {
 	if err := opt.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -53,12 +60,13 @@ func MineNaive(db *gsm.Database, opt Options) (*core.Result, error) {
 	var emitted atomic.Int64
 	capped := opt.MaxEmit > 0
 	encPool := sync.Pool{New: func() any { return new([]byte) }}
+	var streamMu sync.Mutex
 
 	type pat struct {
 		items   gsm.Sequence
 		support int64
 	}
-	out, stats, err := mapreduce.RunAgg(opt.MR, db.Seqs, mapreduce.AggJob[gsm.Sequence, pat]{
+	out, stats, err := mapreduce.RunAgg(ctx, opt.MR, db.Seqs, mapreduce.AggJob[gsm.Sequence, pat]{
 		Name: "naive",
 		Map: func(t gsm.Sequence, emit func(uint32, []byte, int64)) {
 			encp := encPool.Get().(*[]byte)
@@ -85,6 +93,23 @@ func MineNaive(db *gsm.Database, opt Options) (*core.Result, error) {
 				items, err := seqenc.DecodeVocabSeq(nil, e.Key)
 				if err != nil {
 					return err
+				}
+				if opt.Stream != nil {
+					// A tripped emission cap means the map side stopped
+					// enumerating and aggregated supports may be silently
+					// undercounted. Batch mode discards such output after
+					// the run; streaming must not hand it to the consumer,
+					// so fail before delivering anything further.
+					if capped && emitted.Load() > opt.MaxEmit {
+						return ErrEmitCapExceeded
+					}
+					streamMu.Lock()
+					err = opt.Stream(items, e.Weight)
+					streamMu.Unlock()
+					if err != nil {
+						return err
+					}
+					continue
 				}
 				emit(pat{items, e.Weight})
 			}
@@ -115,26 +140,29 @@ type snScratch struct {
 
 // MineSemiNaive runs the semi-naïve algorithm: an f-list job, then the
 // counting job over generalized sequences with frequent items only.
-func MineSemiNaive(db *gsm.Database, opt Options) (*core.Result, error) {
+// Cancelling ctx aborts the run cooperatively and returns the wrapped
+// ctx.Err().
+func MineSemiNaive(ctx context.Context, db *gsm.Database, opt Options) (*core.Result, error) {
 	if err := opt.Params.Validate(); err != nil {
 		return nil, err
 	}
 	if err := db.Validate(); err != nil {
 		return nil, err
 	}
-	fl, flStats, err := core.FListJob(db, opt.Params.Sigma, opt.MR)
+	fl, flStats, err := core.FListJob(ctx, db, opt.Params.Sigma, opt.MR)
 	if err != nil {
 		return nil, err
 	}
 	var emitted atomic.Int64
 	capped := opt.MaxEmit > 0
 	scratch := sync.Pool{New: func() any { return new(snScratch) }}
+	var streamMu sync.Mutex
 
 	type pat struct {
 		ranks   []flist.Rank // rank space — frequent items have small ids
 		support int64
 	}
-	out, stats, err := mapreduce.RunAgg(opt.MR, db.Seqs, mapreduce.AggJob[gsm.Sequence, pat]{
+	out, stats, err := mapreduce.RunAgg(ctx, opt.MR, db.Seqs, mapreduce.AggJob[gsm.Sequence, pat]{
 		Name: "semi-naive",
 		Map: func(t gsm.Sequence, emit func(uint32, []byte, int64)) {
 			sc := scratch.Get().(*snScratch)
@@ -178,6 +206,24 @@ func MineSemiNaive(db *gsm.Database, opt Options) (*core.Result, error) {
 				ranks, err := seqenc.DecodeSeq(nil, e.Key)
 				if err != nil {
 					return err
+				}
+				if opt.Stream != nil {
+					// See MineNaive: a tripped cap means possibly
+					// undercounted supports — never stream those.
+					if capped && emitted.Load() > opt.MaxEmit {
+						return ErrEmitCapExceeded
+					}
+					items, err := fl.TranslateFromRanks(nil, ranks)
+					if err != nil {
+						return err
+					}
+					streamMu.Lock()
+					err = opt.Stream(items, e.Weight)
+					streamMu.Unlock()
+					if err != nil {
+						return err
+					}
+					continue
 				}
 				emit(pat{ranks, e.Weight})
 			}

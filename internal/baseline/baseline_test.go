@@ -1,6 +1,7 @@
 package baseline_test
 
 import (
+	"context"
 	"testing"
 
 	"lash/internal/baseline"
@@ -17,7 +18,7 @@ func TestNaiveEmitsDistinctSubsequences(t *testing.T) {
 	// γ=1, λ=3 the paper lists exactly 19.
 	db := paperex.Database()
 	one := &gsm.Database{Forest: db.Forest, Seqs: db.Seqs[3:4]} // T4
-	res, err := baseline.MineNaive(one, baseline.Options{
+	res, err := baseline.MineNaive(context.Background(), one, baseline.Options{
 		Params: gsm.Params{Sigma: 1, Gamma: 1, Lambda: 3},
 		MR:     mr,
 	})
@@ -36,7 +37,7 @@ func TestSemiNaiveGeneralizesInfrequentItems(t *testing.T) {
 	// §3.3: for T4 = b11 a e a (σ=2) the semi-naïve algorithm rewrites to
 	// b1 a _ a and emits exactly aa, b1a, b1aa, Ba, Baa — 5 records.
 	db := paperex.Database()
-	res, err := baseline.MineSemiNaive(db, baseline.Options{Params: paperex.Params(), MR: mr})
+	res, err := baseline.MineSemiNaive(context.Background(), db, baseline.Options{Params: paperex.Params(), MR: mr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestSemiNaiveGeneralizesInfrequentItems(t *testing.T) {
 	// the paper's worked example. The f-list must come from the full DB, so
 	// re-run with a one-sequence database is not equivalent; instead verify
 	// the total is far below the naïve count and the output matches.
-	nv, err := baseline.MineNaive(db, baseline.Options{Params: paperex.Params(), MR: mr})
+	nv, err := baseline.MineNaive(context.Background(), db, baseline.Options{Params: paperex.Params(), MR: mr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,18 +61,18 @@ func TestSemiNaiveGeneralizesInfrequentItems(t *testing.T) {
 func TestBaselineValidation(t *testing.T) {
 	db := paperex.Database()
 	bad := baseline.Options{Params: gsm.Params{Sigma: 0, Gamma: 0, Lambda: 3}, MR: mr}
-	if _, err := baseline.MineNaive(db, bad); err == nil {
+	if _, err := baseline.MineNaive(context.Background(), db, bad); err == nil {
 		t.Error("naive accepted invalid params")
 	}
-	if _, err := baseline.MineSemiNaive(db, bad); err == nil {
+	if _, err := baseline.MineSemiNaive(context.Background(), db, bad); err == nil {
 		t.Error("semi-naive accepted invalid params")
 	}
 	empty := &gsm.Database{}
 	good := baseline.Options{Params: paperex.Params(), MR: mr}
-	if _, err := baseline.MineNaive(empty, good); err == nil {
+	if _, err := baseline.MineNaive(context.Background(), empty, good); err == nil {
 		t.Error("naive accepted nil forest")
 	}
-	if _, err := baseline.MineSemiNaive(empty, good); err == nil {
+	if _, err := baseline.MineSemiNaive(context.Background(), empty, good); err == nil {
 		t.Error("semi-naive accepted nil forest")
 	}
 }

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,15 @@ type Options struct {
 
 	// MR configures the MapReduce substrate.
 	MR mapreduce.Config
+
+	// Stream, when non-nil, receives every mined pattern (translated to
+	// the vocabulary item space) the moment its partition's local miner
+	// emits it, instead of the pattern being collected into
+	// Result.Patterns. Calls are serialized, but their order is
+	// partition-completion order, which is nondeterministic. A non-nil
+	// error stops streaming and fails the run with that error in the
+	// chain; the remaining partitions are cancelled cooperatively.
+	Stream func(items gsm.Sequence, support int64) error
 }
 
 // JobStats carries the per-job MapReduce statistics.
@@ -86,7 +96,9 @@ type Result struct {
 }
 
 // Mine runs LASH (or one of its flat variants) over the database.
-func Mine(db *gsm.Database, opt Options) (*Result, error) {
+// Cancelling ctx aborts the run cooperatively and returns the wrapped
+// ctx.Err() (see internal/mapreduce).
+func Mine(ctx context.Context, db *gsm.Database, opt Options) (*Result, error) {
 	if err := opt.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,12 +118,12 @@ func Mine(db *gsm.Database, opt Options) (*Result, error) {
 	if opt.Freqs != nil {
 		fl, err = flist.Build(work.Forest, opt.Freqs, opt.Params.Sigma)
 	} else {
-		fl, flStats, err = FListJob(work, opt.Params.Sigma, opt.MR)
+		fl, flStats, err = FListJob(ctx, work, opt.Params.Sigma, opt.MR)
 	}
 	if err != nil {
 		return nil, err
 	}
-	res, err := mineJob(work, fl, opt)
+	res, err := mineJob(ctx, work, fl, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +158,7 @@ func flatForest(f *hierarchy.Forest) *hierarchy.Forest {
 // reuse across Mine calls via Options.Freqs. It reads the counts straight
 // off the f-list job output without deriving a rank space (no σ is involved
 // in the counts themselves).
-func Frequencies(db *gsm.Database, flat bool, cfg mapreduce.Config) ([]int64, error) {
+func Frequencies(ctx context.Context, db *gsm.Database, flat bool, cfg mapreduce.Config) ([]int64, error) {
 	work := db
 	if flat {
 		work = &gsm.Database{Seqs: db.Seqs, Forest: flatForest(db.Forest)}
@@ -154,19 +166,19 @@ func Frequencies(db *gsm.Database, flat bool, cfg mapreduce.Config) ([]int64, er
 	if err := work.Validate(); err != nil {
 		return nil, err
 	}
-	freq, _, err := flistFrequencies(work, cfg)
+	freq, _, err := flistFrequencies(ctx, work, cfg)
 	return freq, err
 }
 
 // flistFrequencies is the MapReduce core of the preprocessing job (§3.3):
 // map emits each item of G1(T) once per sequence; reduce sums. It returns
 // the per-item hierarchy-aware document frequencies.
-func flistFrequencies(db *gsm.Database, cfg mapreduce.Config) ([]int64, *mapreduce.Stats, error) {
+func flistFrequencies(ctx context.Context, db *gsm.Database, cfg mapreduce.Config) ([]int64, *mapreduce.Stats, error) {
 	type itemFreq struct {
 		w hierarchy.Item
 		n int64
 	}
-	out, stats, err := mapreduce.Run(cfg, db.Seqs, mapreduce.Job[gsm.Sequence, hierarchy.Item, int64, itemFreq]{
+	out, stats, err := mapreduce.Run(ctx, cfg, db.Seqs, mapreduce.Job[gsm.Sequence, hierarchy.Item, int64, itemFreq]{
 		Name: "flist",
 		Map: func(t gsm.Sequence, emit func(hierarchy.Item, int64)) {
 			for _, g := range gsm.ItemGeneralizations(db.Forest, t) {
@@ -196,8 +208,8 @@ func flistFrequencies(db *gsm.Database, cfg mapreduce.Config) ([]int64, *mapredu
 
 // FListJob computes the generalized f-list with a MapReduce job and derives
 // the rank space for the given σ.
-func FListJob(db *gsm.Database, sigma int64, cfg mapreduce.Config) (*flist.FList, *mapreduce.Stats, error) {
-	freq, stats, err := flistFrequencies(db, cfg)
+func FListJob(ctx context.Context, db *gsm.Database, sigma int64, cfg mapreduce.Config) (*flist.FList, *mapreduce.Stats, error) {
+	freq, stats, err := flistFrequencies(ctx, db, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -212,6 +224,27 @@ func FListJob(db *gsm.Database, sigma int64, cfg mapreduce.Config) (*flist.FList
 type patternOut struct {
 	ranks   []flist.Rank
 	support int64
+}
+
+// streamAbort is the panic sentinel a streaming emit callback uses to
+// unwind an in-flight local miner once streaming has failed (emit error,
+// translation error, or run cancellation).
+type streamAbort struct{}
+
+// mineStreaming runs one partition's local mining with a streaming emit
+// callback, recovering the callback's abort sentinel so a failed stream
+// stops the miner mid-partition instead of letting it explore to
+// exhaustion. An aborted mine returns zero Stats — the run is failing, so
+// its work counters no longer matter.
+func mineStreaming(rs *reduceScratch, cfg miner.Config, sc *miner.Scratch, emit miner.Emit) (st miner.Stats) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(streamAbort); !ok {
+				panic(r)
+			}
+		}
+	}()
+	return rs.m.Mine(&rs.part, cfg, sc, emit)
 }
 
 // mineScratch is the pooled per-map-call working set of the partition+mine
@@ -241,11 +274,17 @@ type reduceScratch struct {
 // aggregates duplicates (§4.4) map-side and during the partition merge; and
 // each partition is mined the moment its last input arrives, overlapping
 // shuffle, merge, and local mining.
-func mineJob(db *gsm.Database, fl *flist.FList, opt Options) (*Result, error) {
+//
+// With opt.Stream set, mined patterns are translated and handed to the
+// stream callback as the local miners emit them (serialized by streamMu)
+// instead of being collected; a callback error fails the partition's
+// Reduce, which cancels the rest of the run.
+func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options) (*Result, error) {
 	res := &Result{}
 	var explored, output atomic.Int64
 	var partitions, partSeqs atomic.Int64
 	var maxPart atomic.Int64
+	var streamMu sync.Mutex
 
 	scratch := sync.Pool{New: func() any {
 		rw := rewrite.NewRewriter(fl, opt.Params.Gamma, opt.Params.Lambda)
@@ -263,7 +302,7 @@ func mineJob(db *gsm.Database, fl *flist.FList, opt Options) (*Result, error) {
 	}
 	parent := fl.ParentTable()
 
-	out, stats, err := mapreduce.RunAgg(opt.MR, db.Seqs, mapreduce.AggJob[gsm.Sequence, patternOut]{
+	out, stats, err := mapreduce.RunAgg(ctx, opt.MR, db.Seqs, mapreduce.AggJob[gsm.Sequence, patternOut]{
 		Name: "partition+mine",
 		Map: func(t gsm.Sequence, emit func(uint32, []byte, int64)) {
 			s := scratch.Get().(*mineScratch)
@@ -328,6 +367,41 @@ func mineJob(db *gsm.Database, fl *flist.FList, opt Options) (*Result, error) {
 				if int64(len(sc.Seqs)) <= cur || maxPart.CompareAndSwap(cur, int64(len(sc.Seqs))) {
 					break
 				}
+			}
+			if opt.Stream != nil {
+				// Streaming: translate each pattern to vocabulary items and
+				// hand it to the callback right away. The first callback
+				// error — or a cancelled run context, honoring the
+				// substrate's emit-point cancellation contract — aborts the
+				// in-flight local mining by unwinding it with a recovered
+				// panic sentinel (mirroring the substrate's own emit-point
+				// aborts; Scratch tolerates abandoned mid-mine state, see
+				// miner.Scratch), then fails the Reduce, cancelling the
+				// rest of the run.
+				var streamErr error
+				st := mineStreaming(rs, localCfg, sc, func(pat []flist.Rank, sup int64) {
+					streamMu.Lock()
+					defer streamMu.Unlock()
+					if streamErr == nil {
+						if cerr := ctx.Err(); cerr != nil {
+							streamErr = cerr
+						}
+					}
+					if streamErr == nil {
+						var items gsm.Sequence
+						if items, streamErr = fl.TranslateFromRanks(nil, pat); streamErr == nil {
+							streamErr = opt.Stream(items, sup)
+						}
+					}
+					if streamErr != nil {
+						panic(streamAbort{})
+					}
+				})
+				explored.Add(st.Explored)
+				output.Add(st.Output)
+				streamMu.Lock()
+				defer streamMu.Unlock()
+				return streamErr
 			}
 			// Emitted patterns escape the reduce call, so they cannot live in
 			// pooled scratch; copy them into chunks amortizing one allocation

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -24,7 +25,7 @@ func TestPaperExampleEndToEnd(t *testing.T) {
 	db := paperex.Database()
 	want := paperex.Expected(db.Forest)
 	for _, kind := range []miner.Kind{miner.KindPSM, miner.KindPSMNoIndex, miner.KindBFS, miner.KindDFS} {
-		res, err := core.Mine(db, core.Options{Params: paperex.Params(), Miner: kind, MR: smallMR})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: paperex.Params(), Miner: kind, MR: smallMR})
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
@@ -49,7 +50,7 @@ func TestPaperExampleEndToEnd(t *testing.T) {
 // Frequent single items carry the generalized f-list frequencies (Fig. 2).
 func TestFrequentItems(t *testing.T) {
 	db := paperex.Database()
-	res, err := core.Mine(db, core.Options{Params: paperex.Params(), MR: smallMR})
+	res, err := core.Mine(context.Background(), db, core.Options{Params: paperex.Params(), MR: smallMR})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,14 +72,14 @@ func TestBaselinesPaperExample(t *testing.T) {
 	db := paperex.Database()
 	want := paperex.Expected(db.Forest)
 	opt := baseline.Options{Params: paperex.Params(), MR: smallMR}
-	nv, err := baseline.MineNaive(db, opt)
+	nv, err := baseline.MineNaive(context.Background(), db, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !gsm.EqualPatterns(nv.Patterns, want) {
 		t.Fatalf("naive mismatch:\n%s", gsm.DiffPatterns(db.Forest, nv.Patterns, want))
 	}
-	sn, err := baseline.MineSemiNaive(db, opt)
+	sn, err := baseline.MineSemiNaive(context.Background(), db, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,11 +98,11 @@ func TestBaselinesPaperExample(t *testing.T) {
 // (Fig. 4b's claim at toy scale).
 func TestShuffleBytesOrdering(t *testing.T) {
 	db := paperex.Database()
-	lash, err := core.Mine(db, core.Options{Params: paperex.Params(), MR: smallMR})
+	lash, err := core.Mine(context.Background(), db, core.Options{Params: paperex.Params(), MR: smallMR})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nv, err := baseline.MineNaive(db, baseline.Options{Params: paperex.Params(), MR: smallMR})
+	nv, err := baseline.MineNaive(context.Background(), db, baseline.Options{Params: paperex.Params(), MR: smallMR})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,10 +116,10 @@ func TestShuffleBytesOrdering(t *testing.T) {
 func TestEmitCap(t *testing.T) {
 	db := paperex.Database()
 	opt := baseline.Options{Params: paperex.Params(), MR: smallMR, MaxEmit: 5}
-	if _, err := baseline.MineNaive(db, opt); err != baseline.ErrEmitCapExceeded {
+	if _, err := baseline.MineNaive(context.Background(), db, opt); err != baseline.ErrEmitCapExceeded {
 		t.Errorf("naive: err = %v, want cap exceeded", err)
 	}
-	if _, err := baseline.MineSemiNaive(db, opt); err != baseline.ErrEmitCapExceeded {
+	if _, err := baseline.MineSemiNaive(context.Background(), db, opt); err != baseline.ErrEmitCapExceeded {
 		t.Errorf("semi-naive: err = %v, want cap exceeded", err)
 	}
 }
@@ -126,7 +127,7 @@ func TestEmitCap(t *testing.T) {
 // Flat mode ignores the hierarchy: only plain subsequences are counted.
 func TestFlatMode(t *testing.T) {
 	db := paperex.Database()
-	res, err := core.Mine(db, core.Options{
+	res, err := core.Mine(context.Background(), db, core.Options{
 		Params: gsm.Params{Sigma: 2, Gamma: 1, Lambda: 3},
 		Flat:   true,
 		Miner:  miner.KindBFS, // MG-FSM configuration
@@ -148,7 +149,7 @@ func TestFlatMode(t *testing.T) {
 		t.Fatalf("flat mismatch:\n%s", gsm.DiffPatterns(db.Forest, res.Patterns, want))
 	}
 	// Flat LASH (PSM) must agree with MG-FSM (BFS).
-	res2, err := core.Mine(db, core.Options{
+	res2, err := core.Mine(context.Background(), db, core.Options{
 		Params: gsm.Params{Sigma: 2, Gamma: 1, Lambda: 3},
 		Flat:   true,
 		Miner:  miner.KindPSM,
@@ -164,15 +165,15 @@ func TestFlatMode(t *testing.T) {
 
 func TestOptionValidation(t *testing.T) {
 	db := paperex.Database()
-	if _, err := core.Mine(db, core.Options{Params: gsm.Params{Sigma: 0, Gamma: 0, Lambda: 3}}); err == nil {
+	if _, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: 0, Gamma: 0, Lambda: 3}}); err == nil {
 		t.Error("invalid σ accepted")
 	}
-	if _, err := core.Mine(&gsm.Database{}, core.Options{Params: paperex.Params()}); err == nil {
+	if _, err := core.Mine(context.Background(), &gsm.Database{}, core.Options{Params: paperex.Params()}); err == nil {
 		t.Error("missing forest accepted")
 	}
 	bad := paperex.Database()
 	bad.Seqs = append(bad.Seqs, gsm.Sequence{hierarchy.Item(9999)})
-	if _, err := core.Mine(bad, core.Options{Params: paperex.Params()}); err == nil {
+	if _, err := core.Mine(context.Background(), bad, core.Options{Params: paperex.Params()}); err == nil {
 		t.Error("out-of-vocabulary item accepted")
 	}
 }
@@ -221,16 +222,16 @@ func TestQuickAllAlgorithmsAgree(t *testing.T) {
 		}
 		want := gsm.MineBruteForce(db, p)
 		for _, kind := range []miner.Kind{miner.KindPSM, miner.KindPSMNoIndex, miner.KindBFS, miner.KindDFS} {
-			res, err := core.Mine(db, core.Options{Params: p, Miner: kind, MR: smallMR})
+			res, err := core.Mine(context.Background(), db, core.Options{Params: p, Miner: kind, MR: smallMR})
 			if err != nil || !gsm.EqualPatterns(res.Patterns, want) {
 				return false
 			}
 		}
-		nv, err := baseline.MineNaive(db, baseline.Options{Params: p, MR: smallMR})
+		nv, err := baseline.MineNaive(context.Background(), db, baseline.Options{Params: p, MR: smallMR})
 		if err != nil || !gsm.EqualPatterns(nv.Patterns, want) {
 			return false
 		}
-		sn, err := baseline.MineSemiNaive(db, baseline.Options{Params: p, MR: smallMR})
+		sn, err := baseline.MineSemiNaive(context.Background(), db, baseline.Options{Params: p, MR: smallMR})
 		if err != nil || !gsm.EqualPatterns(sn.Patterns, want) {
 			return false
 		}
@@ -248,7 +249,7 @@ func TestRewriteModesAgree(t *testing.T) {
 	want := paperex.Expected(db.Forest)
 	var bytes []int64
 	for _, mode := range []rewrite.Mode{rewrite.ModeFull, rewrite.ModeGeneralizeOnly, rewrite.ModeNone} {
-		res, err := core.Mine(db, core.Options{Params: paperex.Params(), Rewrites: mode, MR: smallMR})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: paperex.Params(), Rewrites: mode, MR: smallMR})
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -268,12 +269,12 @@ func TestQuickRewriteModesAgree(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randDB(r)
 		p := gsm.Params{Sigma: 1 + int64(r.Intn(3)), Gamma: r.Intn(3), Lambda: 2 + r.Intn(3)}
-		base, err := core.Mine(db, core.Options{Params: p, MR: smallMR})
+		base, err := core.Mine(context.Background(), db, core.Options{Params: p, MR: smallMR})
 		if err != nil {
 			return false
 		}
 		for _, mode := range []rewrite.Mode{rewrite.ModeGeneralizeOnly, rewrite.ModeNone} {
-			res, err := core.Mine(db, core.Options{Params: p, Rewrites: mode, MR: smallMR})
+			res, err := core.Mine(context.Background(), db, core.Options{Params: p, Rewrites: mode, MR: smallMR})
 			if err != nil || !gsm.EqualPatterns(res.Patterns, base.Patterns) {
 				return false
 			}
@@ -291,7 +292,7 @@ func TestQuickMRConfigIndependence(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randDB(r)
 		p := gsm.Params{Sigma: 1 + int64(r.Intn(2)), Gamma: r.Intn(2), Lambda: 2 + r.Intn(2)}
-		base, err := core.Mine(db, core.Options{Params: p, MR: mapreduce.Config{Workers: 1, MapTasks: 1, ReduceTasks: 1}})
+		base, err := core.Mine(context.Background(), db, core.Options{Params: p, MR: mapreduce.Config{Workers: 1, MapTasks: 1, ReduceTasks: 1}})
 		if err != nil {
 			return false
 		}
@@ -299,7 +300,7 @@ func TestQuickMRConfigIndependence(t *testing.T) {
 			{Workers: 4, MapTasks: 7, ReduceTasks: 5},
 			{Workers: 2, MapTasks: 1, ReduceTasks: 9},
 		} {
-			res, err := core.Mine(db, core.Options{Params: p, MR: cfg})
+			res, err := core.Mine(context.Background(), db, core.Options{Params: p, MR: cfg})
 			if err != nil || !gsm.EqualPatterns(res.Patterns, base.Patterns) {
 				return false
 			}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -33,7 +34,7 @@ func refMineJob(t *testing.T, db *gsm.Database, fl *flist.FList, kind miner.Kind
 	localCfg := miner.Config{Sigma: p.Sigma, Gamma: p.Gamma, Lambda: p.Lambda, PivotOnly: true}
 	parent := fl.ParentTable()
 
-	out, _, err := mapreduce.Run(mr, db.Seqs, mapreduce.Job[gsm.Sequence, flist.Rank, map[string]int64, patternOut]{
+	out, _, err := mapreduce.Run(context.Background(), mr, db.Seqs, mapreduce.Job[gsm.Sequence, flist.Rank, map[string]int64, patternOut]{
 		Name: "ref-partition+mine",
 		Map: func(t gsm.Sequence, emit func(flist.Rank, map[string]int64)) {
 			rw := rewriters.Get().(*rewrite.Rewriter)
@@ -135,7 +136,7 @@ func TestStreamingMatchesReferenceOnRandomDBs(t *testing.T) {
 	for _, c := range cases {
 		for _, kind := range []miner.Kind{miner.KindPSM, miner.KindBFS} {
 			t.Run(fmt.Sprintf("%s/%s", c.name, kind), func(t *testing.T) {
-				res, err := core.Mine(c.db, core.Options{Params: params, Miner: kind, MR: mr})
+				res, err := core.Mine(context.Background(), c.db, core.Options{Params: params, Miner: kind, MR: mr})
 				if err != nil {
 					t.Fatal(err)
 				}

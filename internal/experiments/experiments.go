@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -211,21 +212,21 @@ func runFig4Common(c *Context) ([][3]fig4Run, []string, error) {
 		}
 		var row [3]fig4Run
 		bopt := baseline.Options{Params: set.p, MR: defaultMR(0), MaxEmit: c.Scale.NaiveCap}
-		if res, err := baseline.MineNaive(db, bopt); err == nil {
+		if res, err := baseline.MineNaive(context.Background(), db, bopt); err == nil {
 			row[0] = fig4Run{fmtDur(res.Jobs.Mine.Sim.Total()), fmtBytes(res.Jobs.Mine.MapOutputBytes)}
 		} else if errors.Is(err, baseline.ErrEmitCapExceeded) {
 			row[0] = fig4Run{"DNF", "DNF"}
 		} else {
 			return nil, nil, err
 		}
-		if res, err := baseline.MineSemiNaive(db, bopt); err == nil {
+		if res, err := baseline.MineSemiNaive(context.Background(), db, bopt); err == nil {
 			row[1] = fig4Run{fmtDur(res.Jobs.FList.Sim.Total() + res.Jobs.Mine.Sim.Total()), fmtBytes(res.Jobs.Mine.MapOutputBytes)}
 		} else if errors.Is(err, baseline.ErrEmitCapExceeded) {
 			row[1] = fig4Run{"DNF", "DNF"}
 		} else {
 			return nil, nil, err
 		}
-		res, err := core.Mine(db, core.Options{Params: set.p, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: set.p, MR: defaultMR(0)})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -299,7 +300,7 @@ func fig4MinerTable(c *Context, id string, cell func(*core.Result) string, note 
 		}
 		row := []string{set.label}
 		for _, k := range kinds {
-			res, err := core.Mine(db, core.Options{Params: set.p, Miner: k, MR: defaultMR(0)})
+			res, err := core.Mine(context.Background(), db, core.Options{Params: set.p, Miner: k, MR: defaultMR(0)})
 			if err != nil {
 				return nil, err
 			}
@@ -324,11 +325,11 @@ func runFig4e(c *Context) (*Table, error) {
 	}
 	t := newTable("fig4e", "NYT flat (σ,γ,λ)", "MG-FSM", "LASH")
 	for _, p := range settings {
-		mg, err := core.Mine(db, core.Options{Params: p, Flat: true, Miner: miner.KindBFS, MR: defaultMR(0)})
+		mg, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, Miner: miner.KindBFS, MR: defaultMR(0)})
 		if err != nil {
 			return nil, err
 		}
-		la, err := core.Mine(db, core.Options{Params: p, Flat: true, Miner: miner.KindPSM, MR: defaultMR(0)})
+		la, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, Miner: miner.KindPSM, MR: defaultMR(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -357,7 +358,7 @@ func runFig5a(c *Context) (*Table, error) {
 	}
 	t := phaseTable("fig5a", "Support σ")
 	for _, sigma := range []int64{c.Scale.SigmaXLo, c.Scale.SigmaLo, c.Scale.SigmaHi, c.Scale.SigmaXHi} {
-		res, err := core.Mine(db, core.Options{Params: gsm.Params{Sigma: sigma, Gamma: 1, Lambda: 5}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: sigma, Gamma: 1, Lambda: 5}, MR: defaultMR(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -374,7 +375,7 @@ func runFig5b(c *Context) (*Table, error) {
 	}
 	t := phaseTable("fig5b", "Gap γ")
 	for gamma := 0; gamma <= 3; gamma++ {
-		res, err := core.Mine(db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: gamma, Lambda: 5}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: gamma, Lambda: 5}, MR: defaultMR(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -391,7 +392,7 @@ func runFig5c(c *Context) (*Table, error) {
 	}
 	t := phaseTable("fig5c", "Length λ")
 	for lambda := 3; lambda <= 7; lambda++ {
-		res, err := core.Mine(db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: defaultMR(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -408,7 +409,7 @@ func runFig5d(c *Context) (*Table, error) {
 	}
 	t := newTable("fig5d", "Length λ", "Output sequences")
 	for lambda := 3; lambda <= 7; lambda++ {
-		res, err := core.Mine(db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: defaultMR(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -425,7 +426,7 @@ func runFig5e(c *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Mine(db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 2, Lambda: 5}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 2, Lambda: 5}, MR: defaultMR(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -442,7 +443,7 @@ func runFig5f(c *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Mine(db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: defaultMR(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -462,7 +463,7 @@ func runFig6a(c *Context) (*Table, error) {
 	t := phaseTable("fig6a", "% of data")
 	for _, frac := range []float64{0.25, 0.50, 0.75, 1.0} {
 		db := datagen.Sample(full, frac)
-		res, err := core.Mine(db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: defaultMR(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -479,7 +480,7 @@ func runFig6b(c *Context) (*Table, error) {
 	}
 	t := phaseTable("fig6b", "Machines")
 	for _, m := range []int{2, 4, 8} {
-		res, err := core.Mine(db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: scalingMR(m)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: scalingMR(m)})
 		if err != nil {
 			return nil, err
 		}
@@ -501,7 +502,7 @@ func runFig6c(c *Context) (*Table, error) {
 		frac float64
 	}{{2, 0.25}, {4, 0.50}, {8, 1.0}} {
 		db := datagen.Sample(full, step.frac)
-		res, err := core.Mine(db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: scalingMR(step.m)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: scalingMR(step.m)})
 		if err != nil {
 			return nil, err
 		}
@@ -522,7 +523,7 @@ func runAblation(c *Context) (*Table, error) {
 	t := newTable("ablation", "Rewrites", "Shuffled", "Records", "Partition seqs", "Largest partition", "Reduce", "Total")
 	var base *core.Result
 	for _, mode := range []rewrite.Mode{rewrite.ModeNone, rewrite.ModeGeneralizeOnly, rewrite.ModeFull} {
-		res, err := core.Mine(db, core.Options{Params: p, Rewrites: mode, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: p, Rewrites: mode, MR: defaultMR(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -546,11 +547,11 @@ func runAblation(c *Context) (*Table, error) {
 func runTable3(c *Context) (*Table, error) {
 	t := newTable("table3", "Setting", "Output", "Non-trivial %", "Closed %", "Maximal %")
 	addRow := func(label string, db *gsm.Database, p gsm.Params) error {
-		res, err := core.Mine(db, core.Options{Params: p, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: p, MR: defaultMR(0)})
 		if err != nil {
 			return err
 		}
-		flat, err := core.Mine(db, core.Options{Params: p, Flat: true, MR: defaultMR(0)})
+		flat, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, MR: defaultMR(0)})
 		if err != nil {
 			return err
 		}

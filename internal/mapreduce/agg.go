@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"bytes"
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -199,11 +200,20 @@ type aggPart[R any] struct {
 // then by Reduce's emit order — deterministic for a fixed Config regardless
 // of Workers. Panics in any task and errors returned by Reduce cancel the
 // run and are returned annotated with the job name and task/partition.
-func RunAgg[I any, R any](cfg Config, input []I, job AggJob[I, R]) ([]R, *Stats, error) {
+// Cancelling ctx aborts the run cooperatively (between tasks, between
+// reduce groups, and at every map emit) and returns ctx.Err() wrapped with
+// the job name; a context that is already done returns before any task
+// runs.
+func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob[I, R]) ([]R, *Stats, error) {
 	cfg = cfg.withDefaults()
 	stats := &Stats{}
 	stats.MapInputRecords = int64(len(input))
+	if ctx.Err() != nil {
+		return nil, stats, wrapCtxErr(job.Name, "start", ctx)
+	}
 	errs := &errOnce{}
+	stopWatch := watchContext(ctx, errs)
+	defer stopWatch()
 
 	mapTasks := cfg.MapTasks
 	if mapTasks > len(input) {
@@ -224,10 +234,31 @@ func RunAgg[I any, R any](cfg Config, input []I, job AggJob[I, R]) ([]R, *Stats,
 	redTimes := make([]time.Duration, reduceTasks)
 
 	start := time.Now()
-	var mapsDone, mergesDone atomic.Int64
+	var mapsDone, mergesDone, redDone atomic.Int64
 	var mapWall, shufWall time.Duration // written once by the last task of each kind
 
+	report := func(phase string) {
+		if cfg.Progress == nil {
+			return
+		}
+		cfg.Progress(Progress{
+			Job:             job.Name,
+			Phase:           phase,
+			MapTasksDone:    int(mapsDone.Load()),
+			MapTasks:        mapTasks,
+			ReduceTasksDone: int(redDone.Load()),
+			ReduceTasks:     reduceTasks,
+			ShuffleRecords:  outRecords.Load(),
+			ShuffleBytes:    outBytes.Load(),
+		})
+	}
+	defer report("done")
+
 	reduceOne := guard(errs, job.Name, "reduce partition", func(p int) error {
+		defer func() {
+			redDone.Add(1)
+			report("reduce")
+		}()
 		st := &parts[p]
 		t := st.merged
 		if t == nil || t.n == 0 {
@@ -251,9 +282,17 @@ func RunAgg[I any, R any](cfg Config, input []I, job AggJob[I, R]) ([]R, *Stats,
 			return bytes.Compare(t.key(ea), t.key(eb)) < 0
 		})
 
-		emit := func(r R) { st.out = append(st.out, r) }
+		emit := func(r R) {
+			checkAbort(errs)
+			st.out = append(st.out, r)
+		}
 		entries := make([]Entry, 0, len(idx))
 		for lo := 0; lo < len(idx); {
+			// Cancellation check between groups: one reduce partition can
+			// hold many groups, each an independent Reduce call.
+			if errs.canceled.Load() {
+				return nil
+			}
 			group := t.entries[idx[lo]].group
 			hi := lo
 			entries = entries[:0]
@@ -278,6 +317,7 @@ func RunAgg[I any, R any](cfg Config, input []I, job AggJob[I, R]) ([]R, *Stats,
 		begin := time.Now()
 		tables := make([]*byteTable, reduceTasks)
 		emit := func(group uint32, key []byte, weight int64) {
+			checkAbort(errs)
 			p := int(job.hash(group, key) % uint32(reduceTasks))
 			t := tables[p]
 			if t == nil {
@@ -287,6 +327,7 @@ func RunAgg[I any, R any](cfg Config, input []I, job AggJob[I, R]) ([]R, *Stats,
 			t.add(group, key, weight)
 		}
 		for _, rec := range input[lo:hi] {
+			checkAbort(errs)
 			job.Map(rec, emit)
 		}
 		mapTimes[task] = time.Since(begin)
@@ -335,6 +376,7 @@ func RunAgg[I any, R any](cfg Config, input []I, job AggJob[I, R]) ([]R, *Stats,
 		if mergesDone.Add(1) == int64(mapTasks) {
 			shufWall = time.Since(start)
 		}
+		report("map")
 		return nil
 	})
 
@@ -398,7 +440,7 @@ func RunAgg[I any, R any](cfg Config, input []I, job AggJob[I, R]) ([]R, *Stats,
 	stats.MapOutputBytes = outBytes.Load()
 	stats.ReduceInputKeys = redKeys.Load()
 	stats.ReduceOutputRecords = redRecords.Load()
-	if err := errs.get(); err != nil {
+	if err := runErr(errs, ctx, job.Name, "run"); err != nil {
 		return nil, stats, err
 	}
 

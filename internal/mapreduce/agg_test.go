@@ -1,6 +1,7 @@
 package mapreduce_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func aggWordCount(cfg mapreduce.Config, docs []string) (map[string]int64, *mapre
 		word string
 		n    int64
 	}
-	out, stats, err := mapreduce.RunAgg(cfg, docs, mapreduce.AggJob[string, outKV]{
+	out, stats, err := mapreduce.RunAgg(context.Background(), cfg, docs, mapreduce.AggJob[string, outKV]{
 		Name: "agg-wordcount",
 		Map: func(doc string, emit func(uint32, []byte, int64)) {
 			var buf []byte
@@ -144,7 +145,7 @@ func TestAggSingleWorker(t *testing.T) {
 // keys in byte order.
 func TestAggDeterministicOrder(t *testing.T) {
 	run := func(workers int) []string {
-		out, _, err := mapreduce.RunAgg(
+		out, _, err := mapreduce.RunAgg(context.Background(),
 			mapreduce.Config{Workers: workers, MapTasks: 4, ReduceTasks: 3},
 			docs,
 			mapreduce.AggJob[string, string]{
@@ -177,7 +178,7 @@ func TestAggDeterministicOrder(t *testing.T) {
 // Entries handed to one Reduce call share the group and arrive sorted by
 // key bytes.
 func TestAggGroupedSortedEntries(t *testing.T) {
-	_, _, err := mapreduce.RunAgg(
+	_, _, err := mapreduce.RunAgg(context.Background(),
 		mapreduce.Config{Workers: 3, MapTasks: 4, ReduceTasks: 2},
 		docs,
 		mapreduce.AggJob[string, struct{}]{
@@ -206,7 +207,7 @@ func TestAggGroupedSortedEntries(t *testing.T) {
 }
 
 func TestAggPanicInMap(t *testing.T) {
-	_, _, err := mapreduce.RunAgg(
+	_, _, err := mapreduce.RunAgg(context.Background(),
 		mapreduce.Config{Workers: 2, MapTasks: 2, ReduceTasks: 2},
 		docs,
 		mapreduce.AggJob[string, struct{}]{
@@ -227,7 +228,7 @@ func TestAggPanicInMap(t *testing.T) {
 }
 
 func TestAggPanicInReduce(t *testing.T) {
-	_, _, err := mapreduce.RunAgg(
+	_, _, err := mapreduce.RunAgg(context.Background(),
 		mapreduce.Config{Workers: 2, MapTasks: 2, ReduceTasks: 2},
 		docs,
 		mapreduce.AggJob[string, struct{}]{
@@ -254,7 +255,7 @@ func TestAggPanicInReduce(t *testing.T) {
 // An error returned from Reduce must fail the run (first error wins) and
 // discard the output.
 func TestAggReduceError(t *testing.T) {
-	out, _, err := mapreduce.RunAgg(
+	out, _, err := mapreduce.RunAgg(context.Background(),
 		mapreduce.Config{Workers: 2, MapTasks: 2, ReduceTasks: 4},
 		docs,
 		mapreduce.AggJob[string, string]{
@@ -278,7 +279,7 @@ func TestAggReduceError(t *testing.T) {
 
 // Classic-path tasks must convert panics into errors too.
 func TestClassicPanicInMap(t *testing.T) {
-	_, _, err := mapreduce.Run(
+	_, _, err := mapreduce.Run(context.Background(),
 		mapreduce.Config{Workers: 2, MapTasks: 2, ReduceTasks: 2},
 		docs,
 		mapreduce.Job[string, string, int64, struct{}]{
@@ -295,7 +296,7 @@ func TestClassicPanicInMap(t *testing.T) {
 }
 
 func TestClassicPanicInReduce(t *testing.T) {
-	_, _, err := mapreduce.Run(
+	_, _, err := mapreduce.Run(context.Background(),
 		mapreduce.Config{Workers: 2, MapTasks: 2, ReduceTasks: 2},
 		docs,
 		mapreduce.Job[string, string, int64, struct{}]{

@@ -33,9 +33,18 @@
 // must not take down the process hosting the substrate (lashd runs many).
 // The first task error cancels the run: unstarted tasks are skipped and the
 // partial output is discarded.
+//
+// Cancellation contract: Run and RunAgg take a context.Context and observe
+// it cooperatively — between tasks, and at every emit point inside a task —
+// so even a single long-running map or reduce task is interrupted promptly.
+// A cancelled run drains its worker pool, discards the partial output, and
+// returns ctx.Err() wrapped with the job name and phase (the cancellation
+// cause, if one was set via context.WithCancelCause, is also in the chain
+// and matchable with errors.Is).
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -72,6 +81,28 @@ type Config struct {
 	MapTasks    int // input splits (default 4×Workers)
 	ReduceTasks int // key-space partitions (default 4×Workers)
 	Cluster     ClusterSpec
+
+	// Progress, when non-nil, receives progress snapshots as the run
+	// advances: after every retired map task, after every completed reduce
+	// task (partition), and once with phase "done" when the run returns,
+	// successfully or not. It is invoked concurrently from worker
+	// goroutines and must be fast and safe for concurrent use.
+	Progress func(Progress)
+}
+
+// Progress is a point-in-time snapshot of a running job, delivered to
+// Config.Progress. Counts are cumulative; on the streaming aggregated path
+// (RunAgg) map, shuffle, and reduce overlap, so reduce counters can advance
+// while map tasks are still retiring.
+type Progress struct {
+	Job             string
+	Phase           string // "map", "shuffle", "reduce", or "done"
+	MapTasksDone    int
+	MapTasks        int
+	ReduceTasksDone int
+	ReduceTasks     int
+	ShuffleRecords  int64 // aggregated records shuffled so far
+	ShuffleBytes    int64 // encoded bytes shuffled so far (MAP_OUTPUT_BYTES)
 }
 
 func (c Config) withDefaults() Config {
@@ -152,7 +183,9 @@ type Job[I any, K comparable, V any, R any] struct {
 }
 
 // errOnce records the first task error of a run and flips a cancellation
-// flag that unstarted tasks observe.
+// flag that unstarted tasks observe. External cancellation (a done context)
+// flips the flag without recording an error; the run's exit path translates
+// the context state into the returned error.
 type errOnce struct {
 	canceled atomic.Bool
 	mu       sync.Mutex
@@ -177,9 +210,53 @@ func (e *errOnce) get() error {
 	return e.err
 }
 
+// taskAborted is the panic sentinel used to unwind a user task from inside
+// an emit callback once the run has been cancelled. guard recognizes it and
+// retires the task silently — the run's error comes from the first real
+// task error or from the cancelled context, never from the unwinding.
+type taskAborted struct{}
+
+// checkAbort panics with the abort sentinel when the run has been
+// cancelled. Emit closures call it so that even a single long-running map
+// or reduce task observes cancellation at its next emit.
+func checkAbort(errs *errOnce) {
+	if errs.canceled.Load() {
+		panic(taskAborted{})
+	}
+}
+
+// watchContext flips the run's cancellation flag when ctx is done and
+// returns a stop function for the watcher.
+func watchContext(ctx context.Context, errs *errOnce) func() bool {
+	return context.AfterFunc(ctx, func() { errs.canceled.Store(true) })
+}
+
+// wrapCtxErr annotates a context cancellation with the job and phase it
+// interrupted. The returned error matches ctx.Err() under errors.Is, and
+// also the cancellation cause when one was set via context.WithCancelCause.
+func wrapCtxErr(jobName, phase string, ctx context.Context) error {
+	err := ctx.Err()
+	if cause := context.Cause(ctx); cause != nil && cause != err {
+		return fmt.Errorf("mapreduce: job %q: %s: %w: %w", jobName, phase, err, cause)
+	}
+	return fmt.Errorf("mapreduce: job %q: %s: %w", jobName, phase, err)
+}
+
+// runErr resolves a run's exit error: the first recorded task error wins;
+// otherwise a done context is translated into a wrapped ctx.Err().
+func runErr(errs *errOnce, ctx context.Context, jobName, phase string) error {
+	if err := errs.get(); err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return wrapCtxErr(jobName, phase, ctx)
+	}
+	return nil
+}
+
 // guard wraps one task body with cancellation and panic recovery. A
 // recovered panic is annotated with the job name, phase, and task index and
-// recorded as the run's error.
+// recorded as the run's error; the abort sentinel retires the task quietly.
 func guard(errs *errOnce, jobName, phase string, fn func(task int) error) func(int) {
 	return func(task int) {
 		if errs.canceled.Load() {
@@ -187,6 +264,9 @@ func guard(errs *errOnce, jobName, phase string, fn func(task int) error) func(i
 		}
 		defer func() {
 			if r := recover(); r != nil {
+				if _, ok := r.(taskAborted); ok {
+					return
+				}
 				errs.set(fmt.Errorf("mapreduce: job %q: %s task %d: panic: %v\n%s",
 					jobName, phase, task, r, debug.Stack()))
 			}
@@ -201,12 +281,20 @@ func guard(errs *errOnce, jobName, phase string, fn func(task int) error) func(i
 // (ordered by reduce task, then by key hash order — callers needing a total
 // order must sort) together with run statistics. A panic in any task is
 // converted into an error; the first error cancels the run and is returned
-// with partial statistics.
-func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K, V, R]) ([]R, *Stats, error) {
+// with partial statistics. Cancelling ctx aborts the run cooperatively
+// (between tasks and at emit points) and returns ctx.Err() wrapped with the
+// job name and phase; a context that is already done returns before any
+// task runs.
+func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, input []I, job Job[I, K, V, R]) ([]R, *Stats, error) {
 	cfg = cfg.withDefaults()
 	stats := &Stats{}
 	stats.MapInputRecords = int64(len(input))
+	if ctx.Err() != nil {
+		return nil, stats, wrapCtxErr(job.Name, "start", ctx)
+	}
 	errs := &errOnce{}
+	stop := watchContext(ctx, errs)
+	defer stop()
 
 	mapTasks := cfg.MapTasks
 	if mapTasks > len(input) {
@@ -217,6 +305,25 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 	}
 	reduceTasks := cfg.ReduceTasks
 
+	var outRecords, outBytes atomic.Int64
+	var mapsDone, redDone atomic.Int64
+	report := func(phase string) {
+		if cfg.Progress == nil {
+			return
+		}
+		cfg.Progress(Progress{
+			Job:             job.Name,
+			Phase:           phase,
+			MapTasksDone:    int(mapsDone.Load()),
+			MapTasks:        mapTasks,
+			ReduceTasksDone: int(redDone.Load()),
+			ReduceTasks:     reduceTasks,
+			ShuffleRecords:  outRecords.Load(),
+			ShuffleBytes:    outBytes.Load(),
+		})
+	}
+	defer report("done")
+
 	// --- map phase -----------------------------------------------------
 	type mapOut struct {
 		combined []map[K]V // per reduce partition (combiner present)
@@ -224,7 +331,6 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 	}
 	outs := make([]mapOut, mapTasks)
 	taskTimes := make([]time.Duration, mapTasks)
-	var outRecords, outBytes atomic.Int64
 
 	mapStart := time.Now()
 	runPool(cfg.Workers, mapTasks, guard(errs, job.Name, "map", func(task int) error {
@@ -241,6 +347,7 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 			o.pairs = make([][]kv[K, V], reduceTasks)
 		}
 		emit := func(k K, v V) {
+			checkAbort(errs)
 			p := int(job.Hash(k) % uint32(reduceTasks))
 			if job.Combine != nil {
 				m := o.combined[p]
@@ -254,6 +361,7 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 			}
 		}
 		for _, rec := range input[lo:hi] {
+			checkAbort(errs)
 			job.Map(rec, emit)
 		}
 		// Account post-combine output.
@@ -280,13 +388,15 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 		outRecords.Add(recs)
 		outBytes.Add(bytes)
 		taskTimes[task] = time.Since(start)
+		mapsDone.Add(1)
+		report("map")
 		return nil
 	}))
 	stats.Wall.Map = time.Since(mapStart)
 	stats.MapTaskTimes = taskTimes
 	stats.MapOutputRecords = outRecords.Load()
 	stats.MapOutputBytes = outBytes.Load()
-	if err := errs.get(); err != nil {
+	if err := runErr(errs, ctx, job.Name, "map"); err != nil {
 		return nil, stats, err
 	}
 
@@ -296,6 +406,7 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 	runPool(cfg.Workers, reduceTasks, guard(errs, job.Name, "shuffle", func(p int) error {
 		g := make(map[K][]V)
 		for t := range outs {
+			checkAbort(errs)
 			if job.Combine != nil {
 				for k, v := range outs[t].combined[p] {
 					g[k] = append(g[k], v)
@@ -310,7 +421,8 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 		return nil
 	}))
 	stats.Wall.Shuffle = time.Since(shufStart)
-	if err := errs.get(); err != nil {
+	report("shuffle")
+	if err := runErr(errs, ctx, job.Name, "shuffle"); err != nil {
 		return nil, stats, err
 	}
 
@@ -322,21 +434,27 @@ func Run[I any, K comparable, V any, R any](cfg Config, input []I, job Job[I, K,
 	runPool(cfg.Workers, reduceTasks, guard(errs, job.Name, "reduce", func(p int) error {
 		start := time.Now()
 		var out []R
-		emit := func(r R) { out = append(out, r) }
+		emit := func(r R) {
+			checkAbort(errs)
+			out = append(out, r)
+		}
 		for k, vs := range groups[p] {
+			checkAbort(errs)
 			job.Reduce(k, vs, emit)
 		}
 		redKeys.Add(int64(len(groups[p])))
 		redRecords.Add(int64(len(out)))
 		results[p] = out
 		redTimes[p] = time.Since(start)
+		redDone.Add(1)
+		report("reduce")
 		return nil
 	}))
 	stats.Wall.Reduce = time.Since(redStart)
 	stats.ReduceTaskTimes = redTimes
 	stats.ReduceInputKeys = redKeys.Load()
 	stats.ReduceOutputRecords = redRecords.Load()
-	if err := errs.get(); err != nil {
+	if err := runErr(errs, ctx, job.Name, "reduce"); err != nil {
 		return nil, stats, err
 	}
 

@@ -1,6 +1,7 @@
 package mapreduce_test
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func wordCount(cfg mapreduce.Config, docs []string) (map[string]int64, *mapreduc
 		word string
 		n    int64
 	}
-	out, stats, err := mapreduce.Run(cfg, docs, mapreduce.Job[string, string, int64, outKV]{
+	out, stats, err := mapreduce.Run(context.Background(), cfg, docs, mapreduce.Job[string, string, int64, outKV]{
 		Name: "wordcount",
 		Map: func(doc string, emit func(string, int64)) {
 			for _, w := range strings.Fields(doc) {
@@ -101,7 +102,7 @@ func TestDeterminismAcrossConfigs(t *testing.T) {
 
 // Without a combiner, every intermediate pair must reach the reducer.
 func TestNoCombiner(t *testing.T) {
-	out, stats, err := mapreduce.Run(
+	out, stats, err := mapreduce.Run(context.Background(),
 		mapreduce.Config{Workers: 2, MapTasks: 2, ReduceTasks: 2},
 		docs,
 		mapreduce.Job[string, string, int64, int64]{

@@ -24,7 +24,12 @@ import (
 //
 //   - A Scratch may be reused freely across Mine calls, partitions, miner
 //     kinds, and configurations; every Mine call leaves it ready for the
-//     next.
+//     next. This includes Mine calls abandoned mid-run by a panic out of
+//     the emit callback (how the cancellation and streaming-abort paths of
+//     core.mineJob stop an in-flight miner): all per-call state is
+//     re-established at the start of each call and expansion node via
+//     epoch bumps, length resets, and cleared-on-reuse buffers, so no
+//     structure depends on the previous call having completed.
 //   - A Scratch must not be used by two Mine calls concurrently. Give each
 //     worker goroutine its own (e.g. via sync.Pool, as core.mineJob does).
 //   - Passing a nil *Scratch to Mine is allowed: the miner allocates a

@@ -1,6 +1,7 @@
 package stats_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -17,11 +18,11 @@ var smallMR = mapreduce.Config{Workers: 2, MapTasks: 2, ReduceTasks: 2}
 
 func mineBoth(t testing.TB, db *gsm.Database, p gsm.Params) (mined, flat []gsm.Pattern) {
 	t.Helper()
-	res, err := core.Mine(db, core.Options{Params: p, MR: smallMR})
+	res, err := core.Mine(context.Background(), db, core.Options{Params: p, MR: smallMR})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fres, err := core.Mine(db, core.Options{Params: p, Flat: true, MR: smallMR})
+	fres, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, MR: smallMR})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,11 +165,11 @@ func TestQuickClosedMaximalMatchBrute(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randDB(r)
 		p := gsm.Params{Sigma: 1 + int64(r.Intn(2)), Gamma: r.Intn(2), Lambda: 2 + r.Intn(2)}
-		res, err := core.Mine(db, core.Options{Params: p, MR: smallMR})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: p, MR: smallMR})
 		if err != nil {
 			return false
 		}
-		fres, err := core.Mine(db, core.Options{Params: p, Flat: true, MR: smallMR})
+		fres, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, MR: smallMR})
 		if err != nil {
 			return false
 		}
@@ -187,11 +188,11 @@ func TestQuickNonTrivialMatchesBrute(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		db := randDB(r)
 		p := gsm.Params{Sigma: 1 + int64(r.Intn(2)), Gamma: r.Intn(2), Lambda: 2 + r.Intn(2)}
-		res, err := core.Mine(db, core.Options{Params: p, MR: smallMR})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: p, MR: smallMR})
 		if err != nil {
 			return false
 		}
-		fres, err := core.Mine(db, core.Options{Params: p, Flat: true, MR: smallMR})
+		fres, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, MR: smallMR})
 		if err != nil {
 			return false
 		}

@@ -22,10 +22,24 @@
 //	for _, p := range res.Patterns {
 //		fmt.Println(strings.Join(p.Items, " "), p.Support)
 //	}
+//
+// # Cancellation, streaming, and progress
+//
+// Long runs are controlled through contexts: MineContext (and
+// Miner.MineContext) is Mine with a context.Context — cancel it and the
+// run aborts cooperatively, returning an error that matches ctx.Err()
+// under errors.Is. Stream (and Miner.Stream) delivers patterns
+// incrementally through a callback as each partition's local mining
+// completes, instead of materializing the whole result; and
+// Options.Progress receives live phase/partition/shuffle updates while a
+// run is in flight. Mine is a thin context.Background() wrapper around
+// MineContext, so existing callers are unaffected.
 package lash
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"lash/internal/baseline"
 	"lash/internal/core"
@@ -102,8 +116,22 @@ func (m LocalMiner) kind() miner.Kind {
 	}
 }
 
-// String returns the miner's name as used in the paper's figures.
-func (m LocalMiner) String() string { return m.kind().String() }
+// String returns the miner's user-facing name, as accepted by
+// ParseLocalMiner — every valid value round-trips through it. (The paper's
+// figure labels, "PSM+Index" etc., live on internal/miner.Kind.)
+func (m LocalMiner) String() string {
+	switch m {
+	case MinerPSM:
+		return "psm"
+	case MinerPSMNoIndex:
+		return "psm-noindex"
+	case MinerBFS:
+		return "bfs"
+	case MinerDFS:
+		return "dfs"
+	}
+	return fmt.Sprintf("LocalMiner(%d)", int(m))
+}
 
 // Options configures Mine.
 type Options struct {
@@ -126,8 +154,43 @@ type Options struct {
 	MaxIntermediate int64
 	// Restriction optionally thins the output to closed or maximal patterns
 	// (computed relative to the mined output, i.e. supersequences up to
-	// MaxLength). See §6.7 of the paper.
+	// MaxLength). See §6.7 of the paper. Restrictions need the full pattern
+	// set, so ValidateStream rejects them for streaming runs.
 	Restriction Restriction
+	// Progress, when non-nil, receives live progress events while the run
+	// is in flight: one event per retired map task, per mined partition,
+	// and a "done" event per MapReduce job (see ProgressEvent). Calls are
+	// serialized; the hook must return quickly, as it runs on the mining
+	// workers' time. Progress does not affect the mined output and is
+	// ignored by CacheKey.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one live progress update of a mining run.
+//
+// A run executes one or two MapReduce jobs (a preprocessing "flist" job for
+// LASH variants and semi-naïve, then the main mining job); Job names which
+// one the event describes. On the mining job of the LASH variants the
+// phases overlap: partitions are mined (Phase "reduce") while map tasks are
+// still retiring.
+type ProgressEvent struct {
+	// Job is the MapReduce job name: "flist", "partition+mine", "naive",
+	// or "semi-naive".
+	Job string
+	// Phase is "map", "shuffle", "reduce", or "done" (the job finished,
+	// successfully or not).
+	Phase string
+	// MapTasksDone / MapTasks count retired input splits.
+	MapTasksDone int
+	MapTasks     int
+	// PartitionsMined / Partitions count completed reduce partitions. For
+	// the LASH variants a partition completes when its local mining ends.
+	PartitionsMined int
+	Partitions      int
+	// ShuffleRecords / ShuffleBytes are the aggregated records and encoded
+	// bytes shuffled so far (Hadoop's MAP_OUTPUT_BYTES).
+	ShuffleRecords int64
+	ShuffleBytes   int64
 }
 
 // Restriction selects an output restriction.
@@ -183,22 +246,97 @@ type RunStats struct {
 	MapOutputRecords int64
 }
 
-// Mine runs the selected algorithm over the database.
+// Mine runs the selected algorithm over the database. It is
+// MineContext(context.Background(), db, opt).
 func Mine(db *Database, opt Options) (*Result, error) {
-	return mine(db, opt, nil)
+	return mine(context.Background(), db, opt, nil, nil)
 }
 
-// mine implements Mine; freqs optionally short-circuits the preprocessing
-// job for the LASH variants (see Miner).
-func mine(db *Database, opt Options, freqs []int64) (*Result, error) {
+// MineContext runs the selected algorithm over the database under a
+// context. Cancelling ctx aborts the run cooperatively — between MapReduce
+// tasks and at emit points inside them — and returns promptly with an error
+// matching ctx.Err() (and the cancellation cause, if one was set) under
+// errors.Is. A context that is already done returns before any job runs.
+func MineContext(ctx context.Context, db *Database, opt Options) (*Result, error) {
+	return mine(ctx, db, opt, nil, nil)
+}
+
+// Stream mines like MineContext but delivers patterns incrementally: emit
+// is called once per frequent pattern as each partition's local mining
+// completes, instead of the full pattern set being materialized in the
+// Result. The returned Result carries FrequentItems, Stats, and the
+// partition/exploration counters, but an empty Patterns slice.
+//
+// Deliveries are serialized (emit is never called concurrently) but arrive
+// in partition-completion order, which is nondeterministic; collect and
+// sort if a total order is needed. An error returned by emit cancels the
+// run promptly, and Stream returns that error. Options that require the
+// full output to post-process (RestrictClosed, RestrictMaximal) are
+// rejected by ValidateStream, which Stream applies.
+func Stream(ctx context.Context, db *Database, opt Options, emit func(Pattern) error) (*Result, error) {
+	return mine(ctx, db, opt, nil, emit)
+}
+
+// streamState carries the per-run plumbing of a streaming mine: the
+// cancel-on-emit-error context and the first emit error, which wins over
+// the substrate's cancellation error on the way out.
+type streamState struct {
+	mu  sync.Mutex
+	err error
+}
+
+// mine implements Mine, MineContext, and Stream; freqs optionally
+// short-circuits the preprocessing job for the LASH variants (see Miner),
+// and a non-nil emit selects the streaming path.
+func mine(ctx context.Context, db *Database, opt Options, freqs []int64, emit func(Pattern) error) (*Result, error) {
 	if db == nil || db.db == nil {
 		return nil, fmt.Errorf("lash: nil database (use NewDatabaseBuilder().Build())")
 	}
-	if err := opt.Validate(); err != nil {
+	streaming := emit != nil
+	if streaming {
+		if err := opt.ValidateStream(); err != nil {
+			return nil, err
+		}
+	} else if err := opt.Validate(); err != nil {
 		return nil, err
 	}
 	params := gsm.Params{Sigma: opt.MinSupport, Gamma: opt.MaxGap, Lambda: opt.MaxLength}
 	mr := mapreduce.Config{Workers: opt.Workers}
+	if opt.Progress != nil {
+		mr.Progress = progressAdapter(opt.Progress)
+	}
+
+	// The streaming path wraps emit: translate to item names, record the
+	// first emit error, and cancel the run's context with it so the other
+	// partitions abort instead of mining into the void.
+	var (
+		st         *streamState
+		coreStream func(items gsm.Sequence, support int64) error
+	)
+	f := db.db.Forest
+	if streaming {
+		var cancel context.CancelCauseFunc
+		ctx, cancel = context.WithCancelCause(ctx)
+		defer cancel(nil)
+		st = &streamState{}
+		coreStream = func(items gsm.Sequence, support int64) error {
+			names := make([]string, len(items))
+			for i, w := range items {
+				names[i] = f.Name(w)
+			}
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			if st.err != nil {
+				return st.err
+			}
+			if err := emit(Pattern{Items: names, Support: support}); err != nil {
+				st.err = err
+				cancel(err)
+				return err
+			}
+			return nil
+		}
+	}
 
 	var (
 		res *core.Result
@@ -206,19 +344,29 @@ func mine(db *Database, opt Options, freqs []int64) (*Result, error) {
 	)
 	switch opt.Algorithm {
 	case AlgorithmLASH:
-		res, err = core.Mine(db.db, core.Options{Params: params, Miner: opt.LocalMiner.kind(), MR: mr, Freqs: freqs})
+		res, err = core.Mine(ctx, db.db, core.Options{Params: params, Miner: opt.LocalMiner.kind(), MR: mr, Freqs: freqs, Stream: coreStream})
 	case AlgorithmLASHFlat:
-		res, err = core.Mine(db.db, core.Options{Params: params, Miner: opt.LocalMiner.kind(), Flat: true, MR: mr, Freqs: freqs})
+		res, err = core.Mine(ctx, db.db, core.Options{Params: params, Miner: opt.LocalMiner.kind(), Flat: true, MR: mr, Freqs: freqs, Stream: coreStream})
 	case AlgorithmMGFSM:
-		res, err = core.Mine(db.db, core.Options{Params: params, Miner: miner.KindBFS, Flat: true, MR: mr, Freqs: freqs})
+		res, err = core.Mine(ctx, db.db, core.Options{Params: params, Miner: miner.KindBFS, Flat: true, MR: mr, Freqs: freqs, Stream: coreStream})
 	case AlgorithmNaive:
-		res, err = baseline.MineNaive(db.db, baseline.Options{Params: params, MR: mr, MaxEmit: opt.MaxIntermediate})
+		res, err = baseline.MineNaive(ctx, db.db, baseline.Options{Params: params, MR: mr, MaxEmit: opt.MaxIntermediate, Stream: coreStream})
 	case AlgorithmSemiNaive:
-		res, err = baseline.MineSemiNaive(db.db, baseline.Options{Params: params, MR: mr, MaxEmit: opt.MaxIntermediate})
+		res, err = baseline.MineSemiNaive(ctx, db.db, baseline.Options{Params: params, MR: mr, MaxEmit: opt.MaxIntermediate, Stream: coreStream})
 	default:
 		return nil, fmt.Errorf("lash: unknown algorithm %d", int(opt.Algorithm))
 	}
 	if err != nil {
+		// The emit error caused the cancellation; report it, not the
+		// substrate's wrapping of it.
+		if st != nil {
+			st.mu.Lock()
+			emitErr := st.err
+			st.mu.Unlock()
+			if emitErr != nil {
+				return nil, emitErr
+			}
+		}
 		return nil, err
 	}
 
@@ -233,7 +381,6 @@ func mine(db *Database, opt Options, freqs []int64) (*Result, error) {
 	}
 
 	out := &Result{NumPartitions: res.NumPartitions, Explored: res.Miner.Explored}
-	f := db.db.Forest
 	for _, p := range res.Patterns {
 		items := make([]string, len(p.Items))
 		for i, w := range p.Items {
@@ -252,6 +399,26 @@ func mine(db *Database, opt Options, freqs []int64) (*Result, error) {
 		out.Stats.MapOutputRecords = res.Jobs.Mine.MapOutputRecords
 	}
 	return out, nil
+}
+
+// progressAdapter bridges the substrate's concurrent progress snapshots to
+// the user's hook, serializing calls so the hook need not be thread-safe.
+func progressAdapter(fn func(ProgressEvent)) func(mapreduce.Progress) {
+	var mu sync.Mutex
+	return func(p mapreduce.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn(ProgressEvent{
+			Job:             p.Job,
+			Phase:           p.Phase,
+			MapTasksDone:    p.MapTasksDone,
+			MapTasks:        p.MapTasks,
+			PartitionsMined: p.ReduceTasksDone,
+			Partitions:      p.ReduceTasks,
+			ShuffleRecords:  p.ShuffleRecords,
+			ShuffleBytes:    p.ShuffleBytes,
+		})
+	}
 }
 
 // restrictionForest picks the hierarchy the restriction must be computed

@@ -1,6 +1,7 @@
 package lash
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -52,25 +53,50 @@ func NewMiner(db *Database) (*Miner, error) {
 func (m *Miner) FrequencyJobsRun() int { return int(m.computes.Load()) }
 
 // Mine runs one configuration, reusing cached item frequencies for the LASH
-// algorithm variants.
+// algorithm variants. It is MineContext(context.Background(), opt).
 func (m *Miner) Mine(opt Options) (*Result, error) {
+	return m.MineContext(context.Background(), opt)
+}
+
+// MineContext is Mine under a context: cancelling ctx aborts the run
+// cooperatively and returns promptly with an error matching ctx.Err()
+// under errors.Is (see MineContext, the package-level function).
+func (m *Miner) MineContext(ctx context.Context, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	return m.mineWith(ctx, opt, nil)
+}
+
+// Stream mines like MineContext but delivers patterns incrementally
+// through emit, reusing cached item frequencies for the LASH algorithm
+// variants. See the package-level Stream for the delivery contract
+// (serialized calls, partition-completion order, emit errors cancel the
+// run, restrictions rejected).
+func (m *Miner) Stream(ctx context.Context, opt Options, emit func(Pattern) error) (*Result, error) {
+	if err := opt.ValidateStream(); err != nil {
+		return nil, err
+	}
+	return m.mineWith(ctx, opt, emit)
+}
+
+// mineWith routes a validated configuration through the frequency cache
+// (LASH variants) or straight to the baselines.
+func (m *Miner) mineWith(ctx context.Context, opt Options, emit func(Pattern) error) (*Result, error) {
 	switch opt.Algorithm {
 	case AlgorithmLASH, AlgorithmLASHFlat, AlgorithmMGFSM:
 	default:
-		return Mine(m.db, opt) // baselines: nothing reusable
+		return mine(ctx, m.db, opt, nil, emit) // baselines: nothing reusable
 	}
 	flat := opt.Algorithm != AlgorithmLASH
-	freqs, err := m.frequencies(flat, opt.Workers)
+	freqs, err := m.frequencies(ctx, flat, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
-	return mine(m.db, opt, freqs)
+	return mine(ctx, m.db, opt, freqs, emit)
 }
 
-func (m *Miner) frequencies(flat bool, workers int) ([]int64, error) {
+func (m *Miner) frequencies(ctx context.Context, flat bool, workers int) ([]int64, error) {
 	c := &m.hier
 	if flat {
 		c = &m.flat
@@ -80,7 +106,7 @@ func (m *Miner) frequencies(flat bool, workers int) ([]int64, error) {
 	if c.freqs != nil {
 		return c.freqs, nil
 	}
-	freqs, err := core.Frequencies(m.db.db, flat, mapreduce.Config{Workers: workers})
+	freqs, err := core.Frequencies(ctx, m.db.db, flat, mapreduce.Config{Workers: workers})
 	if err != nil {
 		return nil, err
 	}

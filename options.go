@@ -57,14 +57,31 @@ func (o Options) Validate() error {
 	return nil
 }
 
+// ValidateStream checks that o is a well-formed configuration for a
+// streaming run (Stream and Miner.Stream call it): everything Validate
+// checks, plus the restrictions that post-process the full pattern set —
+// RestrictClosed and RestrictMaximal — are rejected, because a streaming
+// run never materializes that set.
+func (o Options) ValidateStream() error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if o.Restriction != RestrictNone {
+		return fmt.Errorf("lash: restriction %q needs the full pattern set and cannot be streamed (use MineContext, or RestrictNone)", o.Restriction)
+	}
+	return nil
+}
+
 // Canonical returns o with every field that cannot affect Mine's output
-// normalized to its zero value: Workers (a pure parallelism knob) is always
-// zeroed, LocalMiner is zeroed for algorithms that do not run a local miner,
-// and MaxIntermediate is zeroed for algorithms that never emit intermediate
-// records. Two valid Options values with equal canonical forms produce
-// identical results on the same database.
+// normalized to its zero value: Workers (a pure parallelism knob) and
+// Progress (an observability hook) are always zeroed, LocalMiner is zeroed
+// for algorithms that do not run a local miner, and MaxIntermediate is
+// zeroed for algorithms that never emit intermediate records. Two valid
+// Options values with equal canonical forms produce identical results on
+// the same database.
 func (o Options) Canonical() Options {
 	o.Workers = 0
+	o.Progress = nil
 	switch o.Algorithm {
 	case AlgorithmLASH, AlgorithmLASHFlat:
 		o.MaxIntermediate = 0
@@ -108,10 +125,12 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 }
 
 // ParseLocalMiner maps a user-facing miner name to a LocalMiner. The empty
-// string selects the default, MinerPSM. Matching is case-insensitive.
+// string selects the default, MinerPSM. Matching is case-insensitive, and
+// every valid LocalMiner's String() form is accepted (as are the paper's
+// figure labels "psm+index" for the indexed default).
 func ParseLocalMiner(s string) (LocalMiner, error) {
 	switch strings.ToLower(s) {
-	case "", "psm":
+	case "", "psm", "psm+index":
 		return MinerPSM, nil
 	case "psm-noindex", "psmnoindex":
 		return MinerPSMNoIndex, nil

@@ -198,3 +198,39 @@ func TestMinerValidates(t *testing.T) {
 		t.Error("invalid options still ran a frequency job")
 	}
 }
+
+// TestStringParseRoundTrip pins the contract that every valid enum value's
+// String() form is accepted by its Parse helper — previously true for
+// "MG-FSM" and "LASH(flat)" only by hand-maintained coincidence, and false
+// for the local miners.
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, a := range []lash.Algorithm{
+		lash.AlgorithmLASH, lash.AlgorithmNaive, lash.AlgorithmSemiNaive,
+		lash.AlgorithmMGFSM, lash.AlgorithmLASHFlat,
+	} {
+		got, err := lash.ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", a.String(), got, err, a)
+		}
+	}
+	for _, m := range []lash.LocalMiner{
+		lash.MinerPSM, lash.MinerPSMNoIndex, lash.MinerBFS, lash.MinerDFS,
+	} {
+		got, err := lash.ParseLocalMiner(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseLocalMiner(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	for _, r := range []lash.Restriction{
+		lash.RestrictNone, lash.RestrictClosed, lash.RestrictMaximal,
+	} {
+		got, err := lash.ParseRestriction(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseRestriction(%q) = %v, %v; want %v", r.String(), got, err, r)
+		}
+	}
+	// The paper's figure label for the indexed PSM stays accepted.
+	if got, err := lash.ParseLocalMiner("PSM+Index"); err != nil || got != lash.MinerPSM {
+		t.Errorf("ParseLocalMiner(PSM+Index) = %v, %v; want MinerPSM", got, err)
+	}
+}

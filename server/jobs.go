@@ -23,6 +23,10 @@ const (
 	JobDone JobStatus = "done"
 	// JobFailed means mining returned an error.
 	JobFailed JobStatus = "failed"
+	// JobCancelled means the job was cancelled via DELETE /v1/jobs/{id}
+	// (or server shutdown) before it produced a result. Cancellation
+	// applies to every submitter coalesced onto the job.
+	JobCancelled JobStatus = "cancelled"
 )
 
 // JobStats is a snapshot of the job manager counters, as reported by
@@ -39,19 +43,32 @@ type JobStats struct {
 	MinesRun  uint64 `json:"mines_run"`
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
-	Queued    int    `json:"queued"`
-	Running   int    `json:"running"`
+	// Cancelled counts jobs cancelled via DELETE /v1/jobs/{id} or server
+	// shutdown before completing.
+	Cancelled uint64 `json:"cancelled"`
+	// Streams counts streaming mining runs (POST /v1/mine/stream); they
+	// also count into MinesRun when mining actually starts.
+	Streams uint64 `json:"streams"`
+	// MineTimeMS is the cumulative wall-clock time, in milliseconds, that
+	// finished jobs (done, failed, or cancelled) spent mining.
+	MineTimeMS int64 `json:"mine_time_ms"`
+	Queued     int   `json:"queued"`
+	Running    int   `json:"running"`
 }
 
-// job is one asynchronous mining run. Fields past `done` are guarded by the
-// owning manager's mutex; done is closed exactly once when the job reaches a
-// terminal status.
+// job is one asynchronous mining run. Fields past `cancelCause` are guarded
+// by the owning manager's mutex; done is closed exactly once when the job
+// reaches a terminal status. ctx is derived from the manager's base context
+// at submission, so server shutdown cancels every job, and DELETE
+// /v1/jobs/{id} cancels one.
 type job struct {
-	id      string
-	key     string
-	dbName  string
-	options lash.Options
-	done    chan struct{}
+	id          string
+	key         string
+	dbName      string
+	options     lash.Options
+	done        chan struct{}
+	ctx         context.Context
+	cancelCause context.CancelCauseFunc
 
 	status    JobStatus
 	cached    bool // result came from the cache, no mining ran
@@ -63,17 +80,25 @@ type job struct {
 	finished  time.Time
 }
 
+// MineFunc runs one blocking mining job under a context.
+type MineFunc func(context.Context, *lash.Database, lash.Options) (*lash.Result, error)
+
+// StreamFunc runs one streaming mining job under a context, delivering
+// patterns through emit (lash.Stream's contract).
+type StreamFunc func(ctx context.Context, db *lash.Database, opt lash.Options, emit func(lash.Pattern) error) (*lash.Result, error)
+
 // manager runs mining jobs on a bounded worker pool. Identical in-flight
 // requests (same database, same canonical options) coalesce onto one job,
 // and finished results land in an LRU cache so repeats skip mining
 // entirely.
 type manager struct {
-	mineFn  func(*lash.Database, lash.Options) (*lash.Result, error)
-	cache   *resultCache
-	sem     chan struct{} // worker slots
-	wg      sync.WaitGroup
-	baseCtx context.Context
-	cancel  context.CancelFunc
+	mineFn   MineFunc
+	streamFn StreamFunc
+	cache    *resultCache
+	sem      chan struct{} // worker slots
+	wg       sync.WaitGroup
+	baseCtx  context.Context
+	cancel   context.CancelCauseFunc
 
 	mu       sync.Mutex
 	closed   bool
@@ -84,27 +109,32 @@ type manager struct {
 	maxJobs  int             // retained job records; older terminal jobs are pruned
 	nextID   uint64
 
-	submitted uint64
-	coalesced uint64
-	minesRun  uint64
-	completed uint64
-	failed    uint64
+	submitted  uint64
+	coalesced  uint64
+	minesRun   uint64
+	completed  uint64
+	failed     uint64
+	cancelled  uint64
+	streams    uint64
+	mineTimeMS int64
 }
 
 var (
-	errBadSpec    = errors.New("bad request")
-	errConflict   = errors.New("conflict")
-	errShutdown   = errors.New("server is shutting down")
-	errJobMissing = errors.New("no such job")
+	errBadSpec      = errors.New("bad request")
+	errConflict     = errors.New("conflict")
+	errShutdown     = errors.New("server is shutting down")
+	errJobMissing   = errors.New("no such job")
+	errJobCancelled = errors.New("job cancelled")
 )
 
-func newManager(workers, cacheSize, maxJobs int, mineFn func(*lash.Database, lash.Options) (*lash.Result, error)) *manager {
+func newManager(workers, cacheSize, maxJobs int, mineFn MineFunc, streamFn StreamFunc) *manager {
 	if workers < 1 {
 		workers = 1
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancelCause(context.Background())
 	return &manager{
 		mineFn:   mineFn,
+		streamFn: streamFn,
 		cache:    newResultCache(cacheSize),
 		sem:      make(chan struct{}, workers),
 		baseCtx:  ctx,
@@ -143,6 +173,7 @@ func (m *manager) submit(dbName string, db *lash.Database, opt lash.Options) (*j
 		j.result = res
 		j.started = j.created
 		j.finished = j.created
+		j.cancelCause(nil) // no run to cancel; release the context now
 		close(j.done)
 		m.completed++
 		return j, nil
@@ -175,6 +206,7 @@ func (m *manager) newJobLocked(key, dbName string, opt lash.Options) *job {
 		done:    make(chan struct{}),
 		created: time.Now().UTC(),
 	}
+	j.ctx, j.cancelCause = context.WithCancelCause(m.baseCtx)
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	if m.maxJobs > 0 && len(m.order) > m.maxJobs {
@@ -192,7 +224,7 @@ func (m *manager) newJobLocked(key, dbName string, opt lash.Options) *job {
 			kept := m.order[:0]
 			for _, id := range m.order {
 				old := m.jobs[id]
-				terminal := old.status == JobDone || old.status == JobFailed
+				terminal := old.status == JobDone || old.status == JobFailed || old.status == JobCancelled
 				if excess > 0 && terminal && old.cached == wantCached {
 					delete(m.jobs, id)
 					excess--
@@ -206,14 +238,17 @@ func (m *manager) newJobLocked(key, dbName string, opt lash.Options) *job {
 	return j
 }
 
-// run executes one job on a worker slot.
+// run executes one job on a worker slot. The job's context — derived from
+// the manager's base context and cancellable via DELETE /v1/jobs/{id} —
+// covers both the wait for a slot and the mining itself.
 func (m *manager) run(j *job, db *lash.Database) {
 	defer m.wg.Done()
+	defer j.cancelCause(nil) // release the context's resources
 
 	select {
 	case m.sem <- struct{}{}:
-	case <-m.baseCtx.Done():
-		m.finish(j, nil, errShutdown)
+	case <-j.ctx.Done():
+		m.finish(j, nil, causeOf(j.ctx))
 		return
 	}
 	defer func() { <-m.sem }()
@@ -229,42 +264,173 @@ func (m *manager) run(j *job, db *lash.Database) {
 	m.minesRun++
 	m.mu.Unlock()
 
-	res, err := m.mine(db, j.options)
+	res, err := safeMine(func() (*lash.Result, error) {
+		return m.mineFn(j.ctx, db, j.options)
+	})
 	m.finish(j, res, err)
 }
 
-// mine invokes the mining function, converting a panic into a job error.
+// causeOf resolves a done context into its most specific error: the
+// cancellation cause if one was set (errJobCancelled for DELETE,
+// errShutdown when the manager's base context died), otherwise the plain
+// context error (e.g. a streaming client disconnecting).
+func causeOf(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil && cause != ctx.Err() {
+		return cause
+	}
+	return ctx.Err()
+}
+
+// safeMine invokes one mining closure, converting a panic into an error.
 // The MapReduce substrate already recovers panics inside map/reduce tasks;
 // this guards the rest of the mining path so a single bad request can fail
-// its job without taking down the long-running server.
-func (m *manager) mine(db *lash.Database, opt lash.Options) (res *lash.Result, err error) {
+// its run without taking down the long-running server.
+func safeMine(fn func() (*lash.Result, error)) (res *lash.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("server: mining panicked: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return m.mineFn(db, opt)
+	return fn()
 }
 
 // finish moves a job to its terminal status, publishes the result to the
-// cache, and wakes all waiters.
+// cache, and wakes all waiters — including every request that coalesced
+// onto the job. A run that ended because the job's context was cancelled —
+// by DELETE /v1/jobs/{id} or by server shutdown — lands in JobCancelled,
+// not JobFailed.
 func (m *manager) finish(j *job, res *lash.Result, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.finished = time.Now().UTC()
-	if err != nil {
-		j.status = JobFailed
-		j.err = err
-		m.failed++
-	} else {
+	if !j.started.IsZero() {
+		m.mineTimeMS += j.finished.Sub(j.started).Milliseconds()
+	}
+	switch {
+	case err == nil:
 		j.status = JobDone
 		j.result = res
 		m.completed++
 		m.cache.add(j.key, res)
 		m.latest[j.dbName] = j
+	case wasCancelled(err, j.ctx):
+		j.status = JobCancelled
+		j.err = err
+		m.cancelled++
+	default:
+		j.status = JobFailed
+		j.err = err
+		m.failed++
 	}
 	delete(m.inflight, j.key)
 	close(j.done)
+}
+
+// wasCancelled reports whether a run's error means its context was
+// cancelled rather than mining failing on its own: the cancel sentinels in
+// the error chain directly, or a context.Canceled whose job context was
+// cancelled by DELETE or shutdown. (A MineFunc may surface either the
+// plain ctx error or the substrate's cause-carrying wrap.)
+func wasCancelled(err error, ctx context.Context) bool {
+	if errors.Is(err, errJobCancelled) || errors.Is(err, errShutdown) {
+		return true
+	}
+	if !errors.Is(err, context.Canceled) {
+		return false
+	}
+	cause := context.Cause(ctx)
+	return errors.Is(cause, errJobCancelled) || errors.Is(cause, errShutdown)
+}
+
+// cancelJob cancels the job with the given id. Queued and running jobs are
+// cancelled (the run notices via its context and finishes as
+// JobCancelled); cancelling an already-cancelled job is a no-op; any other
+// terminal job is a conflict. Cancellation applies to every submitter
+// coalesced onto the job — their shared done channel is closed exactly
+// once by finish, and the singleflight slot frees so an identical resubmit
+// starts a fresh run.
+func (m *manager) cancelJob(id string) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", errJobMissing, id)
+	}
+	// Decide and cancel under the lock: finish() also takes it, so a job
+	// observed queued/running here cannot turn done before the cancel
+	// lands. (cancelCause never invokes finish synchronously — the job's
+	// own goroutine observes the context and finishes — so this cannot
+	// deadlock.)
+	switch j.status {
+	case JobCancelled:
+		return j, nil // idempotent
+	case JobDone, JobFailed:
+		return j, fmt.Errorf("%w: job %s already %s", errConflict, id, j.status)
+	}
+	// Queued or running: cancel the job context; the goroutine that owns
+	// the job observes it (in the slot wait or inside mining) and calls
+	// finish. The status flip is therefore asynchronous — callers see
+	// queued/running until the run actually unwinds. A run that had
+	// already produced its result when the cancel landed may still finish
+	// as done; poll until terminal either way.
+	j.cancelCause(errJobCancelled)
+	return j, nil
+}
+
+// stream runs one streaming mining request under the manager's worker
+// bound. Streaming runs are not jobs: they bypass the cache and
+// singleflight (their results are never materialized), but they hold a
+// worker slot, count into the stats, and participate in shutdown draining
+// — closing the manager cancels their context.
+func (m *manager) stream(ctx context.Context, db *lash.Database, opt lash.Options, emit func(lash.Pattern) error) (*lash.Result, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errShutdown
+	}
+	m.submitted++
+	m.streams++
+	m.wg.Add(1)
+	m.mu.Unlock()
+	defer m.wg.Done()
+
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	stopWatch := context.AfterFunc(m.baseCtx, func() { cancel(errShutdown) })
+	defer stopWatch()
+
+	select {
+	case m.sem <- struct{}{}:
+	case <-sctx.Done():
+		return nil, causeOf(sctx)
+	}
+	defer func() { <-m.sem }()
+
+	m.mu.Lock()
+	m.minesRun++
+	m.mu.Unlock()
+
+	start := time.Now()
+	res, err := safeMine(func() (*lash.Result, error) {
+		return m.streamFn(sctx, db, opt, emit)
+	})
+
+	m.mu.Lock()
+	m.mineTimeMS += time.Since(start).Milliseconds()
+	switch {
+	case err == nil:
+		m.completed++
+	case errors.Is(err, context.Canceled) || errors.Is(err, errShutdown) || sctx.Err() != nil:
+		// The client went away or the server is draining — the run was
+		// cancelled, mining did not fail. The sctx check also catches a
+		// disconnect surfacing as the NDJSON write error (the emit error
+		// takes precedence over the context error in lash.Stream).
+		m.cancelled++
+	default:
+		m.failed++
+	}
+	m.mu.Unlock()
+	return res, err
 }
 
 // get returns the job with the given id.
@@ -298,11 +464,14 @@ func (m *manager) stats() JobStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := JobStats{
-		Submitted: m.submitted,
-		Coalesced: m.coalesced,
-		MinesRun:  m.minesRun,
-		Completed: m.completed,
-		Failed:    m.failed,
+		Submitted:  m.submitted,
+		Coalesced:  m.coalesced,
+		MinesRun:   m.minesRun,
+		Completed:  m.completed,
+		Failed:     m.failed,
+		Cancelled:  m.cancelled,
+		Streams:    m.streams,
+		MineTimeMS: m.mineTimeMS,
 	}
 	for _, j := range m.jobs {
 		switch j.status {
@@ -322,7 +491,7 @@ func (m *manager) close(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
-	m.cancel()
+	m.cancel(errShutdown)
 
 	drained := make(chan struct{})
 	go func() {

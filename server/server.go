@@ -12,15 +12,26 @@
 //
 // The HTTP/JSON API (all stdlib) is:
 //
-//	POST /v1/databases          register a database (DatabaseSpec)
-//	GET  /v1/databases          list registered databases
-//	GET  /v1/databases/{name}   one database's metadata
-//	POST /v1/mine               submit a mining job (MineRequest)
-//	GET  /v1/jobs               list jobs
-//	GET  /v1/jobs/{id}          poll one job; includes the result when done
-//	GET  /v1/patterns           query a database's latest mined patterns
-//	GET  /v1/stats              registry / job / cache counters
-//	GET  /healthz               liveness probe
+//	POST   /v1/databases          register a database (DatabaseSpec)
+//	GET    /v1/databases          list registered databases
+//	GET    /v1/databases/{name}   one database's metadata
+//	POST   /v1/mine               submit a mining job (MineRequest)
+//	POST   /v1/mine/stream        mine and stream patterns as NDJSON
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          poll one job; includes the result when done
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET    /v1/patterns           query a database's latest mined patterns
+//	GET    /v1/stats              registry / job / cache counters
+//	GET    /healthz               liveness probe
+//
+// Every job runs under a context derived from the server's lifetime:
+// DELETE /v1/jobs/{id} cancels one job (it lands in the "cancelled" state,
+// waking every request coalesced onto it), and shutting the server down
+// cancels them all. POST /v1/mine/stream delivers patterns incrementally
+// as newline-delimited JSON — one pattern object per line in
+// partition-completion order, then exactly one trailer object (marked
+// "done":true) carrying the run's stats or error — so clients can consume
+// arbitrarily large result sets without either side materializing them.
 //
 // Command lashd wraps this package in a binary with graceful shutdown.
 package server
@@ -56,9 +67,12 @@ type Config struct {
 	// DataDir, when non-empty, enables file-based DatabaseSpecs resolved
 	// relative to this directory.
 	DataDir string
-	// MineFunc replaces lash.Mine; tests use it to observe and stall
-	// mining runs.
-	MineFunc func(*lash.Database, lash.Options) (*lash.Result, error)
+	// MineFunc replaces lash.MineContext; tests use it to observe and
+	// stall mining runs. It must honor ctx cancellation.
+	MineFunc MineFunc
+	// StreamFunc replaces lash.Stream for POST /v1/mine/stream; tests use
+	// it to script streamed deliveries. It must honor ctx cancellation.
+	StreamFunc StreamFunc
 }
 
 // Server is a concurrent mining service. Create one with New, mount
@@ -83,11 +97,15 @@ func New(cfg Config) *Server {
 	}
 	mineFn := cfg.MineFunc
 	if mineFn == nil {
-		mineFn = lash.Mine
+		mineFn = lash.MineContext
+	}
+	streamFn := cfg.StreamFunc
+	if streamFn == nil {
+		streamFn = lash.Stream
 	}
 	s := &Server{
 		registry: newRegistry(cfg.DataDir),
-		jobs:     newManager(cfg.Workers, cfg.CacheSize, cfg.JobHistory, mineFn),
+		jobs:     newManager(cfg.Workers, cfg.CacheSize, cfg.JobHistory, mineFn, streamFn),
 		mux:      http.NewServeMux(),
 		started:  time.Now().UTC(),
 	}
@@ -95,8 +113,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
 	s.mux.HandleFunc("GET /v1/databases/{name}", s.handleGetDatabase)
 	s.mux.HandleFunc("POST /v1/mine", s.handleMine)
+	s.mux.HandleFunc("POST /v1/mine/stream", s.handleMineStream)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -207,7 +227,9 @@ func viewResult(res *lash.Result) *ResultView {
 	}
 }
 
-// JobView is a job on the wire.
+// JobView is a job on the wire. RuntimeMS is the job's mining wall-clock
+// duration: final once the job is terminal, live (time mined so far) while
+// it is running.
 type JobView struct {
 	ID        string      `json:"job_id"`
 	Database  string      `json:"database"`
@@ -236,8 +258,11 @@ func (m *manager) view(j *job, withResult bool) JobView {
 	if j.err != nil {
 		v.Error = j.err.Error()
 	}
-	if !j.finished.IsZero() && !j.started.IsZero() {
+	switch {
+	case !j.finished.IsZero() && !j.started.IsZero():
 		v.RuntimeMS = j.finished.Sub(j.started).Milliseconds()
+	case !j.started.IsZero():
+		v.RuntimeMS = time.Since(j.started).Milliseconds()
 	}
 	if withResult && j.status == JobDone {
 		v.Result = viewResult(j.result)
@@ -349,6 +374,115 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.jobs.view(j, true))
+}
+
+// handleCancelJob answers DELETE /v1/jobs/{id}: a queued or running job is
+// cancelled asynchronously (202 with the job's current view — poll until
+// terminal; almost always "cancelled", though a run whose result was
+// already computed when the cancel landed may still finish "done"),
+// cancelling an already-cancelled job is idempotent (200), and a
+// done/failed job is a conflict (409).
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.cancelJob(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if status, done := j.terminal(); done && status == JobCancelled {
+		writeJSON(w, http.StatusOK, s.jobs.view(j, false))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.jobs.view(j, false))
+}
+
+// StreamTrailer is the final NDJSON record of POST /v1/mine/stream. It is
+// distinguishable from pattern records by its "done" field, and reports
+// either the completed run's summary or the error that ended it.
+type StreamTrailer struct {
+	Done             bool          `json:"done"` // always true
+	Error            string        `json:"error,omitempty"`
+	Patterns         int           `json:"patterns"` // pattern records streamed before this trailer
+	FrequentItems    []PatternView `json:"frequent_items,omitempty"`
+	NumPartitions    int           `json:"num_partitions,omitempty"`
+	Explored         int64         `json:"explored,omitempty"`
+	MapOutputBytes   int64         `json:"map_output_bytes,omitempty"`
+	MapOutputRecords int64         `json:"map_output_records,omitempty"`
+	RuntimeMS        int64         `json:"runtime_ms"`
+}
+
+// handleMineStream answers POST /v1/mine/stream: it mines synchronously,
+// writing each pattern as one NDJSON line the moment its partition
+// completes, then exactly one trailer line. Closing the request (client
+// disconnect) or shutting the server down cancels the run. Since patterns
+// are delivered before the run's fate is known, errors after the first
+// write surface in the trailer, not the HTTP status.
+func (s *Server) handleMineStream(w http.ResponseWriter, r *http.Request) {
+	var req MineRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Database == "" {
+		writeError(w, http.StatusBadRequest, errors.New("database is required"))
+		return
+	}
+	db, ok := s.registry.get(req.Database)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such database %q", req.Database))
+		return
+	}
+	opt, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := opt.ValidateStream(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+	patterns := 0
+	emit := func(p lash.Pattern) error {
+		if err := enc.Encode(PatternView{Items: p.Items, Support: p.Support}); err != nil {
+			return err
+		}
+		patterns++
+		// Flush in small batches: every pattern would thrash syscalls on
+		// dense result sets, while never flushing would defeat streaming.
+		if patterns%64 == 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	res, err := s.jobs.stream(r.Context(), db, opt, emit)
+
+	// Nothing has been written yet for runs that failed before their first
+	// pattern (e.g. refused at shutdown), so those can still carry a real
+	// HTTP status instead of a 200-with-error-trailer.
+	if err != nil && patterns == 0 {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	trailer := StreamTrailer{Done: true, Patterns: patterns, RuntimeMS: time.Since(start).Milliseconds()}
+	if err != nil {
+		trailer.Error = err.Error()
+	} else {
+		trailer.FrequentItems = viewPatterns(res.FrequentItems)
+		trailer.NumPartitions = res.NumPartitions
+		trailer.Explored = res.Explored
+		trailer.MapOutputBytes = res.Stats.MapOutputBytes
+		trailer.MapOutputRecords = res.Stats.MapOutputRecords
+	}
+	enc.Encode(trailer) //nolint:errcheck // nothing to do about a broken client pipe
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // handlePatterns answers GET /v1/patterns?db=NAME[&job=ID][&top=K]

@@ -109,7 +109,7 @@ func waitForJob(t *testing.T, ts *httptest.Server, id string) map[string]any {
 			t.Fatalf("poll %s: status %d, body %v", id, status, body)
 		}
 		switch body["status"] {
-		case "done", "failed":
+		case "done", "failed", "cancelled":
 			return body
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -203,7 +203,7 @@ func TestCoalescingAndCache(t *testing.T) {
 	var runs atomic.Int64
 	_, ts := newTestServer(t, server.Config{
 		Workers: 4,
-		MineFunc: func(db *lash.Database, opt lash.Options) (*lash.Result, error) {
+		MineFunc: func(ctx context.Context, db *lash.Database, opt lash.Options) (*lash.Result, error) {
 			runs.Add(1)
 			<-gate // hold the job in-flight so the second request must coalesce
 			return lash.Mine(db, opt)
@@ -534,7 +534,7 @@ func TestPatternsEndpoint(t *testing.T) {
 
 func TestFailedJob(t *testing.T) {
 	_, ts := newTestServer(t, server.Config{
-		MineFunc: func(db *lash.Database, opt lash.Options) (*lash.Result, error) {
+		MineFunc: func(ctx context.Context, db *lash.Database, opt lash.Options) (*lash.Result, error) {
 			return nil, fmt.Errorf("synthetic mining failure")
 		},
 	})
@@ -672,7 +672,7 @@ func TestJobHistoryPruningSkipsRunning(t *testing.T) {
 	gate := make(chan struct{})
 	_, ts := newTestServer(t, server.Config{
 		JobHistory: 2, CacheSize: -1, Workers: 4,
-		MineFunc: func(db *lash.Database, opt lash.Options) (*lash.Result, error) {
+		MineFunc: func(ctx context.Context, db *lash.Database, opt lash.Options) (*lash.Result, error) {
 			if opt.MaxLength == 99 { // the marker job blocks until released
 				<-gate
 			}
@@ -720,7 +720,7 @@ func TestWorkerPoolBounds(t *testing.T) {
 	var concurrent, peak atomic.Int64
 	_, ts := newTestServer(t, server.Config{
 		Workers: 2,
-		MineFunc: func(db *lash.Database, opt lash.Options) (*lash.Result, error) {
+		MineFunc: func(ctx context.Context, db *lash.Database, opt lash.Options) (*lash.Result, error) {
 			n := concurrent.Add(1)
 			for {
 				p := peak.Load()
@@ -774,7 +774,7 @@ func TestWorkerPoolBounds(t *testing.T) {
 func TestPanickingMineFailsJob(t *testing.T) {
 	calls := 0
 	_, ts := newTestServer(t, server.Config{
-		MineFunc: func(db *lash.Database, opt lash.Options) (*lash.Result, error) {
+		MineFunc: func(ctx context.Context, db *lash.Database, opt lash.Options) (*lash.Result, error) {
 			calls++
 			if calls == 1 {
 				panic("miner exploded")
