@@ -1,12 +1,15 @@
 GO ?= go
 BENCH ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_PR4.json
-BENCH_BASE ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR4.json
+MAX_REGRESS ?= 40
+FUZZTIME ?= 60s
+FUZZ_PKGS ?= ./internal/seqenc ./internal/seqdb
 PROFILE_BENCH ?= BenchmarkFig4a
 PROFILE_BENCHTIME ?= 3x
 
-.PHONY: build test vet bench bench-smoke bench-ci bench-diff profile race clean
+.PHONY: build test vet lint bench bench-smoke bench-ci bench-diff bench-gate fuzz profile race clean
 
 build:
 	$(GO) build ./...
@@ -19,6 +22,23 @@ test: vet
 
 race:
 	$(GO) test -race ./...
+
+# lint fails on formatting drift and vet findings; staticcheck runs too when
+# it is installed (CI installs it; locally it is optional).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
+
+# fuzz runs every fuzz target in $(FUZZ_PKGS) for $(FUZZTIME) each (the CI
+# nightly job calls this with the default 60s).
+fuzz:
+	@set -e; for pkg in $(FUZZ_PKGS); do \
+		for target in $$($(GO) test $$pkg -list '^Fuzz' | grep '^Fuzz'); do \
+			echo "=== fuzz $$pkg $$target ($(FUZZTIME))"; \
+			$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME); \
+		done; \
+	done
 
 # bench runs the mining benchmarks with allocation reporting and records
 # the parsed results as JSON (committed as $(BENCH_OUT)). Tune with e.g.
@@ -43,6 +63,15 @@ bench-ci:
 #	make bench-diff BENCH_BASE=BENCH_PR2.json BENCH_OUT=BENCH_PR3.json
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff $(BENCH_BASE) $(BENCH_OUT)
+
+# bench-gate reruns the benchmarks (3 iterations for less noise than the
+# smoke pass) and FAILS when any ns/op regresses more than $(MAX_REGRESS)%
+# against the committed baseline. CI runs it soft-fail on PRs and surfaces
+# the delta table in the step summary; run it locally before committing a
+# perf-sensitive change.
+bench-gate:
+	$(GO) test -bench=$(BENCH) -benchtime=3x -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson > /tmp/lash-bench-gate.json
+	$(GO) run ./cmd/benchjson -diff -max-regress $(MAX_REGRESS) $(BENCH_OUT) /tmp/lash-bench-gate.json
 
 # profile captures CPU and heap profiles of the Fig. 4(a) benchmarks (the
 # end-to-end distributed-mining comparison). See "Profiling" in README.md.

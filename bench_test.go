@@ -417,3 +417,60 @@ func fmtI64(v int64) string {
 	}
 	return string(buf[i:])
 }
+
+// --- Spillable shuffle (PR 5) ----------------------------------------------
+//
+// The external-memory pair: the same mining run with the shuffle held in
+// memory and with a MemoryBudget forced to a quarter of the shuffle's table
+// volume, so the corpus is ≥ 4× the configured budget (reported as the
+// shuffle/budget metric). The acceptance bar is Budgeted within 2× of
+// InMemory wall time.
+
+var (
+	spillOnce        sync.Once
+	spillBudgetBytes int64 // shuffle bytes / 4, measured once
+)
+
+func spillParams() gsm.Params {
+	return gsm.Params{Sigma: experiments.Tiny.SigmaLo, Gamma: 1, Lambda: 5}
+}
+
+func spillSetup(b *testing.B) int64 {
+	benchSetup(b)
+	spillOnce.Do(func() {
+		res, err := core.Mine(context.Background(), nytCLP, core.Options{Params: spillParams(), MR: benchMR()})
+		if err != nil {
+			panic(err)
+		}
+		spillBudgetBytes = res.Jobs.Mine.MapOutputBytes / 4
+		if spillBudgetBytes < 1 {
+			spillBudgetBytes = 1
+		}
+	})
+	b.ResetTimer()
+	return spillBudgetBytes
+}
+
+func BenchmarkSpillInMemory(b *testing.B) {
+	spillSetup(b)
+	for i := 0; i < b.N; i++ {
+		mineOrFatal(b, nytCLP, core.Options{Params: spillParams(), MR: benchMR()})
+	}
+}
+
+func BenchmarkSpillBudgeted(b *testing.B) {
+	budget := spillSetup(b)
+	var runs, spilled, shuffled int64
+	for i := 0; i < b.N; i++ {
+		mr := benchMR()
+		mr.MemoryBudget = budget
+		res := mineOrFatal(b, nytCLP, core.Options{Params: spillParams(), MR: mr})
+		runs, spilled, shuffled = res.Jobs.Mine.SpillRuns, res.Jobs.Mine.SpillBytes, res.Jobs.Mine.MapOutputBytes
+	}
+	if runs == 0 {
+		b.Fatal("budgeted benchmark did not spill")
+	}
+	b.ReportMetric(float64(runs), "spill-runs")
+	b.ReportMetric(float64(spilled), "spill-bytes")
+	b.ReportMetric(float64(shuffled)/float64(budget), "shuffle/budget")
+}

@@ -13,8 +13,14 @@
 //
 //	go run ./cmd/benchjson -diff BENCH_PR2.json BENCH_PR3.json
 //
-// The diff is informational and always exits 0 when both files parse, so it
-// can run in CI without gating merges on a noisy shared runner.
+// By default the diff is informational and always exits 0 when both files
+// parse, so it can run in CI without gating merges on a noisy shared
+// runner. Adding -max-regress N turns it into a gate: any benchmark whose
+// ns/op regressed by more than N percent — or that disappeared entirely —
+// fails the comparison with exit code 1 after the table, listing the
+// violations:
+//
+//	go run ./cmd/benchjson -diff -max-regress 40 BENCH_PR5.json new.json
 package main
 
 import (
@@ -46,17 +52,23 @@ type Report struct {
 
 func main() {
 	diff := flag.Bool("diff", false, "compare two benchmark JSON files: benchjson -diff OLD NEW")
+	maxRegress := flag.Float64("max-regress", -1,
+		"with -diff: fail (exit 1) when any benchmark's ns/op regressed by more than this percentage (negative = report only)")
 	flag.Parse()
 	if *diff {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -diff OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-max-regress PCT] OLD.json NEW.json")
 			os.Exit(2)
 		}
-		if err := runDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *maxRegress); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *maxRegress >= 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -max-regress requires -diff")
+		os.Exit(2)
 	}
 	runParse()
 }
@@ -83,7 +95,7 @@ func runParse() {
 		if err != nil {
 			continue // not a result line (e.g. "BenchmarkX ... FAIL")
 		}
-		r := Result{Name: fields[0], Iterations: iters}
+		r := Result{Name: trimProcs(fields[0]), Iterations: iters}
 		// The tail is value/unit pairs: `123 ns/op`, `45 B/op`,
 		// `6 allocs/op`, `7.8 custom-metric`.
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -123,6 +135,24 @@ func runParse() {
 	}
 }
 
+// trimProcs strips go test's "-N" GOMAXPROCS suffix ("BenchmarkX-8" →
+// "BenchmarkX") so documents recorded on hosts with different core counts
+// compare by the benchmark's real identity. Subtests keep their slash-
+// separated names intact ("BenchmarkFig5aSupport/15" has no suffix to
+// strip; "BenchmarkFig5aSupport/15-8" loses only the "-8").
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
 func loadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -132,10 +162,15 @@ func loadReport(path string) (*Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	// Normalize on load too, so documents committed before this fix (or
+	// produced by other tools) still match across hosts.
+	for i := range r.Benchmarks {
+		r.Benchmarks[i].Name = trimProcs(r.Benchmarks[i].Name)
+	}
 	return &r, nil
 }
 
-func runDiff(oldPath, newPath string) error {
+func runDiff(oldPath, newPath string, maxRegress float64) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return err
@@ -149,6 +184,7 @@ func runDiff(oldPath, newPath string) error {
 		oldBy[b.Name] = b
 	}
 	newSeen := make(map[string]bool, len(newRep.Benchmarks))
+	var violations []string
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintf(w, "benchmark\tns/op %s\tns/op %s\tΔ\tallocs %s\tallocs %s\tΔ\t\n",
@@ -164,14 +200,36 @@ func runDiff(oldPath, newPath string) error {
 		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n", nb.Name,
 			fmtVal(ob.NsPerOp), fmtVal(nb.NsPerOp), fmtDelta(ob.NsPerOp, nb.NsPerOp),
 			fmtVal(ob.AllocsOp), fmtVal(nb.AllocsOp), fmtDelta(ob.AllocsOp, nb.AllocsOp))
+		if maxRegress >= 0 && ob.NsPerOp > 0 {
+			if pct := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100; pct > maxRegress {
+				violations = append(violations, fmt.Sprintf("%s: ns/op %s → %s (%s, limit +%.1f%%)",
+					nb.Name, fmtVal(ob.NsPerOp), fmtVal(nb.NsPerOp), fmtDelta(ob.NsPerOp, nb.NsPerOp), maxRegress))
+			}
+		}
 	}
 	for _, ob := range oldRep.Benchmarks {
 		if !newSeen[ob.Name] {
 			fmt.Fprintf(w, "%s\t%s\t-\t(gone)\t%s\t-\t(gone)\t\n",
 				ob.Name, fmtVal(ob.NsPerOp), fmtVal(ob.AllocsOp))
+			if maxRegress >= 0 {
+				violations = append(violations, fmt.Sprintf("%s: present in %s but missing from %s", ob.Name, oldPath, newPath))
+			}
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		fmt.Printf("\nbench gate: %d violation(s) over the +%.1f%% ns/op limit:\n", len(violations), maxRegress)
+		for _, v := range violations {
+			fmt.Println("  " + v)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed past the gate", len(violations))
+	}
+	if maxRegress >= 0 {
+		fmt.Printf("\nbench gate: all benchmarks within +%.1f%% ns/op of %s\n", maxRegress, oldPath)
+	}
+	return nil
 }
 
 // fmtVal prints a measured value; 0 is a real measurement (0 allocs/op is

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, name string, benchmarks []Result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	raw, err := json.Marshal(Report{Env: map[string]string{}, Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffGate(t *testing.T) {
+	oldPath := writeReport(t, "old.json", []Result{
+		{Name: "BenchmarkA", Iterations: 1, NsPerOp: 100},
+		{Name: "BenchmarkB", Iterations: 1, NsPerOp: 200},
+	})
+
+	// Within the limit: +30% on A passes a 40% gate.
+	ok := writeReport(t, "ok.json", []Result{
+		{Name: "BenchmarkA", Iterations: 1, NsPerOp: 130},
+		{Name: "BenchmarkB", Iterations: 1, NsPerOp: 190},
+	})
+	if err := runDiff(oldPath, ok, 40); err != nil {
+		t.Errorf("30%% regression failed a 40%% gate: %v", err)
+	}
+
+	// Past the limit: +50% on A fails it.
+	bad := writeReport(t, "bad.json", []Result{
+		{Name: "BenchmarkA", Iterations: 1, NsPerOp: 150},
+		{Name: "BenchmarkB", Iterations: 1, NsPerOp: 190},
+	})
+	if err := runDiff(oldPath, bad, 40); err == nil {
+		t.Error("50% regression passed a 40% gate")
+	}
+	// ... but report-only mode (negative limit) never fails.
+	if err := runDiff(oldPath, bad, -1); err != nil {
+		t.Errorf("report-only diff failed: %v", err)
+	}
+
+	// A vanished benchmark fails the gate (the harness must not bit-rot
+	// silently), while a new one does not.
+	gone := writeReport(t, "gone.json", []Result{
+		{Name: "BenchmarkA", Iterations: 1, NsPerOp: 100},
+		{Name: "BenchmarkC", Iterations: 1, NsPerOp: 1},
+	})
+	if err := runDiff(oldPath, gone, 40); err == nil {
+		t.Error("missing benchmark passed the gate")
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFig4aLASH":         "BenchmarkFig4aLASH",
+		"BenchmarkFig4aLASH-8":       "BenchmarkFig4aLASH",
+		"BenchmarkFig5aSupport/6":    "BenchmarkFig5aSupport/6",
+		"BenchmarkFig5aSupport/6-16": "BenchmarkFig5aSupport/6",
+		"BenchmarkX-y":               "BenchmarkX-y", // non-numeric suffix kept
+		"BenchmarkX-":                "BenchmarkX-",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestDiffCrossHost: a baseline recorded on a 1-proc host must match a new
+// document recorded with GOMAXPROCS suffixes (the CI runner case).
+func TestDiffCrossHost(t *testing.T) {
+	oldPath := writeReport(t, "old.json", []Result{
+		{Name: "BenchmarkA", Iterations: 1, NsPerOp: 100},
+	})
+	newPath := writeReport(t, "new.json", []Result{
+		{Name: "BenchmarkA-4", Iterations: 1, NsPerOp: 110},
+	})
+	if err := runDiff(oldPath, newPath, 40); err != nil {
+		t.Errorf("suffixed benchmark did not match its baseline: %v", err)
+	}
+}

@@ -1,13 +1,16 @@
 // Command lash-gen generates the synthetic corpora used by the experiment
-// harness and writes them as lash-compatible text files.
+// harness and writes them as lash-compatible files.
 //
 // Usage:
 //
 //	lash-gen -kind text   -out nyt  [-sentences N] [-lemmas N] [-variant CLP]
 //	lash-gen -kind market -out amzn [-users N] [-products N] [-levels 8]
 //
-// Two files are produced: <out>.seq (one sequence per line) and <out>.hier
-// (one "child parent" edge per line).
+// With the default -format text, two files are produced: <out>.seq (one
+// sequence per line) and <out>.hier (one "child parent" edge per line).
+// With -format binary, one compact file <out>.ldb is produced — the binary
+// corpus format (dictionary + hierarchy + varint sequences) that the lash
+// CLI and lash.OpenBinaryDatabase read without materializing item strings.
 package main
 
 import (
@@ -17,12 +20,14 @@ import (
 
 	"lash/internal/datagen"
 	"lash/internal/gsm"
+	"lash/internal/seqdb"
 )
 
 func main() {
 	var (
 		kind      = flag.String("kind", "text", "corpus kind: text or market")
 		out       = flag.String("out", "corpus", "output file prefix")
+		format    = flag.String("format", "text", "output format: text (<out>.seq + <out>.hier) or binary (<out>.ldb)")
 		seed      = flag.Int64("seed", 42, "generator seed")
 		sentences = flag.Int("sentences", 10000, "text: number of sentences")
 		lemmas    = flag.Int("lemmas", 5000, "text: lemma vocabulary size")
@@ -55,16 +60,27 @@ func main() {
 		fatal(err)
 	}
 
-	if err := writeFile(*out+".seq", func(w *os.File) error { return datagen.WriteSequences(w, db) }); err != nil {
-		fatal(err)
-	}
-	if err := writeFile(*out+".hier", func(w *os.File) error { return datagen.WriteHierarchy(w, db.Forest) }); err != nil {
-		fatal(err)
-	}
 	st := datagen.Characteristics(db)
 	hs := db.Forest.ComputeStats()
-	fmt.Printf("lash-gen: wrote %s.seq (%d sequences, avg len %.1f) and %s.hier (%d items, %d levels)\n",
-		*out, st.Sequences, st.AvgLength, *out, hs.TotalItems, hs.Levels)
+	switch *format {
+	case "text":
+		if err := writeFile(*out+".seq", func(w *os.File) error { return datagen.WriteSequences(w, db) }); err != nil {
+			fatal(err)
+		}
+		if err := writeFile(*out+".hier", func(w *os.File) error { return datagen.WriteHierarchy(w, db.Forest) }); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lash-gen: wrote %s.seq (%d sequences, avg len %.1f) and %s.hier (%d items, %d levels)\n",
+			*out, st.Sequences, st.AvgLength, *out, hs.TotalItems, hs.Levels)
+	case "binary":
+		if err := seqdb.WriteFile(*out+".ldb", db); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lash-gen: wrote %s.ldb (%d sequences, avg len %.1f, %d items, %d levels)\n",
+			*out, st.Sequences, st.AvgLength, hs.TotalItems, hs.Levels)
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text or binary)", *format))
+	}
 }
 
 func parseVariant(s string) (datagen.TextHierarchy, error) {

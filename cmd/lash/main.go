@@ -25,6 +25,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -73,8 +74,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fs := flag.NewFlagSet("lash", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		input       = fs.String("input", "", "sequence file (one sequence per line; '-' = stdin)")
-		hier        = fs.String("hierarchy", "", "hierarchy file (one 'child parent' edge per line)")
+		input       = fs.String("input", "", "sequence file (text: one sequence per line, or a binary .ldb corpus; '-' = stdin)")
+		hier        = fs.String("hierarchy", "", "hierarchy file (one 'child parent' edge per line; text input only)")
 		support     = fs.Int64("support", 2, "minimum support σ")
 		gap         = fs.Int("gap", 0, "maximum gap γ")
 		length      = fs.Int("length", 5, "maximum pattern length λ")
@@ -86,6 +87,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		quiet       = fs.Bool("quiet", false, "suppress the run summary on stderr")
 		stream      = fs.Bool("stream", false, "print patterns as partitions finish mining (completion order, unsorted)")
 		progress    = fs.Bool("progress", false, "report live mining progress on stderr")
+		memBudget   = fs.String("mem-budget", "", "shuffle memory budget before spilling sorted runs to disk (e.g. 64MiB, 2G, 1048576; empty = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -99,25 +101,17 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return usageError{fmt.Errorf("-input is required"), false}
 	}
 
-	b := lash.NewDatabaseBuilder()
-	if *hier != "" {
-		if err := readInto(*hier, b.ReadHierarchy); err != nil {
-			return err
-		}
-	}
-	if *input == "-" {
-		if err := b.ReadSequences(stdin); err != nil {
-			return err
-		}
-	} else if err := readInto(*input, b.ReadSequences); err != nil {
-		return err
-	}
-	db, err := b.Build()
+	db, err := loadDatabase(*input, *hier, stdin)
 	if err != nil {
 		return err
 	}
 
 	opt := lash.Options{MinSupport: *support, MaxGap: *gap, MaxLength: *length}
+	if *memBudget != "" {
+		if opt.MemoryBudget, err = parseBytes(*memBudget); err != nil {
+			return usageError{err, false}
+		}
+	}
 	if opt.Algorithm, err = lash.ParseAlgorithm(*algorithm); err != nil {
 		return usageError{err, false}
 	}
@@ -191,9 +185,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		patterns = streamed
 	}
 	if !*quiet {
-		fmt.Fprintf(stderr, "lash: %d sequences, %d frequent items, %d patterns, %d partitions, %s shuffled, %v\n",
+		spilled := ""
+		if res.Stats.SpillRuns > 0 {
+			spilled = fmt.Sprintf(", %d runs (%s) spilled", res.Stats.SpillRuns, byteCount(res.Stats.SpillBytes))
+		}
+		fmt.Fprintf(stderr, "lash: %d sequences, %d frequent items, %d patterns, %d partitions, %s shuffled%s, %v\n",
 			db.NumSequences(), len(res.FrequentItems), patterns,
-			res.NumPartitions, byteCount(res.Stats.MapOutputBytes), elapsed.Round(time.Millisecond))
+			res.NumPartitions, byteCount(res.Stats.MapOutputBytes), spilled, elapsed.Round(time.Millisecond))
 	}
 	return nil
 }
@@ -213,6 +211,79 @@ func progressPrinter(w io.Writer) func(lash.ProgressEvent) {
 		last = line
 		fmt.Fprintln(w, line)
 	}
+}
+
+// loadDatabase builds the input database from either format: the stream is
+// sniffed for the binary corpus magic (which embeds the hierarchy — a
+// separate -hierarchy file is then an error), anything else is read as the
+// textual one-sequence-per-line format plus the optional hierarchy file.
+func loadDatabase(input, hier string, stdin io.Reader) (*lash.Database, error) {
+	var src io.Reader
+	if input == "-" {
+		src = stdin
+	} else {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		src = f
+	}
+	br := bufio.NewReaderSize(src, 1<<16)
+	head, err := br.Peek(len(lash.BinaryMagic))
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if string(head) == lash.BinaryMagic {
+		if hier != "" {
+			return nil, fmt.Errorf("binary corpus %s embeds its hierarchy; drop -hierarchy", input)
+		}
+		return lash.ReadBinaryDatabase(br)
+	}
+
+	b := lash.NewDatabaseBuilder()
+	if hier != "" {
+		if err := readInto(hier, b.ReadHierarchy); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.ReadSequences(br); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// parseBytes parses a human-friendly byte size: a plain integer, or one
+// with a K/M/G/T suffix (powers of 1024; optional i and/or B, so 64M,
+// 64MiB, and 64mb all work).
+func parseBytes(s string) (int64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	t = strings.TrimSuffix(t, "B")
+	t = strings.TrimSuffix(t, "I")
+	shift := 0
+	if len(t) > 0 {
+		switch t[len(t)-1] {
+		case 'K':
+			shift = 10
+		case 'M':
+			shift = 20
+		case 'G':
+			shift = 30
+		case 'T':
+			shift = 40
+		}
+		if shift != 0 {
+			t = t[:len(t)-1]
+		}
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte size %q (want e.g. 1048576, 64MiB, 2G)", s)
+	}
+	if n > (int64(1)<<62)>>shift {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return n << shift, nil
 }
 
 // readInto opens path and feeds it to read (ReadSequences/ReadHierarchy).

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"lash"
 )
 
 // fixture writes the test corpus (the two-level B hierarchy) and returns
@@ -142,5 +144,128 @@ func TestFlagErrors(t *testing.T) {
 	_, stderr, err := runCLI(t, "", "-h")
 	if err != flag.ErrHelp || !strings.Contains(stderr, "Usage of lash") {
 		t.Errorf("-h: err=%v stderr=%q", err, stderr)
+	}
+}
+
+// binaryFixture converts the text fixture to a binary .ldb corpus through
+// the public API.
+func binaryFixture(t *testing.T) string {
+	t.Helper()
+	b := lash.NewDatabaseBuilder()
+	b.AddParent("b1", "B").AddParent("b2", "B")
+	b.AddSequence("a", "b1", "a")
+	b.AddSequence("a", "b2", "c")
+	b.AddSequence("a", "b1", "b2")
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.ldb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBinaryInput: a binary corpus is sniffed by magic and mines to the
+// same golden output as the text fixture (the hierarchy travels inside the
+// file).
+func TestBinaryInput(t *testing.T) {
+	ldb := binaryFixture(t)
+	stdout, _, err := runCLI(t, "",
+		"-input", ldb, "-support", "2", "-gap", "1", "-length", "3", "-items", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := "3\tB\n3\ta\n2\tb1\n2\tb2\n" +
+		"2\ta b1\n3\ta B\n2\ta b2\n"
+	if stdout != golden {
+		t.Errorf("output = %q, want %q", stdout, golden)
+	}
+
+	// The same corpus via stdin must sniff identically.
+	raw, err := os.ReadFile(ldb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout2, _, err := runCLI(t, string(raw),
+		"-input", "-", "-support", "2", "-gap", "1", "-length", "3", "-items", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout2 != golden {
+		t.Errorf("stdin output = %q, want %q", stdout2, golden)
+	}
+}
+
+// TestBinaryInputRejectsHierarchyFlag: the binary corpus embeds its
+// hierarchy, so combining it with -hierarchy is an error.
+func TestBinaryInputRejectsHierarchyFlag(t *testing.T) {
+	ldb := binaryFixture(t)
+	_, hier := fixture(t)
+	_, _, err := runCLI(t, "", "-input", ldb, "-hierarchy", hier, "-quiet")
+	if err == nil || !strings.Contains(err.Error(), "embeds its hierarchy") {
+		t.Fatalf("err = %v, want embedded-hierarchy complaint", err)
+	}
+}
+
+// TestMemBudgetFlag: -mem-budget forces the spill path; the output must be
+// identical to the unbudgeted run and the summary must report spilling.
+func TestMemBudgetFlag(t *testing.T) {
+	seqs, hier := fixture(t)
+	args := []string{"-input", seqs, "-hierarchy", hier, "-support", "2", "-gap", "1", "-length", "3"}
+	want, _, err := runCLI(t, "", args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stderr, err := runCLI(t, "", append(args, "-mem-budget", "1")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("budgeted output = %q, want %q", got, want)
+	}
+	if !strings.Contains(stderr, "spilled") {
+		t.Errorf("summary %q does not report spilling", stderr)
+	}
+
+	// Malformed sizes are usage errors (exit 2).
+	_, _, err = runCLI(t, "", append(args, "-mem-budget", "lots")...)
+	if err == nil || exitCode(err) != 2 {
+		t.Errorf("bad -mem-budget: err=%v code=%d, want code 2", err, exitCode(err))
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	good := map[string]int64{
+		"0":       0,
+		"1048576": 1 << 20,
+		"64K":     64 << 10,
+		"64KiB":   64 << 10,
+		"64kb":    64 << 10,
+		"2M":      2 << 20,
+		"3GiB":    3 << 30,
+		"1T":      1 << 40,
+		" 7MiB ":  7 << 20,
+	}
+	for in, want := range good {
+		got, err := parseBytes(in)
+		if err != nil {
+			t.Errorf("parseBytes(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("parseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "-1", "1.5G", "G", "12X", "9999999999G"} {
+		if n, err := parseBytes(in); err == nil {
+			t.Errorf("parseBytes(%q) = %d, want error", in, n)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"lash/internal/gsm"
 	"lash/internal/hierarchy"
+	"lash/internal/seqdb"
 )
 
 // Database is an immutable sequence database over an item hierarchy, ready
@@ -86,6 +87,45 @@ func (d *DatabaseBuilder) Build() (*Database, error) {
 		return nil, err
 	}
 	return &Database{db: &gsm.Database{Seqs: d.seqs, Forest: f}}, nil
+}
+
+// BinaryMagic is the 8-byte prefix of the binary database format written by
+// WriteBinary (and `lash-gen -format binary`). Callers sniffing an input
+// stream can match its first bytes against this to pick the right reader.
+const BinaryMagic = seqdb.Magic
+
+// ReadBinaryDatabase decodes a database from the compact binary format:
+// item dictionary and hierarchy up front, then varint-encoded sequences,
+// decoded straight into shared item-id arenas — no per-item strings, no
+// per-sequence allocations — so loading a large corpus costs a small
+// constant factor of its file size. Write the format with WriteBinary or
+// `lash-gen -format binary`.
+func ReadBinaryDatabase(r io.Reader) (*Database, error) {
+	sr, err := seqdb.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	db, err := sr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
+}
+
+// OpenBinaryDatabase reads a binary database file from path.
+func OpenBinaryDatabase(path string) (*Database, error) {
+	db, err := seqdb.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
+}
+
+// WriteBinary encodes the database (sequences and hierarchy, one file) in
+// the compact binary format understood by ReadBinaryDatabase and the lash
+// CLI.
+func (d *Database) WriteBinary(w io.Writer) error {
+	return seqdb.Write(w, d.db)
 }
 
 // ReadSequences adds one sequence per line (items separated by spaces or

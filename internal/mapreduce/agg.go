@@ -3,7 +3,7 @@ package mapreduce
 import (
 	"bytes"
 	"context"
-	"sort"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -224,6 +224,19 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 	}
 	reduceTasks := cfg.ReduceTasks
 
+	// Budgeted runs route the shuffle through sorted on-disk runs (see
+	// spill.go). The spill directory lives for exactly this call: the
+	// deferred cleanup runs after the worker pool has drained, so
+	// cancellation and errors leave no orphan temp files behind.
+	var spill *spillState
+	if cfg.MemoryBudget > 0 {
+		var err error
+		if spill, err = newSpillState(cfg.SpillDir, reduceTasks); err != nil {
+			return nil, stats, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+		}
+		defer spill.cleanup()
+	}
+
 	parts := make([]aggPart[R], reduceTasks)
 	ready := make(chan int, reduceTasks)
 	tablePool := sync.Pool{New: func() any { return &byteTable{} }}
@@ -260,6 +273,41 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 			report("reduce")
 		}()
 		st := &parts[p]
+		if spill != nil {
+			// Budgeted path: k-way merge the partition's sorted runs off
+			// disk. Groups arrive in ascending (group, key) order with
+			// weights re-aggregated across runs — the same delivery the
+			// in-memory sort below produces.
+			sp := &spill.parts[p]
+			if len(sp.runs) == 0 {
+				return nil
+			}
+			begin := time.Now()
+			defer func() { redTimes[p] = time.Since(begin) }()
+			emit := func(r R) {
+				checkAbort(errs)
+				st.out = append(st.out, r)
+			}
+			err := spill.mergeRuns(p,
+				func() bool { return errs.canceled.Load() },
+				func(group uint32, entries []Entry) error {
+					redKeys.Add(1)
+					return job.Reduce(group, entries, emit)
+				})
+			if err != nil {
+				return err
+			}
+			redRecords.Add(int64(len(st.out)))
+			// The partition's spill file is fully consumed; release its file
+			// descriptor now instead of at run end.
+			sp.mu.Lock()
+			if sp.f != nil {
+				sp.f.Close()
+				sp.f = nil
+			}
+			sp.mu.Unlock()
+			return nil
+		}
 		t := st.merged
 		if t == nil || t.n == 0 {
 			return nil
@@ -267,20 +315,8 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 		begin := time.Now()
 		defer func() { redTimes[p] = time.Since(begin) }()
 
-		// Deterministic group order: sort entries by (group, key bytes).
-		idx := make([]int32, 0, t.n)
-		for i := range t.entries {
-			if t.entries[i].hash != 0 {
-				idx = append(idx, int32(i))
-			}
-		}
-		sort.Slice(idx, func(a, b int) bool {
-			ea, eb := &t.entries[idx[a]], &t.entries[idx[b]]
-			if ea.group != eb.group {
-				return ea.group < eb.group
-			}
-			return bytes.Compare(t.key(ea), t.key(eb)) < 0
-		})
+		// Deterministic group order: entries sorted by (group, key bytes).
+		idx := t.sortedIndex()
 
 		emit := func(r R) {
 			checkAbort(errs)
@@ -310,21 +346,80 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 		return nil
 	})
 
+	// accountTable charges one table's aggregated entries to the shuffle
+	// counters (post-aggregation output — what actually ships).
+	accountTable := func(t *byteTable) {
+		var size int64
+		for i := range t.entries {
+			if e := &t.entries[i]; e.hash != 0 {
+				size += int64(job.size(e.group, int(e.klen), e.weight))
+			}
+		}
+		outRecords.Add(int64(t.n))
+		outBytes.Add(size)
+	}
+
 	// --- map + map-side aggregation + merge ------------------------------
 	mapOne := guard(errs, job.Name, "map", func(task int) error {
 		lo := len(input) * task / mapTasks
 		hi := len(input) * (task + 1) / mapTasks
 		begin := time.Now()
 		tables := make([]*byteTable, reduceTasks)
+
+		// Budgeted runs bound this task's tables by its share of the budget
+		// and flush them all as sorted runs when it is exceeded. Spilled
+		// tables are dropped, not pooled: a pooled table keeps its capacity,
+		// which would charge the next task's budget before it aggregated a
+		// single record.
+		var taskMem, perTask int64
+		if spill != nil {
+			perTask = cfg.MemoryBudget / int64(cfg.Workers)
+			if perTask < 1 {
+				perTask = 1
+			}
+		}
+		spillTables := func() error {
+			for p, t := range tables {
+				if t == nil {
+					continue
+				}
+				if t.n > 0 {
+					accountTable(t)
+					if err := spill.writeRun(p, t); err != nil {
+						return err
+					}
+				}
+				tables[p] = nil
+			}
+			taskMem = 0
+			return nil
+		}
 		emit := func(group uint32, key []byte, weight int64) {
 			checkAbort(errs)
 			p := int(job.hash(group, key) % uint32(reduceTasks))
 			t := tables[p]
+			if spill == nil {
+				if t == nil {
+					t = tablePool.Get().(*byteTable)
+					tables[p] = t
+				}
+				t.add(group, key, weight)
+				return
+			}
 			if t == nil {
-				t = tablePool.Get().(*byteTable)
+				t = &byteTable{}
 				tables[p] = t
 			}
+			before := t.mem()
 			t.add(group, key, weight)
+			if taskMem += t.mem() - before; taskMem > perTask {
+				if err := spillTables(); err != nil {
+					// Emit cannot return an error; record it and unwind the
+					// task with the abort sentinel, like cancellation does.
+					errs.set(fmt.Errorf("mapreduce: job %q: map task %d: %w", job.Name, task, err))
+					panic(taskAborted{})
+				}
+			}
 		}
 		for _, rec := range input[lo:hi] {
 			checkAbort(errs)
@@ -335,23 +430,37 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 			mapWall = time.Since(start)
 		}
 
+		if spill != nil {
+			// Flush the tables that stayed under budget as final runs; the
+			// reduce-side merge is uniform over runs either way.
+			if err := spillTables(); err != nil {
+				return err
+			}
+			for p := range parts {
+				st := &parts[p]
+				st.mu.Lock()
+				st.contrib++
+				isLast := st.contrib == mapTasks
+				st.mu.Unlock()
+				if isLast && !errs.canceled.Load() {
+					ready <- p
+				}
+			}
+			if mergesDone.Add(1) == int64(mapTasks) {
+				shufWall = time.Since(start)
+			}
+			report("map")
+			return nil
+		}
+
 		// Account post-aggregation output, then merge into the partitions.
 		// Merging happens as each map task retires — the shuffle overlaps
 		// the map phase instead of waiting behind it.
-		var recs, size int64
 		for _, t := range tables {
-			if t == nil {
-				continue
-			}
-			recs += int64(t.n)
-			for i := range t.entries {
-				if e := &t.entries[i]; e.hash != 0 {
-					size += int64(job.size(e.group, int(e.klen), e.weight))
-				}
+			if t != nil {
+				accountTable(t)
 			}
 		}
-		outRecords.Add(recs)
-		outBytes.Add(size)
 
 		for p := range tables {
 			t := tables[p]
@@ -440,6 +549,11 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 	stats.MapOutputBytes = outBytes.Load()
 	stats.ReduceInputKeys = redKeys.Load()
 	stats.ReduceOutputRecords = redRecords.Load()
+	if spill != nil {
+		stats.SpillRuns = spill.runs.Load()
+		stats.SpillBytes = spill.bytes.Load()
+		stats.SpillRecords = spill.records.Load()
+	}
 	if err := runErr(errs, ctx, job.Name, "run"); err != nil {
 		return nil, stats, err
 	}

@@ -82,6 +82,23 @@ type Config struct {
 	ReduceTasks int // key-space partitions (default 4×Workers)
 	Cluster     ClusterSpec
 
+	// MemoryBudget, when positive, bounds the memory the aggregated shuffle
+	// (RunAgg) may hold in aggregation tables, in bytes. Each map task gets
+	// an equal share (MemoryBudget / Workers); exceeding it flushes the
+	// task's tables to sorted runs in temp files, and the reduce phase
+	// k-way merges each partition's runs back off disk, re-aggregating
+	// across runs, so only one partition's group at a time is materialized.
+	// The budget covers the shuffle's aggregation tables, not the input
+	// slice or the reduce outputs; results are byte-identical to the
+	// in-memory path (0 = unlimited, never touch disk). Run ignores it —
+	// the generic path's intermediate data is key-space bounded.
+	MemoryBudget int64
+
+	// SpillDir is the base directory for spill temp files (default
+	// os.TempDir()). Each run creates a private subdirectory and removes it
+	// when the run returns — on success, error, and cancellation alike.
+	SpillDir string
+
 	// Progress, when non-nil, receives progress snapshots as the run
 	// advances: after every retired map task, after every completed reduce
 	// task (partition), and once with phase "done" when the run returns,
@@ -131,6 +148,15 @@ type Counters struct {
 	MapOutputBytes      int64 // encoded size of shuffled records (MAP_OUTPUT_BYTES)
 	ReduceInputKeys     int64
 	ReduceOutputRecords int64
+
+	// Spill counters (non-zero only when Config.MemoryBudget forced the
+	// aggregated shuffle to disk): sorted runs written, physical bytes
+	// written to spill files, and aggregated entries spilled. An entry
+	// aggregated in several runs counts once per run — the re-aggregation
+	// happens in the reduce-side merge.
+	SpillRuns    int64
+	SpillBytes   int64
+	SpillRecords int64
 }
 
 // PhaseTimes breaks a job into the phases the paper reports.

@@ -1,0 +1,337 @@
+package mapreduce
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The spillable shuffle: when Config.MemoryBudget is set, RunAgg routes the
+// aggregated shuffle through disk instead of holding every partition's
+// merged table in memory. Map tasks still aggregate into flat hash tables,
+// but each task's tables are bounded by its share of the budget — exceeding
+// it flushes every table as a *sorted run* (entries ordered by (group, key
+// bytes), the reduce delivery order) appended to the owning partition's
+// spill file — and the tables remaining when the task retires are flushed
+// the same way. The reduce side then k-way merges each partition's runs,
+// re-aggregating equal (group, key) entries across runs and handing every
+// group to Reduce exactly as the in-memory path would: ascending group
+// order, entries sorted by key, weights summed. The two paths are
+// differential-tested byte-identical.
+//
+// Run record wire format (per aggregated entry, varint-encoded):
+//
+//	uvarint(group) uvarint(len(key)) key-bytes varint(weight)
+//
+// Spill files live in a fresh directory under Config.SpillDir (default
+// os.TempDir()), one file per reduce partition, and the whole directory is
+// removed when RunAgg returns — on success, error, and cancellation alike.
+
+// aggEntrySize approximates the in-memory footprint of one byteTable slot
+// for budget accounting (hash + group + klen + off + weight, padded).
+const aggEntrySize = 32
+
+// mem estimates the table's memory footprint: the slot array plus the key
+// arena's capacity.
+func (t *byteTable) mem() int64 {
+	return int64(len(t.entries))*aggEntrySize + int64(cap(t.arena))
+}
+
+// sortedIndex returns the table's live slot indexes ordered by (group, key
+// bytes) — the one reduce delivery order, shared by the in-memory reduce
+// and the spill-run writer so the two paths cannot drift apart.
+func (t *byteTable) sortedIndex() []int32 {
+	idx := make([]int32, 0, t.n)
+	for i := range t.entries {
+		if t.entries[i].hash != 0 {
+			idx = append(idx, int32(i))
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ea, eb := &t.entries[idx[a]], &t.entries[idx[b]]
+		if ea.group != eb.group {
+			return ea.group < eb.group
+		}
+		return bytes.Compare(t.key(ea), t.key(eb)) < 0
+	})
+	return idx
+}
+
+// spillRun is one sorted run inside a partition's spill file.
+type spillRun struct {
+	off     int64
+	len     int64
+	records int
+}
+
+// spillPart is the per-partition spill state. mu serializes file appends
+// from concurrently-retiring map tasks; by the time the partition is
+// reduced, every map task has retired, so the reader needs no lock.
+type spillPart struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer // created with f, reused across runs
+	off  int64
+	runs []spillRun
+}
+
+// spillState owns a run's spill directory and per-partition files.
+type spillState struct {
+	dir     string
+	parts   []spillPart
+	runs    atomic.Int64
+	bytes   atomic.Int64
+	records atomic.Int64
+}
+
+// newSpillState creates the run's private spill directory under baseDir
+// (os.TempDir() when empty).
+func newSpillState(baseDir string, reduceTasks int) (*spillState, error) {
+	dir, err := os.MkdirTemp(baseDir, "lash-spill-")
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: create spill dir: %w", err)
+	}
+	return &spillState{dir: dir, parts: make([]spillPart, reduceTasks)}, nil
+}
+
+// cleanup closes every partition file and removes the spill directory with
+// everything in it. Safe to call exactly once, after all tasks have retired.
+func (s *spillState) cleanup() {
+	for p := range s.parts {
+		if f := s.parts[p].f; f != nil {
+			f.Close()
+			s.parts[p].f = nil
+		}
+	}
+	os.RemoveAll(s.dir)
+}
+
+// writeRun sorts t's entries by (group, key bytes) and appends them as one
+// run to partition p's spill file. The caller accounts shuffle counters;
+// writeRun accounts the spill counters.
+func (s *spillState) writeRun(p int, t *byteTable) error {
+	idx := t.sortedIndex()
+
+	st := &s.parts[p]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		f, err := os.CreateTemp(s.dir, fmt.Sprintf("part-%d-", p))
+		if err != nil {
+			return fmt.Errorf("mapreduce: create spill file: %w", err)
+		}
+		st.f = f
+		st.w = bufio.NewWriterSize(f, 1<<16)
+	}
+	w := st.w
+	var scratch [binary.MaxVarintLen64]byte
+	var written int64
+	for _, i := range idx {
+		e := &t.entries[i]
+		n := binary.PutUvarint(scratch[:], uint64(e.group))
+		n += binary.PutUvarint(scratch[n:], uint64(e.klen))
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return fmt.Errorf("mapreduce: write spill run: %w", err)
+		}
+		written += int64(n)
+		if _, err := w.Write(t.key(e)); err != nil {
+			return fmt.Errorf("mapreduce: write spill run: %w", err)
+		}
+		written += int64(e.klen)
+		n = binary.PutVarint(scratch[:], e.weight)
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return fmt.Errorf("mapreduce: write spill run: %w", err)
+		}
+		written += int64(n)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("mapreduce: flush spill run: %w", err)
+	}
+	st.runs = append(st.runs, spillRun{off: st.off, len: written, records: len(idx)})
+	st.off += written
+	s.runs.Add(1)
+	s.bytes.Add(written)
+	s.records.Add(int64(len(idx)))
+	return nil
+}
+
+// runCursor streams one sorted run back off disk. group/key/weight hold the
+// record at the cursor; key bytes live in the cursor-owned buffer and stay
+// valid until the next advance.
+type runCursor struct {
+	r      *bufio.Reader
+	left   int // records remaining, current one included
+	group  uint32
+	key    []byte
+	weight int64
+}
+
+// next advances the cursor to its next record. Returns false at run end.
+func (c *runCursor) next() (bool, error) {
+	if c.left == 0 {
+		return false, nil
+	}
+	c.left--
+	g, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return false, fmt.Errorf("mapreduce: corrupt spill run: %w", err)
+	}
+	klen, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return false, fmt.Errorf("mapreduce: corrupt spill run: %w", err)
+	}
+	if cap(c.key) < int(klen) {
+		c.key = make([]byte, klen)
+	}
+	c.key = c.key[:klen]
+	if _, err := io.ReadFull(c.r, c.key); err != nil {
+		return false, fmt.Errorf("mapreduce: corrupt spill run: %w", err)
+	}
+	w, err := binary.ReadVarint(c.r)
+	if err != nil {
+		return false, fmt.Errorf("mapreduce: corrupt spill run: %w", err)
+	}
+	c.group, c.weight = uint32(g), w
+	return true, nil
+}
+
+// cursorLess orders cursors by their current record's (group, key bytes).
+func cursorLess(a, b *runCursor) bool {
+	if a.group != b.group {
+		return a.group < b.group
+	}
+	return bytes.Compare(a.key, b.key) < 0
+}
+
+// cursorHeap is a min-heap of run cursors keyed by the current record.
+type cursorHeap []*runCursor
+
+func (h *cursorHeap) push(c *runCursor) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !cursorLess((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+// fix restores the heap property after the root's record advanced.
+func (h *cursorHeap) fix() {
+	s := *h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s) && cursorLess(s[l], s[small]) {
+			small = l
+		}
+		if r < len(s) && cursorLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+}
+
+// popRoot removes the root cursor (its run is exhausted).
+func (h *cursorHeap) popRoot() {
+	s := *h
+	s[0] = s[len(s)-1]
+	*h = s[:len(s)-1]
+	if len(*h) > 1 {
+		h.fix()
+	}
+}
+
+// mergeRuns k-way merges partition p's sorted runs, re-aggregating equal
+// (group, key) entries, and hands each group to reduce with its entries
+// sorted by key — exactly the in-memory reduce delivery. reduce may keep
+// the entries only for the duration of the call (keys alias a per-group
+// arena). abort is polled between groups for cooperative cancellation.
+func (s *spillState) mergeRuns(p int, abort func() bool, reduce func(group uint32, entries []Entry) error) error {
+	st := &s.parts[p]
+	if len(st.runs) == 0 {
+		return nil
+	}
+	heap := make(cursorHeap, 0, len(st.runs))
+	for _, run := range st.runs {
+		c := &runCursor{
+			r:    bufio.NewReaderSize(io.NewSectionReader(st.f, run.off, run.len), 1<<16),
+			left: run.records,
+		}
+		ok, err := c.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.push(c)
+		}
+	}
+
+	var (
+		entries []Entry
+		arena   []byte
+		group   uint32
+		started bool
+	)
+	flush := func() error {
+		if !started || len(entries) == 0 {
+			return nil
+		}
+		err := reduce(group, entries)
+		entries = entries[:0]
+		arena = arena[:0]
+		return err
+	}
+	for len(heap) > 0 {
+		c := heap[0]
+		if started && c.group != group {
+			if abort() {
+				return nil
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		group = c.group
+		started = true
+
+		// Aggregate every run's copy of this (group, key): consume the root,
+		// then any new root with the same record.
+		off := len(arena)
+		arena = append(arena, c.key...)
+		key := arena[off:len(arena):len(arena)]
+		weight := int64(0)
+		for len(heap) > 0 {
+			c = heap[0]
+			if c.group != group || !bytes.Equal(c.key, key) {
+				break
+			}
+			weight += c.weight
+			ok, err := c.next()
+			if err != nil {
+				return err
+			}
+			if ok {
+				heap.fix()
+			} else {
+				heap.popRoot()
+			}
+		}
+		entries = append(entries, Entry{Key: key, Weight: weight})
+	}
+	return flush()
+}

@@ -1,0 +1,189 @@
+package mapreduce_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"lash/internal/mapreduce"
+)
+
+// spillJob is a synthetic weighted-aggregation job with heavy key reuse so
+// both map-side aggregation and the cross-run re-aggregation of the spill
+// merge are exercised. Every reduce delivery is rendered into one string per
+// entry, so the output captures group order, entry order, keys, and summed
+// weights — everything the budgeted path must reproduce byte-identically.
+func spillJob() mapreduce.AggJob[int, string] {
+	return mapreduce.AggJob[int, string]{
+		Name: "spill-diff",
+		Map: func(item int, emit func(uint32, []byte, int64)) {
+			rng := rand.New(rand.NewSource(int64(item)))
+			var key [8]byte
+			for i := 0; i < 40; i++ {
+				group := uint32(rng.Intn(13))
+				klen := 1 + rng.Intn(len(key))
+				for j := 0; j < klen; j++ {
+					key[j] = byte(rng.Intn(7)) // tiny alphabet → many duplicate keys
+				}
+				emit(group, key[:klen], int64(1+rng.Intn(3)))
+			}
+		},
+		Hash: func(group uint32, _ []byte) uint32 { return mapreduce.HashUint32(group) },
+		Reduce: func(group uint32, entries []mapreduce.Entry, emit func(string)) error {
+			for _, e := range entries {
+				emit(fmt.Sprintf("%d|%x|%d", group, e.Key, e.Weight))
+			}
+			return nil
+		},
+	}
+}
+
+func spillInput(n int) []int {
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i
+	}
+	return in
+}
+
+// TestSpillDifferential proves the budgeted path byte-identical to the
+// in-memory path: same outputs in the same order, for budgets from
+// "everything spills" to "almost nothing spills", across worker counts.
+func TestSpillDifferential(t *testing.T) {
+	input := spillInput(300)
+	base := mapreduce.Config{Workers: 4, MapTasks: 8, ReduceTasks: 5}
+	want, wantStats, err := mapreduce.RunAgg(context.Background(), base, input, spillJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantStats.SpillRuns != 0 || wantStats.SpillBytes != 0 {
+		t.Fatalf("in-memory run reported spills: %+v", wantStats.Counters)
+	}
+
+	for _, budget := range []int64{1, 512, 16 << 10, 1 << 20} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("budget=%d/workers=%d", budget, workers), func(t *testing.T) {
+				cfg := base
+				cfg.Workers = workers
+				cfg.MemoryBudget = budget
+				cfg.SpillDir = t.TempDir()
+				got, stats, err := mapreduce.RunAgg(context.Background(), cfg, input, spillJob())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.SpillRuns == 0 {
+					t.Fatal("budgeted run wrote no spill runs")
+				}
+				if stats.SpillBytes == 0 || stats.SpillRecords == 0 {
+					t.Fatalf("spill counters not accounted: %+v", stats.Counters)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("got %d outputs, want %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("output %d = %q, want %q", i, got[i], want[i])
+					}
+				}
+				// The spill dir must already be empty again: the run removes
+				// its private directory on the way out.
+				assertEmptyDir(t, cfg.SpillDir)
+			})
+		}
+	}
+}
+
+// TestSpillReduceDelivery checks the merge hands Reduce the same grouped,
+// key-sorted, weight-summed entries the in-memory path does, via a reducer
+// that asserts ordering invariants directly.
+func TestSpillReduceDelivery(t *testing.T) {
+	cfg := mapreduce.Config{Workers: 3, MapTasks: 5, ReduceTasks: 3, MemoryBudget: 256, SpillDir: t.TempDir()}
+	job := spillJob()
+	job.Reduce = func(group uint32, entries []mapreduce.Entry, emit func(string)) error {
+		if len(entries) == 0 {
+			return errors.New("empty entry batch")
+		}
+		for i := 1; i < len(entries); i++ {
+			if string(entries[i-1].Key) >= string(entries[i].Key) {
+				return fmt.Errorf("group %d: entries not strictly key-sorted: %x !< %x",
+					group, entries[i-1].Key, entries[i].Key)
+			}
+		}
+		emit(fmt.Sprintf("group %d: %d entries", group, len(entries)))
+		return nil
+	}
+	if _, _, err := mapreduce.RunAgg(context.Background(), cfg, spillInput(100), job); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillCleanupOnCancel forces spilling, cancels mid-run, and asserts the
+// run returns the context error with no temp files left behind.
+func TestSpillCleanupOnCancel(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mapped atomic.Int64
+	job := spillJob()
+	inner := job.Map
+	job.Map = func(item int, emit func(uint32, []byte, int64)) {
+		// Let a few tasks spill, then cancel while map work is in flight.
+		if mapped.Add(1) == 20 {
+			cancel()
+		}
+		inner(item, emit)
+	}
+	cfg := mapreduce.Config{Workers: 4, MapTasks: 16, ReduceTasks: 4, MemoryBudget: 1, SpillDir: dir}
+	_, _, err := mapreduce.RunAgg(ctx, cfg, spillInput(400), job)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	assertEmptyDir(t, dir)
+}
+
+// TestSpillCleanupOnReduceError asserts a failing reducer still tears the
+// spill directory down.
+func TestSpillCleanupOnReduceError(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("synthetic reduce failure")
+	job := spillJob()
+	job.Reduce = func(uint32, []mapreduce.Entry, func(string)) error { return boom }
+	cfg := mapreduce.Config{Workers: 2, MapTasks: 4, ReduceTasks: 3, MemoryBudget: 64, SpillDir: dir}
+	_, _, err := mapreduce.RunAgg(context.Background(), cfg, spillInput(50), job)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	assertEmptyDir(t, dir)
+}
+
+// TestSpillEmptyInput: a budgeted run over nothing must not fail or leave
+// droppings.
+func TestSpillEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	cfg := mapreduce.Config{Workers: 2, MemoryBudget: 1024, SpillDir: dir}
+	out, stats, err := mapreduce.RunAgg(context.Background(), cfg, nil, spillJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || stats.SpillRuns != 0 {
+		t.Fatalf("out=%v spills=%d", out, stats.SpillRuns)
+	}
+	assertEmptyDir(t, dir)
+}
+
+func assertEmptyDir(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("orphan temp entry %s", filepath.Join(dir, e.Name()))
+	}
+}

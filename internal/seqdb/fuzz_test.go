@@ -1,0 +1,149 @@
+package seqdb_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lash/internal/gsm"
+	"lash/internal/hierarchy"
+	"lash/internal/seqdb"
+)
+
+// dbFromBytes derives a structurally-varied database from fuzz input:
+// alternating bytes pick vocabulary size, hierarchy shape, and sequence
+// contents, so the round-trip target explores deep hierarchies, empty
+// sequences, and id-dense corpora without needing a valid file as input.
+func dbFromBytes(data []byte) *gsm.Database {
+	b := hierarchy.NewBuilder()
+	nItems := 1 + int(byteAt(data, 0))%64
+	for w := 0; w < nItems; w++ {
+		name := fmt.Sprintf("i%d", w)
+		b.Add(name)
+		// A parent from the already-interned prefix keeps the forest
+		// acyclic by construction.
+		if w > 0 && byteAt(data, w)%3 == 0 {
+			b.AddEdge(name, fmt.Sprintf("i%d", int(byteAt(data, w+1))%w))
+		}
+	}
+	f, err := b.Build()
+	if err != nil {
+		panic(err) // unreachable: edges point strictly backwards
+	}
+	var seqs []gsm.Sequence
+	pos := nItems
+	nSeqs := int(byteAt(data, pos)) % 16
+	for s := 0; s < nSeqs; s++ {
+		n := int(byteAt(data, pos+1+s)) % 8
+		seq := make(gsm.Sequence, n)
+		for j := range seq {
+			seq[j] = hierarchy.Item(int(byteAt(data, pos+s+j)) % nItems)
+		}
+		seqs = append(seqs, seq)
+	}
+	return &gsm.Database{Seqs: seqs, Forest: f}
+}
+
+func byteAt(data []byte, i int) byte {
+	if len(data) == 0 {
+		return 0
+	}
+	return data[i%len(data)]
+}
+
+// FuzzRoundTrip checks Write/ReadAll round-trip identity for arbitrary
+// generated databases.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 1, 2, 3})
+	f.Add(bytes.Repeat([]byte{7, 0, 3}, 20))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want := dbFromBytes(data)
+		var buf bytes.Buffer
+		if err := seqdb.Write(&buf, want); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		r, err := seqdb.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("NewReader rejected valid encoding: %v", err)
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			t.Fatalf("ReadAll rejected valid encoding: %v", err)
+		}
+		if got.Forest.Size() != want.Forest.Size() || len(got.Seqs) != len(want.Seqs) {
+			t.Fatalf("round trip: %d items / %d seqs, want %d / %d",
+				got.Forest.Size(), len(got.Seqs), want.Forest.Size(), len(want.Seqs))
+		}
+		for w := 0; w < want.Forest.Size(); w++ {
+			it := hierarchy.Item(w)
+			if got.Forest.Name(it) != want.Forest.Name(it) || got.Forest.Parent(it) != want.Forest.Parent(it) {
+				t.Fatalf("item %d: (%q, %d), want (%q, %d)", w,
+					got.Forest.Name(it), got.Forest.Parent(it), want.Forest.Name(it), want.Forest.Parent(it))
+			}
+		}
+		for i := range want.Seqs {
+			if len(got.Seqs[i]) != len(want.Seqs[i]) {
+				t.Fatalf("sequence %d length %d, want %d", i, len(got.Seqs[i]), len(want.Seqs[i]))
+			}
+			for j := range want.Seqs[i] {
+				if got.Seqs[i][j] != want.Seqs[i][j] {
+					t.Fatalf("sequence %d item %d = %d, want %d", i, j, got.Seqs[i][j], want.Seqs[i][j])
+				}
+			}
+		}
+	})
+}
+
+// FuzzReader feeds arbitrary bytes to the reader: it must never panic, and
+// anything it accepts must be a database that validates and re-encodes to a
+// file the reader accepts again.
+func FuzzReader(f *testing.F) {
+	// A valid file as the anchor seed, plus assorted corruptions.
+	valid := func() []byte {
+		b := hierarchy.NewBuilder()
+		b.AddEdge("a", "A")
+		b.Add("b")
+		forest, err := b.Build()
+		if err != nil {
+			panic(err)
+		}
+		var buf bytes.Buffer
+		if err := seqdb.Write(&buf, &gsm.Database{
+			Seqs:   []gsm.Sequence{{0, 2}, {}, {1, 1, 0}},
+			Forest: forest,
+		}); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte(seqdb.Magic))
+	f.Add([]byte(seqdb.Magic + "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := seqdb.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		db, err := r.ReadAll()
+		if err != nil {
+			return
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("accepted database fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := seqdb.Write(&buf, db); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		r2, err := seqdb.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read header: %v", err)
+		}
+		if _, err := r2.ReadAll(); err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+	})
+}

@@ -152,6 +152,15 @@ type Options struct {
 	// MaxIntermediate caps the records the naïve/semi-naïve baselines may
 	// emit before aborting with ErrAborted (0 = unlimited).
 	MaxIntermediate int64
+	// MemoryBudget, when positive, bounds the bytes the mining shuffle may
+	// hold in in-memory aggregation tables: past the budget, sorted runs
+	// spill to temp files and partitions are k-way merged back off disk
+	// before mining, so corpora whose shuffle exceeds RAM still mine — with
+	// byte-identical results (0 = unlimited, never touch disk). Spill
+	// volume is reported in Result.Stats. The budget is a cap on shuffle
+	// table memory, not total process memory: each partition being mined
+	// must still fit (the paper's partition-at-a-time contract).
+	MemoryBudget int64
 	// Restriction optionally thins the output to closed or maximal patterns
 	// (computed relative to the mined output, i.e. supersequences up to
 	// MaxLength). See §6.7 of the paper. Restrictions need the full pattern
@@ -244,6 +253,11 @@ type RunStats struct {
 	MapOutputBytes int64
 	// MapOutputRecords counts shuffled records (after combining).
 	MapOutputRecords int64
+	// SpillRuns and SpillBytes report the sorted runs and physical bytes
+	// the shuffle spilled to temp files. Zero unless Options.MemoryBudget
+	// forced the run to disk.
+	SpillRuns  int64
+	SpillBytes int64
 }
 
 // Mine runs the selected algorithm over the database. It is
@@ -301,7 +315,7 @@ func mine(ctx context.Context, db *Database, opt Options, freqs []int64, emit fu
 		return nil, err
 	}
 	params := gsm.Params{Sigma: opt.MinSupport, Gamma: opt.MaxGap, Lambda: opt.MaxLength}
-	mr := mapreduce.Config{Workers: opt.Workers}
+	mr := mapreduce.Config{Workers: opt.Workers, MemoryBudget: opt.MemoryBudget}
 	if opt.Progress != nil {
 		mr.Progress = progressAdapter(opt.Progress)
 	}
@@ -397,6 +411,8 @@ func mine(ctx context.Context, db *Database, opt Options, freqs []int64, emit fu
 	if res.Jobs.Mine != nil {
 		out.Stats.MapOutputBytes = res.Jobs.Mine.MapOutputBytes
 		out.Stats.MapOutputRecords = res.Jobs.Mine.MapOutputRecords
+		out.Stats.SpillRuns = res.Jobs.Mine.SpillRuns
+		out.Stats.SpillBytes = res.Jobs.Mine.SpillBytes
 	}
 	return out, nil
 }

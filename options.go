@@ -25,6 +25,9 @@ func (o Options) Validate() error {
 	if o.MaxIntermediate < 0 {
 		return fmt.Errorf("lash: MaxIntermediate must be ≥ 0, got %d", o.MaxIntermediate)
 	}
+	if o.MemoryBudget < 0 {
+		return fmt.Errorf("lash: MemoryBudget must be ≥ 0, got %d", o.MemoryBudget)
+	}
 	switch o.Algorithm {
 	case AlgorithmLASH, AlgorithmNaive, AlgorithmSemiNaive, AlgorithmMGFSM, AlgorithmLASHFlat:
 	default:
@@ -73,15 +76,18 @@ func (o Options) ValidateStream() error {
 }
 
 // Canonical returns o with every field that cannot affect Mine's output
-// normalized to its zero value: Workers (a pure parallelism knob) and
-// Progress (an observability hook) are always zeroed, LocalMiner is zeroed
-// for algorithms that do not run a local miner, and MaxIntermediate is
-// zeroed for algorithms that never emit intermediate records. Two valid
-// Options values with equal canonical forms produce identical results on
-// the same database.
+// normalized to its zero value: Workers (a pure parallelism knob),
+// Progress (an observability hook), and MemoryBudget (an execution-mode
+// knob — the spill path is differential-tested byte-identical to the
+// in-memory path) are always zeroed, LocalMiner is zeroed for algorithms
+// that do not run a local miner, and MaxIntermediate is zeroed for
+// algorithms that never emit intermediate records. Two valid Options
+// values with equal canonical forms produce identical results on the same
+// database.
 func (o Options) Canonical() Options {
 	o.Workers = 0
 	o.Progress = nil
+	o.MemoryBudget = 0
 	switch o.Algorithm {
 	case AlgorithmLASH, AlgorithmLASHFlat:
 		o.MaxIntermediate = 0

@@ -25,6 +25,7 @@ func TestOptionsValidate(t *testing.T) {
 		{"short length", func(o *lash.Options) { o.MaxLength = 1 }, "MaxLength"},
 		{"negative workers", func(o *lash.Options) { o.Workers = -1 }, "Workers"},
 		{"negative cap", func(o *lash.Options) { o.MaxIntermediate = -1 }, "MaxIntermediate"},
+		{"negative budget", func(o *lash.Options) { o.MemoryBudget = -1 }, "MemoryBudget"},
 		{"bad algorithm", func(o *lash.Options) { o.Algorithm = lash.Algorithm(42) }, "algorithm"},
 		{"bad miner", func(o *lash.Options) { o.LocalMiner = lash.LocalMiner(42) }, "miner"},
 		{"bad restriction", func(o *lash.Options) { o.Restriction = lash.Restriction(42) }, "restriction"},
@@ -73,6 +74,17 @@ func TestOptionsCacheKey(t *testing.T) {
 	w.Workers = 7
 	if w.CacheKey() != base.CacheKey() {
 		t.Errorf("Workers changed the cache key: %q vs %q", w.CacheKey(), base.CacheKey())
+	}
+
+	// MemoryBudget is an execution-mode knob — the spill path produces
+	// byte-identical results, so budgeted and in-memory runs share a key.
+	budget := base
+	budget.MemoryBudget = 64 << 20
+	if budget.CacheKey() != base.CacheKey() {
+		t.Errorf("MemoryBudget changed the cache key: %q vs %q", budget.CacheKey(), base.CacheKey())
+	}
+	if budget.Canonical().MemoryBudget != 0 {
+		t.Errorf("Canonical kept MemoryBudget = %d", budget.Canonical().MemoryBudget)
 	}
 
 	// LocalMiner is irrelevant for the baselines and MG-FSM...

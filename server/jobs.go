@@ -52,8 +52,13 @@ type JobStats struct {
 	// MineTimeMS is the cumulative wall-clock time, in milliseconds, that
 	// finished jobs (done, failed, or cancelled) spent mining.
 	MineTimeMS int64 `json:"mine_time_ms"`
-	Queued     int   `json:"queued"`
-	Running    int   `json:"running"`
+	// SpilledRuns and SpilledBytes accumulate the shuffle spilling of every
+	// completed run (jobs and streams) whose memory_budget forced it to
+	// disk — how much external-memory work this server has absorbed.
+	SpilledRuns  uint64 `json:"spilled_runs"`
+	SpilledBytes uint64 `json:"spilled_bytes"`
+	Queued       int    `json:"queued"`
+	Running      int    `json:"running"`
 }
 
 // job is one asynchronous mining run. Fields past `cancelCause` are guarded
@@ -109,14 +114,16 @@ type manager struct {
 	maxJobs  int             // retained job records; older terminal jobs are pruned
 	nextID   uint64
 
-	submitted  uint64
-	coalesced  uint64
-	minesRun   uint64
-	completed  uint64
-	failed     uint64
-	cancelled  uint64
-	streams    uint64
-	mineTimeMS int64
+	submitted    uint64
+	coalesced    uint64
+	minesRun     uint64
+	completed    uint64
+	failed       uint64
+	cancelled    uint64
+	streams      uint64
+	mineTimeMS   int64
+	spilledRuns  uint64
+	spilledBytes uint64
 }
 
 var (
@@ -311,6 +318,8 @@ func (m *manager) finish(j *job, res *lash.Result, err error) {
 		j.status = JobDone
 		j.result = res
 		m.completed++
+		m.spilledRuns += uint64(res.Stats.SpillRuns)
+		m.spilledBytes += uint64(res.Stats.SpillBytes)
 		m.cache.add(j.key, res)
 		m.latest[j.dbName] = j
 	case wasCancelled(err, j.ctx):
@@ -417,6 +426,10 @@ func (m *manager) stream(ctx context.Context, db *lash.Database, opt lash.Option
 
 	m.mu.Lock()
 	m.mineTimeMS += time.Since(start).Milliseconds()
+	if res != nil {
+		m.spilledRuns += uint64(res.Stats.SpillRuns)
+		m.spilledBytes += uint64(res.Stats.SpillBytes)
+	}
 	switch {
 	case err == nil:
 		m.completed++
@@ -464,14 +477,16 @@ func (m *manager) stats() JobStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := JobStats{
-		Submitted:  m.submitted,
-		Coalesced:  m.coalesced,
-		MinesRun:   m.minesRun,
-		Completed:  m.completed,
-		Failed:     m.failed,
-		Cancelled:  m.cancelled,
-		Streams:    m.streams,
-		MineTimeMS: m.mineTimeMS,
+		Submitted:    m.submitted,
+		Coalesced:    m.coalesced,
+		MinesRun:     m.minesRun,
+		Completed:    m.completed,
+		Failed:       m.failed,
+		Cancelled:    m.cancelled,
+		Streams:      m.streams,
+		MineTimeMS:   m.mineTimeMS,
+		SpilledRuns:  m.spilledRuns,
+		SpilledBytes: m.spilledBytes,
 	}
 	for _, j := range m.jobs {
 		switch j.status {

@@ -149,6 +149,11 @@ type OptionsSpec struct {
 	Restriction     string `json:"restriction,omitempty"`
 	Workers         int    `json:"workers,omitempty"`
 	MaxIntermediate int64  `json:"max_intermediate,omitempty"`
+	// MemoryBudget bounds the job's shuffle memory in bytes; past it the
+	// shuffle spills sorted runs to disk (see lash.Options.MemoryBudget).
+	// 0 = unlimited. Does not affect the mined result, so cache hits and
+	// singleflight coalescing work across different budgets.
+	MemoryBudget int64 `json:"memory_budget,omitempty"`
 }
 
 // toOptions parses and validates the spec.
@@ -174,6 +179,7 @@ func (o OptionsSpec) toOptions() (lash.Options, error) {
 		Restriction:     restr,
 		Workers:         o.Workers,
 		MaxIntermediate: o.MaxIntermediate,
+		MemoryBudget:    o.MemoryBudget,
 	}
 	if err := opt.Validate(); err != nil {
 		return lash.Options{}, err
@@ -206,6 +212,10 @@ type ResultView struct {
 	Explored         int64         `json:"explored"`
 	MapOutputBytes   int64         `json:"map_output_bytes"`
 	MapOutputRecords int64         `json:"map_output_records"`
+	// SpillRuns/SpillBytes report shuffle spilling forced by the job's
+	// memory_budget (0 when the run stayed in memory).
+	SpillRuns  int64 `json:"spill_runs,omitempty"`
+	SpillBytes int64 `json:"spill_bytes,omitempty"`
 }
 
 func viewPatterns(ps []lash.Pattern) []PatternView {
@@ -224,6 +234,8 @@ func viewResult(res *lash.Result) *ResultView {
 		Explored:         res.Explored,
 		MapOutputBytes:   res.Stats.MapOutputBytes,
 		MapOutputRecords: res.Stats.MapOutputRecords,
+		SpillRuns:        res.Stats.SpillRuns,
+		SpillBytes:       res.Stats.SpillBytes,
 	}
 }
 
@@ -407,6 +419,8 @@ type StreamTrailer struct {
 	Explored         int64         `json:"explored,omitempty"`
 	MapOutputBytes   int64         `json:"map_output_bytes,omitempty"`
 	MapOutputRecords int64         `json:"map_output_records,omitempty"`
+	SpillRuns        int64         `json:"spill_runs,omitempty"`
+	SpillBytes       int64         `json:"spill_bytes,omitempty"`
 	RuntimeMS        int64         `json:"runtime_ms"`
 }
 
@@ -478,6 +492,8 @@ func (s *Server) handleMineStream(w http.ResponseWriter, r *http.Request) {
 		trailer.Explored = res.Explored
 		trailer.MapOutputBytes = res.Stats.MapOutputBytes
 		trailer.MapOutputRecords = res.Stats.MapOutputRecords
+		trailer.SpillRuns = res.Stats.SpillRuns
+		trailer.SpillBytes = res.Stats.SpillBytes
 	}
 	enc.Encode(trailer) //nolint:errcheck // nothing to do about a broken client pipe
 	if flusher != nil {
