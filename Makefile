@@ -1,8 +1,8 @@
 GO ?= go
 BENCH ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_PR5.json
-BENCH_BASE ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR5.json
 MAX_REGRESS ?= 40
 FUZZTIME ?= 60s
 FUZZ_PKGS ?= ./internal/seqenc ./internal/seqdb
@@ -23,11 +23,13 @@ test: vet
 race:
 	$(GO) test -race ./...
 
-# lint fails on formatting drift and vet findings; staticcheck runs too when
-# it is installed (CI installs it; locally it is optional).
+# lint fails on formatting drift, vet findings, and Prometheus naming
+# violations in the /metrics registry; staticcheck runs too when it is
+# installed (CI installs it; locally it is optional).
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/metriclint
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 
 # fuzz runs every fuzz target in $(FUZZ_PKGS) for $(FUZZTIME) each (the CI

@@ -19,6 +19,7 @@ import (
 	"lash/internal/gsm"
 	"lash/internal/mapreduce"
 	"lash/internal/miner"
+	"lash/internal/obs"
 	"lash/internal/rewrite"
 	"lash/internal/seqenc"
 	"lash/internal/stats"
@@ -116,6 +117,27 @@ func BenchmarkFig4aLASH(b *testing.B) {
 	benchSetup(b)
 	for i := 0; i < b.N; i++ {
 		mineOrFatal(b, nytP, core.Options{Params: fig4Params(), MR: benchMR()})
+	}
+}
+
+// BenchmarkObsOverhead is BenchmarkFig4aLASH with full observability
+// attached — span tracing plus registered pipeline metrics — sharing one
+// tracer and registry across iterations like a long-lived server would.
+// The acceptance bar (BENCH_PR6.json vs BenchmarkFig4aLASH) is ns/op
+// within 2% and no extra allocs/op: the hot-path handles are 1–2 atomics
+// and the span ring is preallocated, so instrumentation must be free at
+// mining granularity.
+func BenchmarkObsOverhead(b *testing.B) {
+	benchSetup(b)
+	o := &obs.Run{
+		Tracer:  obs.NewTracer(0),
+		Metrics: obs.NewPipelineMetrics(obs.NewRegistry()),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mr := benchMR()
+		mr.Obs = o
+		mineOrFatal(b, nytP, core.Options{Params: fig4Params(), MR: mr})
 	}
 }
 

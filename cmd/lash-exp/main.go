@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"lash/internal/experiments"
+	"lash/internal/obs"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		scaleName = flag.String("scale", "small", "scale: tiny, small or medium")
 		expList   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
 		outPath   = flag.String("out", "", "write results to file (default stdout)")
+		traceOut  = flag.String("trace-out", "", "write a span tree (one span per experiment, plus its jobs, phases and partition mines) as JSON to this file")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -64,10 +66,36 @@ func main() {
 		scale.Name, scale.SigmaXHi, scale.SigmaHi, scale.SigmaLo, scale.SigmaXLo)
 	start := time.Now()
 	ctx := experiments.NewContext(scale)
-	if err := experiments.RunAndFormat(ctx, ids, out); err != nil {
-		fatal(err)
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer(0)
+		ctx.Obs = &obs.Run{Tracer: tr}
+	}
+	runErr := experiments.RunAndFormat(ctx, ids, out)
+	// The trace is written even when a run fails: a truncated span tree
+	// still shows where the time went.
+	if tr != nil {
+		if err := writeTrace(*traceOut, tr); err != nil {
+			fatal(err)
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
 	}
 	fmt.Fprintf(out, "total harness time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeTrace renders the collected span tree to path.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTraceJSON(f, tr.Spans(), tr.Dropped()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -88,6 +88,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		stream      = fs.Bool("stream", false, "print patterns as partitions finish mining (completion order, unsorted)")
 		progress    = fs.Bool("progress", false, "report live mining progress on stderr")
 		memBudget   = fs.String("mem-budget", "", "shuffle memory budget before spilling sorted runs to disk (e.g. 64MiB, 2G, 1048576; empty = unlimited)")
+		traceOut    = fs.String("trace-out", "", "write the run's span tree (corpus load, jobs, phases, per-partition mining) as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -101,7 +102,14 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return usageError{fmt.Errorf("-input is required"), false}
 	}
 
+	var tr *lash.Trace
+	if *traceOut != "" {
+		tr = lash.NewTrace()
+	}
+
+	loadDone := tr.Span("load-corpus")
 	db, err := loadDatabase(*input, *hier, stdin)
+	loadDone()
 	if err != nil {
 		return err
 	}
@@ -124,6 +132,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	if *progress {
 		opt.Progress = progressPrinter(stderr)
 	}
+	opt.Trace = tr
 
 	out := stdout
 	var outFile *os.File
@@ -150,6 +159,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		})
 	} else {
 		res, err = lash.MineContext(ctx, db, opt)
+	}
+	// The trace is written even for failed or interrupted runs — a
+	// truncated span tree still shows where the time went.
+	if tr != nil {
+		if werr := writeTrace(*traceOut, tr); werr != nil && err == nil {
+			return werr
+		}
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -284,6 +300,19 @@ func parseBytes(s string) (int64, error) {
 		return 0, fmt.Errorf("byte size %q overflows", s)
 	}
 	return n << shift, nil
+}
+
+// writeTrace renders the collected span tree to path.
+func writeTrace(path string, tr *lash.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // readInto opens path and feeds it to read (ReadSequences/ReadHierarchy).

@@ -4,6 +4,7 @@
 //
 //	lashd [-addr :8080] [-workers 4] [-cache 128] [-data DIR]
 //	      [-db name=sequences.txt[,hierarchy.txt]]... [-demo]
+//	      [-log-format text|json] [-log-level LEVEL] [-debug-addr ADDR]
 //
 // lashd loads each -db database once at startup (paths are relative to
 // -data) and then answers mining queries concurrently: jobs run
@@ -14,6 +15,12 @@
 // as NDJSON while the run is still mining. See package lash/server for
 // the HTTP API.
 //
+// Observability: GET /metrics exposes job, cache and mining-pipeline
+// counters in Prometheus text format; logs are structured (log/slog, text
+// or JSON per -log-format) with request and job ids; and -debug-addr
+// serves net/http/pprof on a separate listener so profiling endpoints
+// never share a port with the public API.
+//
 // A quick session against -demo:
 //
 //	lashd -demo &
@@ -21,6 +28,7 @@
 //	curl -sN localhost:8080/v1/mine/stream -d '{"database":"demo-text","options":{"min_support":100,"max_gap":1,"max_length":3}}'
 //	curl -s 'localhost:8080/v1/patterns?db=demo-text&top=5'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
 package main
 
 import (
@@ -28,8 +36,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +57,9 @@ func main() {
 		dataDir   = flag.String("data", "", "directory for file-based databases (empty disables file loading)")
 		demo      = flag.Bool("demo", false, "preload generated demo databases demo-text and demo-market")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables)")
 	)
 	var preload []server.DatabaseSpec
 	flag.Func("db", "preload a database: name=sequences.txt[,hierarchy.txt] (repeatable; paths relative to -data)", func(v string) error {
@@ -62,7 +74,23 @@ func main() {
 	})
 	flag.Parse()
 
-	srv := server.New(server.Config{Workers: *workers, CacheSize: *cacheSize, JobHistory: *history, DataDir: *dataDir})
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lashd: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		JobHistory: *history,
+		DataDir:    *dataDir,
+		Logger:     logger,
+	})
 	if *demo {
 		preload = append(preload,
 			server.DatabaseSpec{Name: "demo-text", Generator: "text", Seed: 1},
@@ -72,10 +100,10 @@ func main() {
 	for _, spec := range preload {
 		info, err := srv.AddDatabase(spec)
 		if err != nil {
-			log.Fatalf("lashd: preload %q: %v", spec.Name, err)
+			fatal("preload failed", "database", spec.Name, "error", err.Error())
 		}
-		log.Printf("lashd: loaded database %q (%s): %d sequences, %d items, depth %d",
-			info.Name, info.Source, info.NumSequences, info.NumItems, info.HierarchyDepth)
+		logger.Info("database loaded", "database", info.Name, "source", info.Source,
+			"sequences", info.NumSequences, "items", info.NumItems, "hierarchy_depth", info.HierarchyDepth)
 	}
 
 	httpSrv := &http.Server{
@@ -89,15 +117,30 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("lashd: serving on %s (%d workers, cache %d)", *addr, *workers, *cacheSize)
+	logger.Info("serving", "addr", *addr, "workers", *workers, "cache", *cacheSize)
+
+	// pprof lives on its own listener (opt-in) so profiling endpoints are
+	// never reachable through the public API port. The explicit
+	// registrations avoid importing pprof's side-effect handlers into
+	// http.DefaultServeMux.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "addr", *debugAddr, "error", err.Error())
+			}
+		}()
+		logger.Info("pprof serving", "addr", *debugAddr)
+	}
 
 	select {
 	case err := <-errc:
-		log.Fatalf("lashd: %v", err)
+		fatal("listener failed", "error", err.Error())
 	case <-ctx.Done():
 	}
 
-	log.Printf("lashd: shutting down (draining for up to %v)", *drain)
+	logger.Info("shutting down", "drain_timeout", (*drain).String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Close the job manager concurrently with the HTTP drain: it refuses
@@ -106,10 +149,41 @@ func main() {
 	jobsDone := make(chan error, 1)
 	go func() { jobsDone <- srv.Close(shutdownCtx) }()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("lashd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err.Error())
+	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutdownCtx) //nolint:errcheck // best-effort debug listener teardown
 	}
 	if err := <-jobsDone; err != nil && !errors.Is(err, context.Canceled) {
-		log.Printf("lashd: job drain: %v", err)
+		logger.Warn("job drain", "error", err.Error())
 	}
-	log.Printf("lashd: bye")
+	logger.Info("bye")
+}
+
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+}
+
+// pprofMux mounts the standard pprof handlers on a private mux.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSelfScrapeClean is the CI gate in test form: the production registry
+// must lint clean.
+func TestSelfScrapeClean(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run() on the production registry: %v\n%s", err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected lint output:\n%s", out.String())
+	}
+}
+
+func TestLintDirtyExposition(t *testing.T) {
+	// A counter without the _total suffix and without HELP.
+	dirty := "# TYPE lash_jobs counter\nlash_jobs 3\n"
+	var out bytes.Buffer
+	err := run([]string{"-"}, strings.NewReader(dirty), &out)
+	if err == nil {
+		t.Fatalf("want error for dirty exposition, got none; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "lash_jobs") {
+		t.Fatalf("problems should name the offending metric, got:\n%s", out.String())
+	}
+}
+
+func TestLintCleanFile(t *testing.T) {
+	clean := "# HELP demo_runs_total Demo.\n# TYPE demo_runs_total counter\ndemo_runs_total 1\n"
+	var out bytes.Buffer
+	if err := run([]string{"-"}, strings.NewReader(clean), &out); err != nil {
+		t.Fatalf("run() on clean input: %v\n%s", err, out.String())
+	}
+}

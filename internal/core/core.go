@@ -17,12 +17,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lash/internal/flist"
 	"lash/internal/gsm"
 	"lash/internal/hierarchy"
 	"lash/internal/mapreduce"
 	"lash/internal/miner"
+	"lash/internal/obs"
 	"lash/internal/rewrite"
 	"lash/internal/seqenc"
 )
@@ -213,9 +215,20 @@ func FListJob(ctx context.Context, db *gsm.Database, sigma int64, cfg mapreduce.
 	if err != nil {
 		return nil, nil, err
 	}
+	o := cfg.Obs
+	begin := time.Now()
 	fl, err := flist.Build(db.Forest, freq, sigma)
 	if err != nil {
 		return nil, nil, err
+	}
+	if pm := o.PipelineMetricsOf(); pm != nil {
+		pm.FListBuildSeconds.Observe(time.Since(begin).Seconds())
+	}
+	if tr := o.TracerOf(); tr != nil {
+		tr.Record(obs.SpanRecord{
+			Parent: o.Root, Name: "flist-build", Job: "flist", Partition: -1,
+			Start: begin, Duration: time.Since(begin),
+		})
 	}
 	return fl, stats, nil
 }
@@ -302,6 +315,18 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 	}
 	parent := fl.ParentTable()
 
+	// Observability: per-partition mining metrics and spans. All handles are
+	// nil when opt.MR.Obs (or its fields) are unset; the records below are
+	// nil-safe no-ops then.
+	o := opt.MR.Obs
+	tr := o.TracerOf()
+	var partMined *obs.Counter
+	var partSeconds *obs.Histogram
+	if pm := o.PipelineMetricsOf(); pm != nil {
+		partMined, partSeconds = pm.PartitionsMined, pm.PartitionMineSeconds
+		localCfg.Obs = &pm.Miner
+	}
+
 	out, stats, err := mapreduce.RunAgg(ctx, opt.MR, db.Seqs, mapreduce.AggJob[gsm.Sequence, patternOut]{
 		Name: "partition+mine",
 		Map: func(t gsm.Sequence, emit func(uint32, []byte, int64)) {
@@ -325,6 +350,18 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 		},
 		Reduce: func(group uint32, entries []mapreduce.Entry, emit func(patternOut)) error {
 			pivot := flist.Rank(group)
+			begin := time.Now()
+			defer func() {
+				partMined.Inc()
+				partSeconds.Observe(time.Since(begin).Seconds())
+				if tr != nil {
+					tr.Record(obs.SpanRecord{
+						Parent: o.JobSpan(), Name: "mine", Job: "partition+mine",
+						Phase: "reduce", Partition: int(pivot),
+						Start: begin, Duration: time.Since(begin),
+					})
+				}
+			}()
 			rs := reducers.Get().(*reduceScratch)
 			defer reducers.Put(rs)
 			sc := rs.sc

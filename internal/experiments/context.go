@@ -6,12 +6,18 @@ import (
 
 	"lash/internal/datagen"
 	"lash/internal/gsm"
+	"lash/internal/mapreduce"
+	"lash/internal/obs"
 )
 
 // Context lazily generates and caches the corpora for one scale, so that a
 // sequence of experiments reuses datasets exactly like the paper does.
 type Context struct {
 	Scale Scale
+	// Obs optionally carries a tracer (and/or metrics) threaded into every
+	// comparative MapReduce run; RunAndFormat adds one span per experiment
+	// and parents the runs' job spans to it (lash-exp's -trace-out).
+	Obs *obs.Run
 
 	text      *datagen.TextCorpus
 	market    *datagen.MarketCorpus
@@ -26,6 +32,21 @@ func NewContext(s Scale) *Context {
 		textDBs:   make(map[datagen.TextHierarchy]*gsm.Database),
 		marketDBs: make(map[int]*gsm.Database),
 	}
+}
+
+// mr returns the default MapReduce config with the context's observability
+// hooks attached, so traced runs record job and phase spans.
+func (c *Context) mr(machines int) mapreduce.Config {
+	cfg := defaultMR(machines)
+	cfg.Obs = c.Obs
+	return cfg
+}
+
+// scalingMR is mr for the speed-up/scale-up experiments' larger task counts.
+func (c *Context) scalingMR(machines int) mapreduce.Config {
+	cfg := scalingMR(machines)
+	cfg.Obs = c.Obs
+	return cfg
 }
 
 // TextDB returns the NYT-like database under the given hierarchy variant.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"lash/internal/baseline"
 	"lash/internal/core"
@@ -12,6 +13,7 @@ import (
 	"lash/internal/gsm"
 	"lash/internal/mapreduce"
 	"lash/internal/miner"
+	"lash/internal/obs"
 	"lash/internal/rewrite"
 	"lash/internal/stats"
 )
@@ -109,7 +111,7 @@ func RunAndFormat(c *Context, ids []string, w io.Writer) error {
 		}
 	}
 	for _, e := range exps {
-		tbl, err := e.Run(c)
+		tbl, err := runTraced(c, e)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -118,6 +120,26 @@ func RunAndFormat(c *Context, ids []string, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runTraced executes one experiment under a per-experiment span (when the
+// context carries a tracer), parenting every MapReduce job the experiment
+// runs to it. Experiments run sequentially, so mutating c.Obs.Root between
+// them is safe.
+func runTraced(c *Context, e Experiment) (*Table, error) {
+	tr := c.Obs.TracerOf()
+	if tr == nil {
+		return e.Run(c)
+	}
+	id := tr.NextID()
+	prev := c.Obs.Root
+	c.Obs.Root = id
+	begin := time.Now()
+	tbl, err := e.Run(c)
+	c.Obs.Root = prev
+	tr.Record(obs.SpanRecord{ID: id, Name: "exp:" + e.ID, Partition: -1,
+		Start: begin, Duration: time.Since(begin)})
+	return tbl, err
 }
 
 func newTable(id string, header ...string) *Table {
@@ -211,7 +233,7 @@ func runFig4Common(c *Context) ([][3]fig4Run, []string, error) {
 			return nil, nil, err
 		}
 		var row [3]fig4Run
-		bopt := baseline.Options{Params: set.p, MR: defaultMR(0), MaxEmit: c.Scale.NaiveCap}
+		bopt := baseline.Options{Params: set.p, MR: c.mr(0), MaxEmit: c.Scale.NaiveCap}
 		if res, err := baseline.MineNaive(context.Background(), db, bopt); err == nil {
 			row[0] = fig4Run{fmtDur(res.Jobs.Mine.Sim.Total()), fmtBytes(res.Jobs.Mine.MapOutputBytes)}
 		} else if errors.Is(err, baseline.ErrEmitCapExceeded) {
@@ -226,7 +248,7 @@ func runFig4Common(c *Context) ([][3]fig4Run, []string, error) {
 		} else {
 			return nil, nil, err
 		}
-		res, err := core.Mine(context.Background(), db, core.Options{Params: set.p, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: set.p, MR: c.mr(0)})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -300,7 +322,7 @@ func fig4MinerTable(c *Context, id string, cell func(*core.Result) string, note 
 		}
 		row := []string{set.label}
 		for _, k := range kinds {
-			res, err := core.Mine(context.Background(), db, core.Options{Params: set.p, Miner: k, MR: defaultMR(0)})
+			res, err := core.Mine(context.Background(), db, core.Options{Params: set.p, Miner: k, MR: c.mr(0)})
 			if err != nil {
 				return nil, err
 			}
@@ -325,11 +347,11 @@ func runFig4e(c *Context) (*Table, error) {
 	}
 	t := newTable("fig4e", "NYT flat (σ,γ,λ)", "MG-FSM", "LASH")
 	for _, p := range settings {
-		mg, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, Miner: miner.KindBFS, MR: defaultMR(0)})
+		mg, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, Miner: miner.KindBFS, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
-		la, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, Miner: miner.KindPSM, MR: defaultMR(0)})
+		la, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, Miner: miner.KindPSM, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -358,7 +380,7 @@ func runFig5a(c *Context) (*Table, error) {
 	}
 	t := phaseTable("fig5a", "Support σ")
 	for _, sigma := range []int64{c.Scale.SigmaXLo, c.Scale.SigmaLo, c.Scale.SigmaHi, c.Scale.SigmaXHi} {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: sigma, Gamma: 1, Lambda: 5}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: sigma, Gamma: 1, Lambda: 5}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -375,7 +397,7 @@ func runFig5b(c *Context) (*Table, error) {
 	}
 	t := phaseTable("fig5b", "Gap γ")
 	for gamma := 0; gamma <= 3; gamma++ {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: gamma, Lambda: 5}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: gamma, Lambda: 5}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -392,7 +414,7 @@ func runFig5c(c *Context) (*Table, error) {
 	}
 	t := phaseTable("fig5c", "Length λ")
 	for lambda := 3; lambda <= 7; lambda++ {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -409,7 +431,7 @@ func runFig5d(c *Context) (*Table, error) {
 	}
 	t := newTable("fig5d", "Length λ", "Output sequences")
 	for lambda := 3; lambda <= 7; lambda++ {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -426,7 +448,7 @@ func runFig5e(c *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 2, Lambda: 5}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 2, Lambda: 5}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -443,7 +465,7 @@ func runFig5f(c *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -463,7 +485,7 @@ func runFig6a(c *Context) (*Table, error) {
 	t := phaseTable("fig6a", "% of data")
 	for _, frac := range []float64{0.25, 0.50, 0.75, 1.0} {
 		db := datagen.Sample(full, frac)
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -480,7 +502,7 @@ func runFig6b(c *Context) (*Table, error) {
 	}
 	t := phaseTable("fig6b", "Machines")
 	for _, m := range []int{2, 4, 8} {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: scalingMR(m)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.scalingMR(m)})
 		if err != nil {
 			return nil, err
 		}
@@ -502,7 +524,7 @@ func runFig6c(c *Context) (*Table, error) {
 		frac float64
 	}{{2, 0.25}, {4, 0.50}, {8, 1.0}} {
 		db := datagen.Sample(full, step.frac)
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: scalingMR(step.m)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.scalingMR(step.m)})
 		if err != nil {
 			return nil, err
 		}
@@ -523,7 +545,7 @@ func runAblation(c *Context) (*Table, error) {
 	t := newTable("ablation", "Rewrites", "Shuffled", "Records", "Partition seqs", "Largest partition", "Reduce", "Total")
 	var base *core.Result
 	for _, mode := range []rewrite.Mode{rewrite.ModeNone, rewrite.ModeGeneralizeOnly, rewrite.ModeFull} {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: p, Rewrites: mode, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: p, Rewrites: mode, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -547,11 +569,11 @@ func runAblation(c *Context) (*Table, error) {
 func runTable3(c *Context) (*Table, error) {
 	t := newTable("table3", "Setting", "Output", "Non-trivial %", "Closed %", "Maximal %")
 	addRow := func(label string, db *gsm.Database, p gsm.Params) error {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: p, MR: defaultMR(0)})
+		res, err := core.Mine(context.Background(), db, core.Options{Params: p, MR: c.mr(0)})
 		if err != nil {
 			return err
 		}
-		flat, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, MR: defaultMR(0)})
+		flat, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, MR: c.mr(0)})
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lash/internal/obs"
 )
 
 // Entry is one aggregated intermediate record: a byte key and the summed
@@ -224,6 +226,11 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 	}
 	reduceTasks := cfg.ReduceTasks
 
+	// rc is the run's single source of truth for live counters: progress
+	// snapshots, the final Stats, and (through obsHooks) the process-wide
+	// pipeline metrics are all derived reads of it.
+	rc := &obs.RunCounters{}
+
 	// Budgeted runs route the shuffle through sorted on-disk runs (see
 	// spill.go). The spill directory lives for exactly this call: the
 	// deferred cleanup runs after the worker pool has drained, so
@@ -231,7 +238,7 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 	var spill *spillState
 	if cfg.MemoryBudget > 0 {
 		var err error
-		if spill, err = newSpillState(cfg.SpillDir, reduceTasks); err != nil {
+		if spill, err = newSpillState(cfg.SpillDir, reduceTasks, rc); err != nil {
 			return nil, stats, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 		}
 		defer spill.cleanup()
@@ -241,13 +248,17 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 	ready := make(chan int, reduceTasks)
 	tablePool := sync.Pool{New: func() any { return &byteTable{} }}
 
-	var outRecords, outBytes atomic.Int64
 	var redKeys, redRecords atomic.Int64
 	mapTimes := make([]time.Duration, mapTasks)
 	redTimes := make([]time.Duration, reduceTasks)
 
 	start := time.Now()
-	var mapsDone, mergesDone, redDone atomic.Int64
+	oh := newObsHooks(cfg.Obs, start)
+	defer func() { oh.finish(job.Name, stats.Wall) }()
+	if spill != nil {
+		spill.pmRuns, spill.pmBytes, spill.pmRecords = oh.spillRuns, oh.spillBytes, oh.spillRecords
+	}
+	var mergesDone atomic.Int64
 	var mapWall, shufWall time.Duration // written once by the last task of each kind
 
 	report := func(phase string) {
@@ -257,19 +268,21 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 		cfg.Progress(Progress{
 			Job:             job.Name,
 			Phase:           phase,
-			MapTasksDone:    int(mapsDone.Load()),
+			MapTasksDone:    int(rc.MapTasksDone.Load()),
 			MapTasks:        mapTasks,
-			ReduceTasksDone: int(redDone.Load()),
+			ReduceTasksDone: int(rc.ReduceTasksDone.Load()),
 			ReduceTasks:     reduceTasks,
-			ShuffleRecords:  outRecords.Load(),
-			ShuffleBytes:    outBytes.Load(),
+			ShuffleRecords:  rc.ShuffleRecords.Load(),
+			ShuffleBytes:    rc.ShuffleBytes.Load(),
+			SpillRuns:       rc.SpillRuns.Load(),
+			SpillBytes:      rc.SpillBytes.Load(),
 		})
 	}
 	defer report("done")
 
 	reduceOne := guard(errs, job.Name, "reduce partition", func(p int) error {
 		defer func() {
-			redDone.Add(1)
+			rc.ReduceTasksDone.Add(1)
 			report("reduce")
 		}()
 		st := &parts[p]
@@ -283,7 +296,11 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 				return nil
 			}
 			begin := time.Now()
-			defer func() { redTimes[p] = time.Since(begin) }()
+			defer func() {
+				redTimes[p] = time.Since(begin)
+				oh.mergeSeconds.Observe(redTimes[p].Seconds())
+				oh.taskSpan("reduce-partition", job.Name, "reduce", p, begin)
+			}()
 			emit := func(r R) {
 				checkAbort(errs)
 				st.out = append(st.out, r)
@@ -313,7 +330,10 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 			return nil
 		}
 		begin := time.Now()
-		defer func() { redTimes[p] = time.Since(begin) }()
+		defer func() {
+			redTimes[p] = time.Since(begin)
+			oh.taskSpan("reduce-partition", job.Name, "reduce", p, begin)
+		}()
 
 		// Deterministic group order: entries sorted by (group, key bytes).
 		idx := t.sortedIndex()
@@ -355,8 +375,10 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 				size += int64(job.size(e.group, int(e.klen), e.weight))
 			}
 		}
-		outRecords.Add(int64(t.n))
-		outBytes.Add(size)
+		rc.ShuffleRecords.Add(int64(t.n))
+		rc.ShuffleBytes.Add(size)
+		oh.shufRecords.Add(int64(t.n))
+		oh.shufBytes.Add(size)
 	}
 
 	// --- map + map-side aggregation + merge ------------------------------
@@ -379,17 +401,23 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 			}
 		}
 		spillTables := func() error {
+			flushed := false
 			for p, t := range tables {
 				if t == nil {
 					continue
 				}
 				if t.n > 0 {
+					flushed = true
 					accountTable(t)
 					if err := spill.writeRun(p, t); err != nil {
 						return err
 					}
 				}
 				tables[p] = nil
+			}
+			if flushed {
+				rc.SpillFlushes.Add(1)
+				oh.spillFlushes.Inc()
 			}
 			taskMem = 0
 			return nil
@@ -426,7 +454,8 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 			job.Map(rec, emit)
 		}
 		mapTimes[task] = time.Since(begin)
-		if mapsDone.Add(1) == int64(mapTasks) {
+		oh.taskSpan("map-task", job.Name, "map", task, begin)
+		if rc.MapTasksDone.Add(1) == int64(mapTasks) {
 			mapWall = time.Since(start)
 		}
 
@@ -545,15 +574,13 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 	stats.Wall.Reduce = time.Since(start) - stats.Wall.Map - stats.Wall.Shuffle
 	stats.MapTaskTimes = mapTimes
 	stats.ReduceTaskTimes = redTimes
-	stats.MapOutputRecords = outRecords.Load()
-	stats.MapOutputBytes = outBytes.Load()
+	stats.MapOutputRecords = rc.ShuffleRecords.Load()
+	stats.MapOutputBytes = rc.ShuffleBytes.Load()
 	stats.ReduceInputKeys = redKeys.Load()
 	stats.ReduceOutputRecords = redRecords.Load()
-	if spill != nil {
-		stats.SpillRuns = spill.runs.Load()
-		stats.SpillBytes = spill.bytes.Load()
-		stats.SpillRecords = spill.records.Load()
-	}
+	stats.SpillRuns = rc.SpillRuns.Load()
+	stats.SpillBytes = rc.SpillBytes.Load()
+	stats.SpillRecords = rc.SpillRecords.Load()
 	if err := runErr(errs, ctx, job.Name, "run"); err != nil {
 		return nil, stats, err
 	}

@@ -52,6 +52,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lash/internal/obs"
 )
 
 // ClusterSpec describes the simulated cluster. The defaults mirror the
@@ -103,8 +105,17 @@ type Config struct {
 	// advances: after every retired map task, after every completed reduce
 	// task (partition), and once with phase "done" when the run returns,
 	// successfully or not. It is invoked concurrently from worker
-	// goroutines and must be fast and safe for concurrent use.
+	// goroutines and must be fast and safe for concurrent use. Snapshots
+	// are derived reads of the run's live counters (obs.RunCounters) — the
+	// same source the final Stats are drawn from.
 	Progress func(Progress)
+
+	// Obs, when non-nil, attaches observability to the run: span tracing
+	// (job, phase, and per-task spans) and/or process-wide pipeline
+	// metrics — see internal/obs. A nil Obs, or nil fields inside it,
+	// records nothing; every handle is nil-receiver safe, so the task
+	// bodies need no "is observability on?" branches.
+	Obs *obs.Run
 }
 
 // Progress is a point-in-time snapshot of a running job, delivered to
@@ -120,6 +131,8 @@ type Progress struct {
 	ReduceTasks     int
 	ShuffleRecords  int64 // aggregated records shuffled so far
 	ShuffleBytes    int64 // encoded bytes shuffled so far (MAP_OUTPUT_BYTES)
+	SpillRuns       int64 // sorted spill runs written so far (budgeted runs)
+	SpillBytes      int64 // physical spill bytes written so far
 }
 
 func (c Config) withDefaults() Config {
@@ -331,8 +344,7 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 	}
 	reduceTasks := cfg.ReduceTasks
 
-	var outRecords, outBytes atomic.Int64
-	var mapsDone, redDone atomic.Int64
+	rc := &obs.RunCounters{}
 	report := func(phase string) {
 		if cfg.Progress == nil {
 			return
@@ -340,12 +352,12 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 		cfg.Progress(Progress{
 			Job:             job.Name,
 			Phase:           phase,
-			MapTasksDone:    int(mapsDone.Load()),
+			MapTasksDone:    int(rc.MapTasksDone.Load()),
 			MapTasks:        mapTasks,
-			ReduceTasksDone: int(redDone.Load()),
+			ReduceTasksDone: int(rc.ReduceTasksDone.Load()),
 			ReduceTasks:     reduceTasks,
-			ShuffleRecords:  outRecords.Load(),
-			ShuffleBytes:    outBytes.Load(),
+			ShuffleRecords:  rc.ShuffleRecords.Load(),
+			ShuffleBytes:    rc.ShuffleBytes.Load(),
 		})
 	}
 	defer report("done")
@@ -359,6 +371,8 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 	taskTimes := make([]time.Duration, mapTasks)
 
 	mapStart := time.Now()
+	oh := newObsHooks(cfg.Obs, mapStart)
+	defer func() { oh.finish(job.Name, stats.Wall) }()
 	runPool(cfg.Workers, mapTasks, guard(errs, job.Name, "map", func(task int) error {
 		lo := len(input) * task / mapTasks
 		hi := len(input) * (task + 1) / mapTasks
@@ -411,17 +425,20 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 				}
 			}
 		}
-		outRecords.Add(recs)
-		outBytes.Add(bytes)
+		rc.ShuffleRecords.Add(recs)
+		rc.ShuffleBytes.Add(bytes)
+		oh.shufRecords.Add(recs)
+		oh.shufBytes.Add(bytes)
 		taskTimes[task] = time.Since(start)
-		mapsDone.Add(1)
+		rc.MapTasksDone.Add(1)
+		oh.taskSpan("map-task", job.Name, "map", task, start)
 		report("map")
 		return nil
 	}))
 	stats.Wall.Map = time.Since(mapStart)
 	stats.MapTaskTimes = taskTimes
-	stats.MapOutputRecords = outRecords.Load()
-	stats.MapOutputBytes = outBytes.Load()
+	stats.MapOutputRecords = rc.ShuffleRecords.Load()
+	stats.MapOutputBytes = rc.ShuffleBytes.Load()
 	if err := runErr(errs, ctx, job.Name, "map"); err != nil {
 		return nil, stats, err
 	}
@@ -472,7 +489,8 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 		redRecords.Add(int64(len(out)))
 		results[p] = out
 		redTimes[p] = time.Since(start)
-		redDone.Add(1)
+		rc.ReduceTasksDone.Add(1)
+		oh.taskSpan("reduce-task", job.Name, "reduce", p, start)
 		report("reduce")
 		return nil
 	}))

@@ -9,7 +9,8 @@ import (
 	"os"
 	"sort"
 	"sync"
-	"sync/atomic"
+
+	"lash/internal/obs"
 )
 
 // The spillable shuffle: when Config.MemoryBudget is set, RunAgg routes the
@@ -81,23 +82,28 @@ type spillPart struct {
 	runs []spillRun
 }
 
-// spillState owns a run's spill directory and per-partition files.
+// spillState owns a run's spill directory and per-partition files. Spill
+// volume is accounted into the run's counters (rc) and, when pipeline
+// metrics are attached, mirrored into the process-wide counters (pm*,
+// nil-safe).
 type spillState struct {
-	dir     string
-	parts   []spillPart
-	runs    atomic.Int64
-	bytes   atomic.Int64
-	records atomic.Int64
+	dir   string
+	parts []spillPart
+	rc    *obs.RunCounters
+
+	pmRuns    *obs.Counter
+	pmBytes   *obs.Counter
+	pmRecords *obs.Counter
 }
 
 // newSpillState creates the run's private spill directory under baseDir
 // (os.TempDir() when empty).
-func newSpillState(baseDir string, reduceTasks int) (*spillState, error) {
+func newSpillState(baseDir string, reduceTasks int, rc *obs.RunCounters) (*spillState, error) {
 	dir, err := os.MkdirTemp(baseDir, "lash-spill-")
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: create spill dir: %w", err)
 	}
-	return &spillState{dir: dir, parts: make([]spillPart, reduceTasks)}, nil
+	return &spillState{dir: dir, parts: make([]spillPart, reduceTasks), rc: rc}, nil
 }
 
 // cleanup closes every partition file and removes the spill directory with
@@ -155,9 +161,12 @@ func (s *spillState) writeRun(p int, t *byteTable) error {
 	}
 	st.runs = append(st.runs, spillRun{off: st.off, len: written, records: len(idx)})
 	st.off += written
-	s.runs.Add(1)
-	s.bytes.Add(written)
-	s.records.Add(int64(len(idx)))
+	s.rc.SpillRuns.Add(1)
+	s.rc.SpillBytes.Add(written)
+	s.rc.SpillRecords.Add(int64(len(idx)))
+	s.pmRuns.Inc()
+	s.pmBytes.Add(written)
+	s.pmRecords.Add(int64(len(idx)))
 	return nil
 }
 

@@ -118,6 +118,7 @@ func (BFS) Mine(p *Partition, cfg Config, sc *Scratch, emit Emit) Stats {
 	}
 	b := &bfsRun{p: p, cfg: cfg, emit: emit, bound: cfg.bound(p), sc: sc, n: maxRankPlus1(p)}
 	b.run()
+	cfg.record(b.stats)
 	return b.stats
 }
 

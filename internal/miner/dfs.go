@@ -21,6 +21,7 @@ func (DFS) Mine(p *Partition, cfg Config, sc *Scratch, emit Emit) Stats {
 	d := &dfsRun{p: p, cfg: cfg, emit: emit, bound: cfg.bound(p), sc: sc, n: maxRankPlus1(p)}
 	d.run()
 	sc.pattern = d.pattern[:0]
+	cfg.record(d.stats)
 	return d.stats
 }
 

@@ -38,6 +38,7 @@ func (m *PSM) Mine(p *Partition, cfg Config, sc *Scratch, emit Emit) Stats {
 	}
 	run.run()
 	sc.pattern = run.pattern[:0]
+	cfg.record(run.stats)
 	return run.stats
 }
 

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Problem is one lint finding in a Prometheus text exposition.
+type Problem struct {
+	Line int // 1-based line number (0 when the problem is family-level)
+	Msg  string
+}
+
+func (p Problem) String() string {
+	if p.Line > 0 {
+		return fmt.Sprintf("line %d: %s", p.Line, p.Msg)
+	}
+	return p.Msg
+}
+
+// lintFamily tracks what the linter has seen of one metric family.
+type lintFamily struct {
+	name     string
+	helpLine int
+	typeLine int
+	typ      string
+	samples  int
+	closed   bool // a different family's samples appeared after this one
+}
+
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+\S+)?$`)
+
+// LintPrometheus checks a Prometheus text exposition (version 0.0.4) for
+// the conventions the repo enforces:
+//
+//   - every family has non-empty HELP and a TYPE, declared before samples;
+//   - family and label names match the Prometheus charset, counters end in
+//     _total, gauges and histograms do not;
+//   - histogram samples are only _bucket/_sum/_count, buckets carry le
+//     labels, are cumulative, and include +Inf;
+//   - no duplicate HELP/TYPE lines, no duplicate samples, families are
+//     contiguous.
+//
+// The returned problems are empty for a clean exposition; err reports a
+// read failure, not a lint finding.
+func LintPrometheus(r io.Reader) ([]Problem, error) {
+	var problems []Problem
+	addf := func(line int, format string, args ...any) {
+		problems = append(problems, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	families := make(map[string]*lintFamily)
+	famOrder := []string{}
+	fam := func(name string) *lintFamily {
+		f, ok := families[name]
+		if !ok {
+			f = &lintFamily{name: name}
+			families[name] = f
+			famOrder = append(famOrder, name)
+		}
+		return f
+	}
+	// bucketState tracks per-child histogram bucket series for cumulative
+	// and +Inf checks: family+labels(without le) → ordered (le, value).
+	type bucketSeries struct {
+		line     int
+		n        int
+		sawInf   bool
+		lastLe   float64
+		lastVal  float64
+		brokeCum bool
+		brokeLe  bool
+	}
+	buckets := make(map[string]*bucketSeries)
+	seenSamples := make(map[string]int) // full sample identity → line
+	var current string                  // family whose samples are streaming
+
+	metricNameRe := regexp.MustCompile(`^[a-z_:][a-z0-9_:]*$`)
+	labelNameRe := regexp.MustCompile(`^[a-z_][a-zA-Z0-9_]*$`)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			f := fam(name)
+			if f.helpLine != 0 {
+				addf(lineNo, "duplicate HELP for family %s (first at line %d)", name, f.helpLine)
+			}
+			f.helpLine = lineNo
+			if strings.TrimSpace(help) == "" {
+				addf(lineNo, "family %s has empty help text", name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, _ := strings.Cut(rest, " ")
+			f := fam(name)
+			if f.typeLine != 0 {
+				addf(lineNo, "duplicate TYPE for family %s (first at line %d)", name, f.typeLine)
+			}
+			f.typeLine = lineNo
+			f.typ = strings.TrimSpace(typ)
+			switch f.typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				addf(lineNo, "family %s has unknown type %q", name, f.typ)
+			}
+			if f.samples > 0 {
+				addf(lineNo, "TYPE for family %s appears after its samples", name)
+			}
+			if !metricNameRe.MatchString(name) {
+				addf(lineNo, "bad metric family name %q", name)
+			}
+			switch {
+			case f.typ == "counter" && !strings.HasSuffix(name, "_total"):
+				addf(lineNo, "counter %s must end in _total", name)
+			case (f.typ == "gauge" || f.typ == "histogram") && strings.HasSuffix(name, "_total"):
+				addf(lineNo, "%s %s must not end in _total", f.typ, name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			addf(lineNo, "unparseable sample line %q", line)
+			continue
+		}
+		sample, labels, valueStr := m[1], m[2], m[3]
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			addf(lineNo, "sample %s has unparseable value %q", sample, valueStr)
+		}
+
+		// Resolve the owning family: histogram/summary samples use suffixed
+		// names.
+		famName := sample
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(sample, s)
+			if base != sample {
+				if bf, ok := families[base]; ok && (bf.typ == "histogram" || bf.typ == "summary") {
+					famName, suffix = base, s
+				}
+				break
+			}
+		}
+		f, declared := families[famName]
+		if !declared {
+			addf(lineNo, "sample %s has no preceding HELP/TYPE for family %s", sample, famName)
+			f = fam(famName)
+		}
+		if current != famName {
+			if current != "" {
+				families[current].closed = true
+			}
+			if f.closed {
+				addf(lineNo, "family %s is not contiguous (samples resume after another family)", famName)
+			}
+			current = famName
+		}
+		f.samples++
+
+		if key := sample + labels; true {
+			if first, dup := seenSamples[key]; dup {
+				addf(lineNo, "duplicate sample %s%s (first at line %d)", sample, labels, first)
+			} else {
+				seenSamples[key] = lineNo
+			}
+		}
+
+		labelMap := parseLabels(labels)
+		for k := range labelMap {
+			if !labelNameRe.MatchString(k) {
+				addf(lineNo, "sample %s has bad label name %q", sample, k)
+			}
+		}
+
+		if f.typ == "histogram" {
+			switch suffix {
+			case "_bucket":
+				le, ok := labelMap["le"]
+				if !ok {
+					addf(lineNo, "histogram bucket %s%s lacks an le label", sample, labels)
+					break
+				}
+				childKey := famName + stripLabel(labels, "le")
+				bs := buckets[childKey]
+				if bs == nil {
+					bs = &bucketSeries{line: lineNo}
+					buckets[childKey] = bs
+				}
+				if le == "+Inf" {
+					bs.sawInf = true
+				}
+				leVal, leErr := strconv.ParseFloat(le, 64)
+				if leErr != nil {
+					addf(lineNo, "histogram bucket %s has unparseable le %q", sample, le)
+				} else {
+					if bs.n > 0 && leVal <= bs.lastLe && !bs.brokeLe {
+						addf(lineNo, "histogram %s bucket le values are not ascending", famName)
+						bs.brokeLe = true
+					}
+					bs.lastLe = leVal
+				}
+				if bs.n > 0 && value < bs.lastVal && !bs.brokeCum {
+					addf(lineNo, "histogram %s buckets are not cumulative", famName)
+					bs.brokeCum = true
+				}
+				bs.n++
+				bs.lastVal = value
+			case "_sum", "_count":
+			default:
+				addf(lineNo, "histogram family %s has non-histogram sample %s", famName, sample)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return problems, err
+	}
+
+	for key, bs := range buckets {
+		if !bs.sawInf {
+			problems = append(problems, Problem{Line: bs.line, Msg: fmt.Sprintf("histogram series %s lacks a +Inf bucket", key)})
+		}
+	}
+	sort.Strings(famOrder)
+	for _, name := range famOrder {
+		f := families[name]
+		if f.helpLine == 0 {
+			problems = append(problems, Problem{Msg: fmt.Sprintf("family %s has no HELP text", name)})
+		}
+		if f.typeLine == 0 {
+			problems = append(problems, Problem{Msg: fmt.Sprintf("family %s has no TYPE", name)})
+		}
+	}
+	sort.SliceStable(problems, func(i, j int) bool { return problems[i].Line < problems[j].Line })
+	return problems, nil
+}
+
+// parseLabels parses a `{k="v",...}` block into a map (values unescaped
+// only as far as the linter needs — quotes stripped).
+func parseLabels(block string) map[string]string {
+	out := map[string]string{}
+	block = strings.TrimPrefix(strings.TrimSuffix(block, "}"), "{")
+	for _, part := range splitLabels(block) {
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			continue
+		}
+		out[k] = strings.Trim(v, `"`)
+	}
+	return out
+}
+
+// splitLabels splits a label block body on commas outside quotes.
+func splitLabels(s string) []string {
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// stripLabel removes one label pair from a rendered label block, keeping
+// the rest in order — used to key histogram bucket series by their child
+// identity without le.
+func stripLabel(block, name string) string {
+	labels := parseLabels(block)
+	delete(labels, name)
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintProblems(t *testing.T, text string) []Problem {
+	t.Helper()
+	problems, err := LintPrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return problems
+}
+
+func wantProblem(t *testing.T, text, substr string) {
+	t.Helper()
+	problems := lintProblems(t, text)
+	for _, p := range problems {
+		if strings.Contains(p.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no problem containing %q in %v", substr, problems)
+}
+
+func TestLintCleanExposition(t *testing.T) {
+	clean := `# HELP app_jobs_total Jobs processed.
+# TYPE app_jobs_total counter
+app_jobs_total{state="done"} 4
+app_jobs_total{state="failed"} 1
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 10.5
+app_latency_seconds_count 3
+# HELP app_queue_depth Queue depth.
+# TYPE app_queue_depth gauge
+app_queue_depth 2
+`
+	if problems := lintProblems(t, clean); len(problems) != 0 {
+		t.Fatalf("clean exposition flagged: %v", problems)
+	}
+}
+
+func TestLintMissingHelp(t *testing.T) {
+	wantProblem(t, "# TYPE app_x_total counter\napp_x_total 1\n", "no HELP")
+}
+
+func TestLintEmptyHelp(t *testing.T) {
+	wantProblem(t, "# HELP app_x_total \n# TYPE app_x_total counter\napp_x_total 1\n", "empty help")
+}
+
+func TestLintMissingType(t *testing.T) {
+	wantProblem(t, "# HELP app_x_total X.\napp_x_total 1\n", "no TYPE")
+}
+
+func TestLintCounterSuffix(t *testing.T) {
+	wantProblem(t, "# HELP app_x X.\n# TYPE app_x counter\napp_x 1\n", "must end in _total")
+	wantProblem(t, "# HELP app_x_total X.\n# TYPE app_x_total gauge\napp_x_total 1\n", "must not end in _total")
+}
+
+func TestLintDuplicates(t *testing.T) {
+	wantProblem(t, `# HELP app_x_total X.
+# TYPE app_x_total counter
+# HELP app_x_total X.
+app_x_total 1
+`, "duplicate HELP")
+	wantProblem(t, `# HELP app_x_total X.
+# TYPE app_x_total counter
+app_x_total{k="v"} 1
+app_x_total{k="v"} 2
+`, "duplicate sample")
+}
+
+func TestLintNonContiguousFamily(t *testing.T) {
+	wantProblem(t, `# HELP app_a_total A.
+# TYPE app_a_total counter
+# HELP app_b_total B.
+# TYPE app_b_total counter
+app_a_total 1
+app_b_total 1
+app_a_total{k="v"} 1
+`, "not contiguous")
+}
+
+func TestLintHistogramShape(t *testing.T) {
+	wantProblem(t, `# HELP app_h H.
+# TYPE app_h histogram
+app_h_bucket{le="0.1"} 1
+app_h_sum 1
+app_h_count 1
+`, "+Inf bucket")
+	wantProblem(t, `# HELP app_h H.
+# TYPE app_h histogram
+app_h_bucket{le="0.1"} 5
+app_h_bucket{le="+Inf"} 3
+app_h_sum 1
+app_h_count 3
+`, "not cumulative")
+	wantProblem(t, `# HELP app_h H.
+# TYPE app_h histogram
+app_h_bucket{le="1"} 1
+app_h_bucket{le="0.5"} 2
+app_h_bucket{le="+Inf"} 3
+app_h_sum 1
+app_h_count 3
+`, "not ascending")
+	wantProblem(t, `# HELP app_h H.
+# TYPE app_h histogram
+app_h_bucket 1
+app_h_sum 1
+app_h_count 1
+`, "lacks an le label")
+}
+
+func TestLintUndeclaredSample(t *testing.T) {
+	wantProblem(t, "app_x_total 1\n", "no preceding HELP/TYPE")
+}
+
+func TestLintBadValue(t *testing.T) {
+	wantProblem(t, "# HELP app_x_total X.\n# TYPE app_x_total counter\napp_x_total banana\n", "unparseable value")
+}

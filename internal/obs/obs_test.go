@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	if h.Sum() != 0 || h.Count() != 0 {
+		t.Fatal("nil histogram state")
+	}
+	var p *JobPhases
+	p.Observe(1, 2, 3)
+	var mc *MinerCounters
+	mc.Record(10, 20)
+	var run *Run
+	run.SetJobSpan(7)
+	if run.JobSpan() != 0 || run.TracerOf() != nil || run.PipelineMetricsOf() != nil {
+		t.Fatal("nil Run accessors")
+	}
+}
+
+func TestStandaloneHandles(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Dec()
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge = %d, want 9", got)
+	}
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-105) > 1e-9 {
+		t.Fatalf("sum = %v, want 105", got)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	jobs := r.Counter("test_jobs_total", "Jobs processed.", "state", "done")
+	jobs.Add(4)
+	r.Counter("test_jobs_total", "Jobs processed.", "state", "failed").Inc()
+	r.Gauge("test_queue_depth", "Jobs waiting.").Set(2)
+	h := r.Histogram("test_latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP test_jobs_total Jobs processed.
+# TYPE test_jobs_total counter
+test_jobs_total{state="done"} 4
+test_jobs_total{state="failed"} 1
+# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 10.55
+test_latency_seconds_count 3
+# HELP test_queue_depth Jobs waiting.
+# TYPE test_queue_depth gauge
+test_queue_depth 2
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if problems, err := LintPrometheus(strings.NewReader(got)); err != nil || len(problems) > 0 {
+		t.Fatalf("self-lint: err=%v problems=%v", err, problems)
+	}
+}
+
+func TestRegistryIdempotentAndPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_x_total", "X.", "k", "v")
+	b := r.Counter("test_x_total", "X.", "k", "v")
+	if a != b {
+		t.Fatal("re-registration did not return the same handle")
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("bad name", func() { r.Counter("Bad-Name_total", "help") })
+	mustPanic("empty help", func() { r.Counter("test_y_total", "") })
+	mustPanic("counter without _total", func() { r.Counter("test_y", "help") })
+	mustPanic("gauge with _total", func() { r.Gauge("test_y_total", "help") })
+	mustPanic("type change", func() {
+		r.Gauge("test_q", "Q.")
+		r.Histogram("test_q", "Q.", []float64{1})
+	})
+	mustPanic("help change", func() { r.Counter("test_x_total", "different help", "k", "v") })
+	mustPanic("odd labels", func() { r.Counter("test_z_total", "help", "k") })
+	mustPanic("bad label name", func() { r.Counter("test_z_total", "help", "Bad-Key", "v") })
+	mustPanic("descending bounds", func() { NewHistogram([]float64{2, 1}) })
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("test_esc", "Escapes.", "k", "a\"b\\c\nd").Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `test_esc{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestGoCollector(t *testing.T) {
+	r := NewRegistry()
+	RegisterGoCollector(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fam := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_cycles_total"} {
+		if !strings.Contains(out, "# TYPE "+fam) {
+			t.Fatalf("missing %s in:\n%s", fam, out)
+		}
+	}
+	if strings.Contains(out, "go_goroutines 0\n") {
+		t.Fatal("go_goroutines not refreshed on scrape")
+	}
+	if problems, err := LintPrometheus(strings.NewReader(out)); err != nil || len(problems) > 0 {
+		t.Fatalf("go collector lint: err=%v problems=%v", err, problems)
+	}
+}
+
+// TestConcurrentRecordAndScrape is the -race hammer: 32 goroutines record
+// into counters, gauges, and histograms while the registry is scraped
+// concurrently.
+func TestConcurrentRecordAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_hammer_total", "Hammered counter.")
+	g := r.Gauge("test_hammer_gauge", "Hammered gauge.")
+	h := r.Histogram("test_hammer_seconds", "Hammered histogram.", DurationBuckets)
+	tr := NewTracer(128)
+
+	const goroutines = 32
+	const iters = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				c.Inc()
+				g.Set(int64(j))
+				h.Observe(float64(seed*j) * 1e-6)
+				sp := tr.Start("hammer", 0)
+				sp.End()
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			tr.Spans()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Value(); got != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := h.Count(); got != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	if got := tr.Dropped() + len(tr.Spans()); got != goroutines*iters {
+		t.Fatalf("spans retained+dropped = %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestPipelineMetricsPhases(t *testing.T) {
+	r := NewRegistry()
+	pm := NewPipelineMetrics(r)
+	pm.Phases("flist").Observe(1, 2, 3)
+	pm.Phases("partition+mine").Observe(1, 2, 3)
+	pm.Phases("naive").Observe(1, 2, 3)
+	pm.Phases("semi-naive").Observe(1, 2, 3)
+	pm.Phases("mystery").Observe(1, 2, 3)
+	if pm.FList.Map.Count() != 1 || pm.Mine.Shuffle.Count() != 1 ||
+		pm.Naive.Reduce.Count() != 1 || pm.SemiNaive.Map.Count() != 1 ||
+		pm.Other.Map.Count() != 1 {
+		t.Fatal("phase routing wrong")
+	}
+	var nilPM *PipelineMetrics
+	if nilPM.Phases("flist") != nil {
+		t.Fatal("nil PipelineMetrics should route to nil")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if problems, err := LintPrometheus(strings.NewReader(b.String())); err != nil || len(problems) > 0 {
+		t.Fatalf("pipeline metrics lint: err=%v problems=%v", err, problems)
+	}
+}

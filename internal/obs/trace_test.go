@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.NextID() != 0 {
+		t.Fatal("nil NextID")
+	}
+	sp := tr.Start("x", 0)
+	sp.End() // must not panic
+	if tr.Record(SpanRecord{Name: "y"}) != 0 {
+		t.Fatal("nil Record")
+	}
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil accessors")
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		tr.Record(SpanRecord{Name: "s", Start: base.Add(time.Duration(i) * time.Millisecond)})
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	// The retained spans are the 4 most recent ones.
+	if got := spans[0].Start; got != base.Add(6*time.Millisecond) {
+		t.Fatalf("oldest retained span at +%v, want +6ms", got.Sub(base))
+	}
+}
+
+func TestBuildTree(t *testing.T) {
+	tr := NewTracer(16)
+	base := time.Now()
+	root := tr.Record(SpanRecord{Name: "run", Start: base, Duration: 100 * time.Millisecond})
+	job := tr.Record(SpanRecord{Name: "job", Job: "flist", Parent: root, Start: base.Add(time.Millisecond), Duration: 40 * time.Millisecond})
+	tr.Record(SpanRecord{Name: "phase", Phase: "map", Parent: job, Start: base.Add(2 * time.Millisecond), Duration: 10 * time.Millisecond, Partition: -1})
+	tr.Record(SpanRecord{Name: "orphan", Parent: 9999, Start: base.Add(3 * time.Millisecond), Duration: time.Millisecond})
+
+	doc := BuildTree(tr.Spans(), tr.Dropped())
+	if doc.Spans != 4 || doc.Dropped != 0 {
+		t.Fatalf("counts: %+v", doc)
+	}
+	if len(doc.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (run + orphan)", len(doc.Roots))
+	}
+	run := doc.Roots[0]
+	if run.Name != "run" || len(run.Children) != 1 || run.Children[0].Name != "job" {
+		t.Fatalf("tree shape wrong: %+v", run)
+	}
+	if run.Children[0].Children[0].Phase != "map" {
+		t.Fatal("phase label lost")
+	}
+	if doc.WallMS < 100 || doc.WallMS > 101 {
+		t.Fatalf("wall = %v, want ~100ms", doc.WallMS)
+	}
+}
+
+func TestWriteTraceJSON(t *testing.T) {
+	tr := NewTracer(8)
+	base := time.Now()
+	tr.Record(SpanRecord{Name: "run", Start: base, Duration: 5 * time.Millisecond, Partition: -1})
+	var b strings.Builder
+	if err := WriteTraceJSON(&b, tr.Spans(), tr.Dropped()); err != nil {
+		t.Fatal(err)
+	}
+	var doc TraceDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v\n%s", err, b.String())
+	}
+	if doc.Spans != 1 || len(doc.Roots) != 1 || doc.Roots[0].Name != "run" {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestSpanStartEnd(t *testing.T) {
+	tr := NewTracer(8)
+	parent := tr.NextID()
+	sp := tr.Start("work", parent)
+	sp.Job = "partition+mine"
+	sp.Partition = 7
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	got := spans[0]
+	if got.Parent != parent || got.Job != "partition+mine" || got.Partition != 7 {
+		t.Fatalf("labels lost: %+v", got)
+	}
+	if got.Duration < 2*time.Millisecond {
+		t.Fatalf("duration = %v", got.Duration)
+	}
+}

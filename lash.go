@@ -40,6 +40,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"lash/internal/baseline"
 	"lash/internal/core"
@@ -47,6 +48,7 @@ import (
 	"lash/internal/hierarchy"
 	"lash/internal/mapreduce"
 	"lash/internal/miner"
+	"lash/internal/obs"
 	"lash/internal/stats"
 )
 
@@ -173,6 +175,18 @@ type Options struct {
 	// workers' time. Progress does not affect the mined output and is
 	// ignored by CacheKey.
 	Progress func(ProgressEvent)
+	// Trace, when non-nil, collects the run's span tree — jobs, phases,
+	// tasks, and per-partition mining intervals — into the given Trace for
+	// later rendering with Trace.WriteJSON (the `lash -trace-out` flag).
+	// Tracing does not affect the mined output and is ignored by CacheKey.
+	Trace *Trace
+	// Metrics, when non-nil, records the run's pipeline metrics (phase
+	// duration histograms, shuffle/spill counters, miner work counters)
+	// into the given process-wide handle bundle. The field's type lives in
+	// an internal package: it is settable only from inside this module
+	// (lashd's /metrics endpoint uses it); external callers leave it nil.
+	// Metrics do not affect the mined output and are ignored by CacheKey.
+	Metrics *obs.PipelineMetrics
 }
 
 // ProgressEvent is one live progress update of a mining run.
@@ -200,6 +214,11 @@ type ProgressEvent struct {
 	// bytes shuffled so far (Hadoop's MAP_OUTPUT_BYTES).
 	ShuffleRecords int64
 	ShuffleBytes   int64
+	// SpillRuns / SpillBytes are the sorted runs and physical bytes the
+	// shuffle has spilled to temp files so far. Zero unless
+	// Options.MemoryBudget forced the run to disk.
+	SpillRuns  int64
+	SpillBytes int64
 }
 
 // Restriction selects an output restriction.
@@ -319,6 +338,21 @@ func mine(ctx context.Context, db *Database, opt Options, freqs []int64, emit fu
 	if opt.Progress != nil {
 		mr.Progress = progressAdapter(opt.Progress)
 	}
+	if opt.Trace != nil || opt.Metrics != nil {
+		runObs := &obs.Run{Tracer: opt.Trace.handle(), Metrics: opt.Metrics}
+		if tr := runObs.Tracer; tr != nil {
+			// One root span for the whole run; every job parents to it, so
+			// the emitted tree has a single top-level mining node whose
+			// children's phase durations sum to the jobs' wall times.
+			runObs.Root = tr.NextID()
+			begin := time.Now()
+			defer func() {
+				tr.Record(obs.SpanRecord{ID: runObs.Root, Name: "mine", Partition: -1,
+					Start: begin, Duration: time.Since(begin)})
+			}()
+		}
+		mr.Obs = runObs
+	}
 
 	// The streaming path wraps emit: translate to item names, record the
 	// first emit error, and cancel the run's context with it so the other
@@ -433,6 +467,8 @@ func progressAdapter(fn func(ProgressEvent)) func(mapreduce.Progress) {
 			Partitions:      p.ReduceTasks,
 			ShuffleRecords:  p.ShuffleRecords,
 			ShuffleBytes:    p.ShuffleBytes,
+			SpillRuns:       p.SpillRuns,
+			SpillBytes:      p.SpillBytes,
 		})
 	}
 }

@@ -76,17 +76,19 @@ func (o Options) ValidateStream() error {
 }
 
 // Canonical returns o with every field that cannot affect Mine's output
-// normalized to its zero value: Workers (a pure parallelism knob),
-// Progress (an observability hook), and MemoryBudget (an execution-mode
-// knob — the spill path is differential-tested byte-identical to the
-// in-memory path) are always zeroed, LocalMiner is zeroed for algorithms
-// that do not run a local miner, and MaxIntermediate is zeroed for
-// algorithms that never emit intermediate records. Two valid Options
-// values with equal canonical forms produce identical results on the same
-// database.
+// normalized to its zero value: Workers (a pure parallelism knob), the
+// observability hooks (Progress, Trace, Metrics), and MemoryBudget (an
+// execution-mode knob — the spill path is differential-tested
+// byte-identical to the in-memory path) are always zeroed, LocalMiner is
+// zeroed for algorithms that do not run a local miner, and MaxIntermediate
+// is zeroed for algorithms that never emit intermediate records. Two valid
+// Options values with equal canonical forms produce identical results on
+// the same database.
 func (o Options) Canonical() Options {
 	o.Workers = 0
 	o.Progress = nil
+	o.Trace = nil
+	o.Metrics = nil
 	o.MemoryBudget = 0
 	switch o.Algorithm {
 	case AlgorithmLASH, AlgorithmLASHFlat:

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"lash"
+	"lash/internal/obs"
 )
 
 // CacheStats is a snapshot of the result cache counters, as reported by
@@ -20,14 +21,17 @@ type CacheStats struct {
 // resultCache is a mutex-guarded LRU cache of mining results keyed by
 // database name + canonical options (see jobKey). A capacity ≤ 0 disables
 // caching: every lookup is a miss and nothing is stored.
+// The hit/miss/eviction counters are obs handles so a server can expose
+// them on GET /metrics; a cache built by newResultCache starts with private
+// standalone handles and instrument swaps in registry-backed ones.
 type resultCache struct {
 	mu        sync.Mutex
 	capacity  int
 	ll        *list.List // front = most recently used
 	items     map[string]*list.Element
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
 }
 
 type cacheEntry struct {
@@ -37,10 +41,21 @@ type cacheEntry struct {
 
 func newResultCache(capacity int) *resultCache {
 	return &resultCache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
+		capacity:  capacity,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      &obs.Counter{},
+		misses:    &obs.Counter{},
+		evictions: &obs.Counter{},
 	}
+}
+
+// instrument replaces the cache's private counters with registry-backed
+// ones. Call it before the cache sees traffic.
+func (c *resultCache) instrument(hits, misses, evictions *obs.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions = hits, misses, evictions
 }
 
 // get returns the cached result for key, promoting it to most recently
@@ -50,10 +65,10 @@ func (c *resultCache) get(key string) (*lash.Result, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.hits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).res, true
 }
@@ -74,7 +89,7 @@ func (c *resultCache) add(key string, res *lash.Result) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions++
+		c.evictions.Inc()
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
 }
@@ -83,9 +98,9 @@ func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Hits:      uint64(c.hits.Value()),
+		Misses:    uint64(c.misses.Value()),
+		Evictions: uint64(c.evictions.Value()),
 		Size:      c.ll.Len(),
 		Capacity:  c.capacity,
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -30,7 +31,8 @@ const (
 )
 
 // JobStats is a snapshot of the job manager counters, as reported by
-// GET /v1/stats.
+// GET /v1/stats. Every field is read from the same metric registry that
+// backs GET /metrics, so the two endpoints cannot drift apart.
 type JobStats struct {
 	// Submitted counts every mine request accepted, including the ones
 	// answered from cache or coalesced onto a running job.
@@ -49,9 +51,12 @@ type JobStats struct {
 	// Streams counts streaming mining runs (POST /v1/mine/stream); they
 	// also count into MinesRun when mining actually starts.
 	Streams uint64 `json:"streams"`
-	// MineTimeMS is the cumulative wall-clock time, in milliseconds, that
-	// finished jobs (done, failed, or cancelled) spent mining.
-	MineTimeMS int64 `json:"mine_time_ms"`
+	// QueueTimeMS and RunTimeMS split what used to be reported as one
+	// mine_time_ms field: cumulative milliseconds finished runs spent
+	// waiting for a worker slot (QueueTimeMS) versus actually mining
+	// (RunTimeMS). Clients that summed mine_time_ms should read run_time_ms.
+	QueueTimeMS int64 `json:"queue_time_ms"`
+	RunTimeMS   int64 `json:"run_time_ms"`
 	// SpilledRuns and SpilledBytes accumulate the shuffle spilling of every
 	// completed run (jobs and streams) whose memory_budget forced it to
 	// disk — how much external-memory work this server has absorbed.
@@ -100,6 +105,8 @@ type manager struct {
 	mineFn   MineFunc
 	streamFn StreamFunc
 	cache    *resultCache
+	met      *serverMetrics // all manager counters live here, never locally
+	log      *slog.Logger
 	sem      chan struct{} // worker slots
 	wg       sync.WaitGroup
 	baseCtx  context.Context
@@ -113,17 +120,6 @@ type manager struct {
 	latest   map[string]*job // database → most recent successful job
 	maxJobs  int             // retained job records; older terminal jobs are pruned
 	nextID   uint64
-
-	submitted    uint64
-	coalesced    uint64
-	minesRun     uint64
-	completed    uint64
-	failed       uint64
-	cancelled    uint64
-	streams      uint64
-	mineTimeMS   int64
-	spilledRuns  uint64
-	spilledBytes uint64
 }
 
 var (
@@ -134,15 +130,19 @@ var (
 	errJobCancelled = errors.New("job cancelled")
 )
 
-func newManager(workers, cacheSize, maxJobs int, mineFn MineFunc, streamFn StreamFunc) *manager {
+func newManager(workers, cacheSize, maxJobs int, mineFn MineFunc, streamFn StreamFunc, met *serverMetrics, logger *slog.Logger) *manager {
 	if workers < 1 {
 		workers = 1
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
+	cache := newResultCache(cacheSize)
+	cache.instrument(met.cacheHits, met.cacheMisses, met.cacheEvictions)
 	return &manager{
 		mineFn:   mineFn,
 		streamFn: streamFn,
-		cache:    newResultCache(cacheSize),
+		cache:    cache,
+		met:      met,
+		log:      logger,
 		sem:      make(chan struct{}, workers),
 		baseCtx:  ctx,
 		cancel:   cancel,
@@ -163,15 +163,16 @@ func jobKey(dbName string, opt lash.Options) string {
 // Three paths, checked in order: a cached result yields an already-done job
 // without mining; an identical in-flight job absorbs the request
 // (singleflight); otherwise a fresh job is queued on the worker pool.
-func (m *manager) submit(dbName string, db *lash.Database, opt lash.Options) (*job, error) {
+func (m *manager) submit(ctx context.Context, dbName string, db *lash.Database, opt lash.Options) (*job, error) {
 	key := jobKey(dbName, opt)
+	reqID := requestIDFrom(ctx)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, errShutdown
 	}
-	m.submitted++
+	m.met.jobsSubmitted.Inc()
 
 	if res, ok := m.cache.get(key); ok {
 		j := m.newJobLocked(key, dbName, opt)
@@ -182,19 +183,23 @@ func (m *manager) submit(dbName string, db *lash.Database, opt lash.Options) (*j
 		j.finished = j.created
 		j.cancelCause(nil) // no run to cancel; release the context now
 		close(j.done)
-		m.completed++
+		m.met.jobsCompleted.Inc()
+		m.log.Info("job answered from cache", "job_id", j.id, "request_id", reqID, "database", dbName)
 		return j, nil
 	}
 
 	if running, ok := m.inflight[key]; ok {
 		running.coalesced++
-		m.coalesced++
+		m.met.jobsCoalesced.Inc()
+		m.log.Info("job coalesced", "job_id", running.id, "request_id", reqID, "database", dbName)
 		return running, nil
 	}
 
 	j := m.newJobLocked(key, dbName, opt)
 	j.status = JobQueued
 	m.inflight[key] = j
+	m.met.jobsQueued.Inc()
+	m.log.Info("job queued", "job_id", j.id, "request_id", reqID, "database", dbName)
 	m.wg.Add(1)
 	go m.run(j, db)
 	return j, nil
@@ -268,8 +273,17 @@ func (m *manager) run(j *job, db *lash.Database) {
 	}
 	j.status = JobRunning
 	j.started = time.Now().UTC()
-	m.minesRun++
+	// The run feeds the server-wide pipeline families (per-phase duration
+	// histograms, spill counters, ...) scraped on GET /metrics. The job key
+	// is unaffected: Canonical() zeroes Metrics.
+	j.options.Metrics = m.met.pm
+	m.met.jobsQueued.Dec()
+	m.met.jobsRunning.Inc()
+	m.met.minesRun.Inc()
+	m.met.queueSeconds.Observe(j.started.Sub(j.created).Seconds())
 	m.mu.Unlock()
+	m.log.Info("job running", "job_id", j.id, "database", j.dbName,
+		"queued_ms", j.started.Sub(j.created).Milliseconds())
 
 	res, err := safeMine(func() (*lash.Result, error) {
 		return m.mineFn(j.ctx, db, j.options)
@@ -308,31 +322,49 @@ func safeMine(fn func() (*lash.Result, error)) (res *lash.Result, err error) {
 // not JobFailed.
 func (m *manager) finish(j *job, res *lash.Result, err error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j.finished = time.Now().UTC()
+	// Settle the state gauges from the status being left behind, and time
+	// the interval the job just completed: its run when it held a worker,
+	// or its whole queued life when it never got one.
+	switch j.status {
+	case JobQueued:
+		m.met.jobsQueued.Dec()
+		m.met.queueSeconds.Observe(j.finished.Sub(j.created).Seconds())
+	case JobRunning:
+		m.met.jobsRunning.Dec()
+	}
 	if !j.started.IsZero() {
-		m.mineTimeMS += j.finished.Sub(j.started).Milliseconds()
+		m.met.runSeconds.Observe(j.finished.Sub(j.started).Seconds())
 	}
 	switch {
 	case err == nil:
 		j.status = JobDone
 		j.result = res
-		m.completed++
-		m.spilledRuns += uint64(res.Stats.SpillRuns)
-		m.spilledBytes += uint64(res.Stats.SpillBytes)
+		m.met.jobsCompleted.Inc()
+		m.met.spilledRuns.Add(res.Stats.SpillRuns)
+		m.met.spilledBytes.Add(res.Stats.SpillBytes)
 		m.cache.add(j.key, res)
 		m.latest[j.dbName] = j
 	case wasCancelled(err, j.ctx):
 		j.status = JobCancelled
 		j.err = err
-		m.cancelled++
+		m.met.jobsCancelled.Inc()
 	default:
 		j.status = JobFailed
 		j.err = err
-		m.failed++
+		m.met.jobsFailed.Inc()
 	}
 	delete(m.inflight, j.key)
 	close(j.done)
+	status, jerr := j.status, j.err
+	m.mu.Unlock()
+	if jerr != nil {
+		m.log.Info("job finished", "job_id", j.id, "database", j.dbName,
+			"status", string(status), "error", jerr.Error())
+		return
+	}
+	m.log.Info("job finished", "job_id", j.id, "database", j.dbName,
+		"status", string(status), "run_ms", j.finished.Sub(j.started).Milliseconds())
 }
 
 // wasCancelled reports whether a run's error means its context was
@@ -383,6 +415,7 @@ func (m *manager) cancelJob(id string) (*job, error) {
 	// already produced its result when the cancel landed may still finish
 	// as done; poll until terminal either way.
 	j.cancelCause(errJobCancelled)
+	m.log.Info("job cancel requested", "job_id", j.id, "database", j.dbName, "status", string(j.status))
 	return j, nil
 }
 
@@ -397,52 +430,59 @@ func (m *manager) stream(ctx context.Context, db *lash.Database, opt lash.Option
 		m.mu.Unlock()
 		return nil, errShutdown
 	}
-	m.submitted++
-	m.streams++
+	m.met.jobsSubmitted.Inc()
+	m.met.streams.Inc()
 	m.wg.Add(1)
 	m.mu.Unlock()
 	defer m.wg.Done()
+	reqID := requestIDFrom(ctx)
+	m.log.Info("stream accepted", "request_id", reqID, "options", opt.CacheKey())
 
 	sctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	stopWatch := context.AfterFunc(m.baseCtx, func() { cancel(errShutdown) })
 	defer stopWatch()
 
+	wait := time.Now()
 	select {
 	case m.sem <- struct{}{}:
 	case <-sctx.Done():
+		m.met.queueSeconds.Observe(time.Since(wait).Seconds())
 		return nil, causeOf(sctx)
 	}
 	defer func() { <-m.sem }()
+	m.met.queueSeconds.Observe(time.Since(wait).Seconds())
+	m.met.minesRun.Inc()
 
-	m.mu.Lock()
-	m.minesRun++
-	m.mu.Unlock()
-
+	// Feed the same process-wide pipeline families the async jobs feed.
+	opt.Metrics = m.met.pm
 	start := time.Now()
 	res, err := safeMine(func() (*lash.Result, error) {
 		return m.streamFn(sctx, db, opt, emit)
 	})
 
-	m.mu.Lock()
-	m.mineTimeMS += time.Since(start).Milliseconds()
+	m.met.runSeconds.Observe(time.Since(start).Seconds())
 	if res != nil {
-		m.spilledRuns += uint64(res.Stats.SpillRuns)
-		m.spilledBytes += uint64(res.Stats.SpillBytes)
+		m.met.spilledRuns.Add(res.Stats.SpillRuns)
+		m.met.spilledBytes.Add(res.Stats.SpillBytes)
 	}
+	outcome := "done"
 	switch {
 	case err == nil:
-		m.completed++
+		m.met.jobsCompleted.Inc()
 	case errors.Is(err, context.Canceled) || errors.Is(err, errShutdown) || sctx.Err() != nil:
 		// The client went away or the server is draining — the run was
 		// cancelled, mining did not fail. The sctx check also catches a
 		// disconnect surfacing as the NDJSON write error (the emit error
 		// takes precedence over the context error in lash.Stream).
-		m.cancelled++
+		m.met.jobsCancelled.Inc()
+		outcome = "cancelled"
 	default:
-		m.failed++
+		m.met.jobsFailed.Inc()
+		outcome = "failed"
 	}
-	m.mu.Unlock()
+	m.log.Info("stream finished", "request_id", reqID, "status", outcome,
+		"run_ms", time.Since(start).Milliseconds())
 	return res, err
 }
 
@@ -473,30 +513,26 @@ func (m *manager) list() []*job {
 	return out
 }
 
+// stats snapshots the manager counters straight from the metric registry —
+// the same handles GET /metrics scrapes — so the JSON stats cannot drift
+// from the Prometheus ones (job records being pruned from the history has
+// no effect on either).
 func (m *manager) stats() JobStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := JobStats{
-		Submitted:    m.submitted,
-		Coalesced:    m.coalesced,
-		MinesRun:     m.minesRun,
-		Completed:    m.completed,
-		Failed:       m.failed,
-		Cancelled:    m.cancelled,
-		Streams:      m.streams,
-		MineTimeMS:   m.mineTimeMS,
-		SpilledRuns:  m.spilledRuns,
-		SpilledBytes: m.spilledBytes,
+	return JobStats{
+		Submitted:    uint64(m.met.jobsSubmitted.Value()),
+		Coalesced:    uint64(m.met.jobsCoalesced.Value()),
+		MinesRun:     uint64(m.met.minesRun.Value()),
+		Completed:    uint64(m.met.jobsCompleted.Value()),
+		Failed:       uint64(m.met.jobsFailed.Value()),
+		Cancelled:    uint64(m.met.jobsCancelled.Value()),
+		Streams:      uint64(m.met.streams.Value()),
+		QueueTimeMS:  int64(m.met.queueSeconds.Sum() * 1000),
+		RunTimeMS:    int64(m.met.runSeconds.Sum() * 1000),
+		SpilledRuns:  uint64(m.met.spilledRuns.Value()),
+		SpilledBytes: uint64(m.met.spilledBytes.Value()),
+		Queued:       int(m.met.jobsQueued.Value()),
+		Running:      int(m.met.jobsRunning.Value()),
 	}
-	for _, j := range m.jobs {
-		switch j.status {
-		case JobQueued:
-			s.Queued++
-		case JobRunning:
-			s.Running++
-		}
-	}
-	return s
 }
 
 // close stops accepting jobs and waits for in-flight ones to drain or ctx

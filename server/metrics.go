@@ -1,0 +1,121 @@
+package server
+
+import (
+	"io"
+	"strconv"
+
+	"lash/internal/obs"
+)
+
+// serverMetrics is the server's metric registry plus the pre-registered
+// handles every hot path records through (see internal/obs: a handle is one
+// or two atomic ops, no map lookups). One bundle is created per Server and
+// shared by the job manager, the result cache, the database registry, and
+// the HTTP layer; GET /metrics scrapes it via Server.WriteMetrics.
+type serverMetrics struct {
+	reg *obs.Registry
+	// pm carries the mining-pipeline families (per-phase duration
+	// histograms, shuffle/spill counters, per-partition mine timings). The
+	// manager points every job's Options.Metrics at it, so all runs feed
+	// one set of process-wide families.
+	pm *obs.PipelineMetrics
+
+	jobsSubmitted *obs.Counter
+	jobsCoalesced *obs.Counter
+	minesRun      *obs.Counter
+	jobsCompleted *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCancelled *obs.Counter
+	streams       *obs.Counter
+	jobsQueued    *obs.Gauge
+	jobsRunning   *obs.Gauge
+	queueSeconds  *obs.Histogram
+	runSeconds    *obs.Histogram
+
+	// spilledRuns/spilledBytes accumulate the shuffle spilling of completed
+	// runs (jobs and streams). They are the single source of truth for
+	// JobStats.SpilledRuns/SpilledBytes — the manager keeps no shadow
+	// counters, so GET /v1/stats and GET /metrics cannot drift apart.
+	spilledRuns  *obs.Counter
+	spilledBytes *obs.Counter
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheEntries   *obs.Gauge
+
+	databases  *obs.Gauge
+	uptime     *obs.Gauge
+	streamEmit *obs.Histogram
+}
+
+func newServerMetrics() *serverMetrics {
+	r := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: r,
+		pm:  obs.NewPipelineMetrics(r),
+
+		jobsSubmitted: r.Counter("lash_jobs_submitted_total",
+			"Mine requests accepted, including cache hits, coalesced submissions and streams."),
+		jobsCoalesced: r.Counter("lash_jobs_coalesced_total",
+			"Requests attached to an identical in-flight job instead of starting their own (singleflight)."),
+		minesRun: r.Counter("lash_mines_run_total",
+			"Actual executions of the mining function (work not avoided by the cache or coalescing)."),
+		jobsCompleted: r.Counter("lash_jobs_completed_total",
+			"Jobs and streams that finished with a result."),
+		jobsFailed: r.Counter("lash_jobs_failed_total",
+			"Jobs and streams that finished with a mining error."),
+		jobsCancelled: r.Counter("lash_jobs_cancelled_total",
+			"Jobs and streams cancelled by DELETE /v1/jobs/{id}, client disconnect or shutdown."),
+		streams: r.Counter("lash_streams_total",
+			"Streaming mining runs accepted on POST /v1/mine/stream."),
+		jobsQueued: r.Gauge("lash_jobs_queued",
+			"Jobs currently waiting for a worker slot (queue depth)."),
+		jobsRunning: r.Gauge("lash_jobs_running",
+			"Jobs currently mining on a worker slot."),
+		queueSeconds: r.Histogram("lash_job_queue_seconds",
+			"Time jobs and streams spent waiting for a worker slot.", obs.DurationBuckets),
+		runSeconds: r.Histogram("lash_job_run_seconds",
+			"Wall-clock time of mining runs, from worker pickup to a terminal state.", obs.DurationBuckets),
+
+		spilledRuns: r.Counter("lash_jobs_spilled_runs_total",
+			"Sorted shuffle runs spilled to disk by completed runs whose memory_budget forced external sorting."),
+		spilledBytes: r.Counter("lash_jobs_spilled_bytes_total",
+			"Bytes of shuffle data spilled to disk by completed runs."),
+
+		cacheHits: r.Counter("lash_cache_hits_total",
+			"Result-cache lookups answered without mining."),
+		cacheMisses: r.Counter("lash_cache_misses_total",
+			"Result-cache lookups that found nothing."),
+		cacheEvictions: r.Counter("lash_cache_evictions_total",
+			"Results dropped from the cache to make room (LRU)."),
+		cacheEntries: r.Gauge("lash_cache_entries",
+			"Entries currently held by the result cache."),
+
+		databases: r.Gauge("lash_databases",
+			"Databases registered with the server."),
+		uptime: r.Gauge("lash_uptime_seconds",
+			"Seconds since the server was assembled."),
+		streamEmit: r.Histogram("lash_stream_emit_seconds",
+			"Time spent writing one pattern record to a streaming client; long tails mean client backpressure.",
+			obs.DurationBuckets),
+	}
+	obs.RegisterGoCollector(r)
+	return m
+}
+
+// httpRequest counts one served HTTP request. This path tolerates the
+// registry lookup (it is not the mining hot path), which keeps the
+// method × code label space lazily populated.
+func (m *serverMetrics) httpRequest(method string, code int) {
+	m.reg.Counter("lash_http_requests_total",
+		"HTTP requests served, by method and status code.",
+		"method", method, "code", strconv.Itoa(code)).Inc()
+}
+
+// WriteMetrics renders the server's metric registry in Prometheus text
+// exposition format — the body of GET /metrics. cmd/metriclint uses it to
+// lint the production metric set without a running server.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	return s.metrics.reg.WritePrometheus(w)
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lash"
+	"lash/internal/obs"
 )
 
 // DatabaseSpec describes a database to load into the registry. Exactly one
@@ -60,6 +61,10 @@ type DatabaseInfo struct {
 // concurrent mining jobs can read it without locking.
 type registry struct {
 	dataDir string // "" disables file-based specs
+	// loadSeconds, when set, observes how long each registration spent
+	// loading/generating its corpus (nil-safe; server.New wires it to
+	// lash_corpus_load_seconds).
+	loadSeconds *obs.Histogram
 
 	mu    sync.RWMutex
 	dbs   map[string]*dbEntry
@@ -89,10 +94,12 @@ func (r *registry) add(spec DatabaseSpec) (DatabaseInfo, error) {
 		return DatabaseInfo{}, fmt.Errorf("%w: database %q already exists", errConflict, spec.Name)
 	}
 
+	begin := time.Now()
 	db, source, err := r.load(spec)
 	if err != nil {
 		return DatabaseInfo{}, err
 	}
+	r.loadSeconds.Observe(time.Since(begin).Seconds())
 	info := DatabaseInfo{
 		Name:           spec.Name,
 		Source:         source,

@@ -22,6 +22,7 @@
 //	DELETE /v1/jobs/{id}          cancel a queued or running job
 //	GET    /v1/patterns           query a database's latest mined patterns
 //	GET    /v1/stats              registry / job / cache counters
+//	GET    /metrics               Prometheus text exposition of the same counters
 //	GET    /healthz               liveness probe
 //
 // Every job runs under a context derived from the server's lifetime:
@@ -41,9 +42,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"lash"
@@ -73,6 +76,11 @@ type Config struct {
 	// StreamFunc replaces lash.Stream for POST /v1/mine/stream; tests use
 	// it to script streamed deliveries. It must honor ctx cancellation.
 	StreamFunc StreamFunc
+	// Logger receives structured request and job-lifecycle logs. Every
+	// record carries the ids needed to correlate them: request_id for HTTP
+	// requests, job_id for jobs, both where a request touches a job. Nil
+	// discards all logs.
+	Logger *slog.Logger
 }
 
 // Server is a concurrent mining service. Create one with New, mount
@@ -81,7 +89,11 @@ type Server struct {
 	registry *registry
 	jobs     *manager
 	mux      *http.ServeMux
+	root     http.Handler // mux wrapped in the request-id/logging/metrics middleware
+	metrics  *serverMetrics
+	log      *slog.Logger
 	started  time.Time
+	nextReq  atomic.Uint64 // request-id source
 }
 
 // New assembles a Server from cfg.
@@ -103,12 +115,26 @@ func New(cfg Config) *Server {
 	if streamFn == nil {
 		streamFn = lash.Stream
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	met := newServerMetrics()
 	s := &Server{
 		registry: newRegistry(cfg.DataDir),
-		jobs:     newManager(cfg.Workers, cfg.CacheSize, cfg.JobHistory, mineFn, streamFn),
+		jobs:     newManager(cfg.Workers, cfg.CacheSize, cfg.JobHistory, mineFn, streamFn, met, logger),
 		mux:      http.NewServeMux(),
+		metrics:  met,
+		log:      logger,
 		started:  time.Now().UTC(),
 	}
+	s.registry.loadSeconds = met.pm.CorpusLoadSeconds
+	// Gauges whose truth lives elsewhere are refreshed at scrape time.
+	met.reg.OnScrape(func() {
+		met.uptime.Set(int64(time.Since(s.started).Seconds()))
+		met.cacheEntries.Set(int64(s.jobs.cache.stats().Size))
+		met.databases.Set(int64(s.registry.len()))
+	})
 	s.mux.HandleFunc("POST /v1/databases", s.handleAddDatabase)
 	s.mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
 	s.mux.HandleFunc("GET /v1/databases/{name}", s.handleGetDatabase)
@@ -119,10 +145,80 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.root = s.middleware(s.mux)
 	return s
+}
+
+// middleware assigns each request an id (threaded through the context so
+// job logs can point back at the request that caused them), logs the
+// request, and counts it into lash_http_requests_total.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%d", s.nextReq.Add(1))
+		r = r.WithContext(withRequestID(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		next.ServeHTTP(sw, r)
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.metrics.httpRequest(r.Method, code)
+		s.log.Info("http request", "request_id", id, "method", r.Method,
+			"path", r.URL.Path, "status", code, "duration_ms", time.Since(begin).Milliseconds())
+	})
+}
+
+// statusWriter captures the response status for logging/metrics while
+// forwarding Flush, which the NDJSON streaming handler depends on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ctxKey keys the request id in a context.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// requestIDFrom returns the request id threaded by the middleware, or "".
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// handleMetrics answers GET /metrics with the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w) //nolint:errcheck // nothing to do about a broken client pipe
 }
 
 // AddDatabase registers a database directly, bypassing HTTP — lashd uses it
@@ -132,7 +228,7 @@ func (s *Server) AddDatabase(spec DatabaseSpec) (DatabaseInfo, error) {
 }
 
 // Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.root }
 
 // Close stops accepting jobs and waits for in-flight mining to drain or
 // ctx to expire. Call it after http.Server.Shutdown.
@@ -243,13 +339,16 @@ func viewResult(res *lash.Result) *ResultView {
 // duration: final once the job is terminal, live (time mined so far) while
 // it is running.
 type JobView struct {
-	ID        string      `json:"job_id"`
-	Database  string      `json:"database"`
-	Status    JobStatus   `json:"status"`
-	Cached    bool        `json:"cached"`
-	Coalesced int         `json:"coalesced"`
-	Error     string      `json:"error,omitempty"`
-	Created   time.Time   `json:"created"`
+	ID        string    `json:"job_id"`
+	Database  string    `json:"database"`
+	Status    JobStatus `json:"status"`
+	Cached    bool      `json:"cached"`
+	Coalesced int       `json:"coalesced"`
+	Error     string    `json:"error,omitempty"`
+	Created   time.Time `json:"created"`
+	// QueueMS is how long the job waited for a worker slot: final once it
+	// started (or terminally never started), live while still queued.
+	QueueMS   int64       `json:"queue_ms,omitempty"`
 	RuntimeMS int64       `json:"runtime_ms,omitempty"`
 	Result    *ResultView `json:"result,omitempty"`
 }
@@ -275,6 +374,14 @@ func (m *manager) view(j *job, withResult bool) JobView {
 		v.RuntimeMS = j.finished.Sub(j.started).Milliseconds()
 	case !j.started.IsZero():
 		v.RuntimeMS = time.Since(j.started).Milliseconds()
+	}
+	switch {
+	case !j.started.IsZero():
+		v.QueueMS = j.started.Sub(j.created).Milliseconds()
+	case !j.finished.IsZero(): // cancelled while still queued
+		v.QueueMS = j.finished.Sub(j.created).Milliseconds()
+	default: // still waiting for a slot
+		v.QueueMS = time.Since(j.created).Milliseconds()
 	}
 	if withResult && j.status == JobDone {
 		v.Result = viewResult(j.result)
@@ -337,7 +444,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.jobs.submit(req.Database, db, opt)
+	j, err := s.jobs.submit(r.Context(), req.Database, db, opt)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -462,6 +569,7 @@ func (s *Server) handleMineStream(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	patterns := 0
 	emit := func(p lash.Pattern) error {
+		begin := time.Now()
 		if err := enc.Encode(PatternView{Items: p.Items, Support: p.Support}); err != nil {
 			return err
 		}
@@ -471,6 +579,9 @@ func (s *Server) handleMineStream(w http.ResponseWriter, r *http.Request) {
 		if patterns%64 == 0 && flusher != nil {
 			flusher.Flush()
 		}
+		// Long emit tails mean the client is not keeping up (backpressure
+		// stalls the mining goroutines behind the pipe).
+		s.metrics.streamEmit.Observe(time.Since(begin).Seconds())
 		return nil
 	}
 	res, err := s.jobs.stream(r.Context(), db, opt, emit)

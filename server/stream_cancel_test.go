@@ -185,8 +185,11 @@ func TestJobDurations(t *testing.T) {
 	}
 	_, stats := call(t, "GET", ts.URL+"/v1/stats", nil)
 	jobs := stats["jobs"].(map[string]any)
-	if ms, _ := jobs["mine_time_ms"].(float64); ms < 25 {
-		t.Errorf("stats mine_time_ms = %v, want ≥ 25", ms)
+	if ms, _ := jobs["run_time_ms"].(float64); ms < 25 {
+		t.Errorf("stats run_time_ms = %v, want ≥ 25", ms)
+	}
+	if _, present := jobs["queue_time_ms"]; !present {
+		t.Errorf("stats are missing queue_time_ms (mine_time_ms was split into queue_time_ms + run_time_ms)")
 	}
 }
 

@@ -1,0 +1,108 @@
+package lash
+
+import (
+	"io"
+	"time"
+
+	"lash/internal/obs"
+)
+
+// Trace collects the span tree of one or more mining runs: every MapReduce
+// job, its map/shuffle/reduce phases, per-task and per-partition intervals,
+// and any caller-side spans added with Span (corpus loading, output
+// writing). Attach one via Options.Trace, then render it with WriteJSON —
+// the `lash -trace-out` flag does exactly that.
+//
+// A Trace retains a bounded ring of recent spans (the most recent 65536);
+// Dropped reports how many older spans a very large run overwrote. Trace is
+// safe for concurrent use, but is meant to observe one run at a time —
+// spans of concurrent runs interleave into one forest.
+type Trace struct {
+	tracer *obs.Tracer
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{tracer: obs.NewTracer(0)}
+}
+
+// handle exposes the internal tracer to the mining pipeline (nil-safe).
+func (t *Trace) handle() *obs.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Span starts a named caller-side span at the trace's root level and
+// returns the function that ends it:
+//
+//	done := tr.Span("load-corpus")
+//	db, err := loadDatabase(...)
+//	done()
+//
+// Safe on a nil Trace (the returned function is a no-op).
+func (t *Trace) Span(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	sp := t.tracer.Start(name, 0)
+	return sp.End
+}
+
+// TraceSpan is one finished span, in caller-visible form.
+type TraceSpan struct {
+	Name      string
+	Job       string // MapReduce job name ("flist", "partition+mine", ...)
+	Phase     string // "map", "shuffle", "reduce" for phase/task spans
+	Partition int    // partition or task index; -1 when not applicable
+	Start     time.Time
+	Duration  time.Duration
+}
+
+// Spans returns the retained spans ordered by start time.
+func (t *Trace) Spans() []TraceSpan {
+	if t == nil {
+		return nil
+	}
+	recs := t.tracer.Spans()
+	out := make([]TraceSpan, len(recs))
+	for i, r := range recs {
+		out[i] = TraceSpan{
+			Name: r.Name, Job: r.Job, Phase: r.Phase, Partition: r.Partition,
+			Start: r.Start, Duration: r.Duration,
+		}
+	}
+	return out
+}
+
+// Dropped reports how many spans were overwritten because the trace's ring
+// buffer filled up (0 means WriteJSON's tree is complete).
+func (t *Trace) Dropped() int {
+	return t.handle().Dropped()
+}
+
+// WriteJSON renders the collected spans as an indented JSON span forest:
+//
+//	{
+//	  "spans": 12,            // retained spans
+//	  "dropped": 0,           // spans lost to the ring buffer
+//	  "wall_ms": 1042.7,      // earliest start to latest end
+//	  "roots": [              // top-level spans, children nested
+//	    {"name": "mine", "partition": -1, "start_ms": 0, "duration_ms": 1040.1,
+//	     "children": [
+//	       {"name": "job", "job": "flist", ...,
+//	        "children": [{"name": "phase", "phase": "map", ...}, ...]},
+//	       ...]}
+//	  ]
+//	}
+//
+// start_ms is relative to the trace's earliest span; a job's phase children
+// ("map", "shuffle", "reduce") are laid out back to back and sum to the
+// job's duration.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return obs.WriteTraceJSON(w, nil, 0)
+	}
+	return obs.WriteTraceJSON(w, t.tracer.Spans(), t.tracer.Dropped())
+}
