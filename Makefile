@@ -9,7 +9,7 @@ FUZZ_PKGS ?= ./internal/seqenc ./internal/seqdb
 PROFILE_BENCH ?= BenchmarkFig4a
 PROFILE_BENCHTIME ?= 3x
 
-.PHONY: build test vet lint bench bench-smoke bench-ci bench-diff bench-gate fuzz profile race clean
+.PHONY: build test vet lint lashvet tools-test bench bench-smoke bench-ci bench-diff bench-gate fuzz profile race clean
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,28 @@ test: vet
 race:
 	$(GO) test -race ./...
 
-# lint fails on formatting drift, vet findings, and Prometheus naming
-# violations in the /metrics registry; staticcheck runs too when it is
-# installed (CI installs it; locally it is optional).
-lint:
+# lashvet runs the project-invariant analyzer suite (ctxfirst,
+# atomicfield, obshandle, emitgo, errjob) over the root module. The
+# analyzers live in the tools/ module so the root go.mod stays
+# dependency-free. See "Static analysis" in README.md.
+lashvet:
+	$(GO) -C tools run ./cmd/lashvet -dir .. ./...
+
+# tools-test runs the analyzer suite's own tests (analysistest-style
+# want-diagnostic cases plus the multichecker smoke test).
+tools-test:
+	$(GO) -C tools test ./...
+
+# lint is the EXACT gate the CI lint job runs (one step per line, same
+# order): formatting drift, go vet, the lashvet invariant suite, the
+# Prometheus naming rules, then staticcheck when installed (CI installs a
+# pinned version; locally it is optional). Keep this target and
+# .github/workflows/ci.yml in sync.
+lint: lashvet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+	@out="$$(cd tools && gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt -l found unformatted files in tools/:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) -C tools vet ./...
 	$(GO) run ./cmd/metriclint
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -65,13 +67,15 @@ func main() {
 	fmt.Fprintf(out, "LASH experiment harness — scale=%s (σ map: 10000→%d, 1000→%d, 100→%d, 10→%d)\n\n",
 		scale.Name, scale.SigmaXHi, scale.SigmaHi, scale.SigmaLo, scale.SigmaXLo)
 	start := time.Now()
-	ctx := experiments.NewContext(scale)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ec := experiments.NewContext(scale)
 	var tr *obs.Tracer
 	if *traceOut != "" {
 		tr = obs.NewTracer(0)
-		ctx.Obs = &obs.Run{Tracer: tr}
+		ec.Obs = &obs.Run{Tracer: tr}
 	}
-	runErr := experiments.RunAndFormat(ctx, ids, out)
+	runErr := experiments.RunAndFormat(ctx, ec, ids, out)
 	// The trace is written even when a run fails: a truncated span tree
 	// still shows where the time went.
 	if tr != nil {

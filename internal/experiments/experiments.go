@@ -23,7 +23,7 @@ type Experiment struct {
 	ID    string
 	Paper string
 	Title string
-	Run   func(c *Context) (*Table, error)
+	Run   func(ctx context.Context, c *Context) (*Table, error)
 }
 
 // expMeta carries the identity of one experiment, kept separate from the
@@ -65,7 +65,7 @@ func metaFor(id string) expMeta {
 	return expMeta{id: id, paper: "?", title: "?"}
 }
 
-var runners = map[string]func(*Context) (*Table, error){
+var runners = map[string]func(context.Context, *Context) (*Table, error){
 	"table1": runTable1, "table2": runTable2,
 	"fig4a": runFig4a, "fig4b": runFig4b, "fig4c": runFig4c,
 	"fig4d": runFig4d, "fig4e": runFig4e,
@@ -98,7 +98,7 @@ func ByID(id string) (Experiment, error) {
 
 // RunAndFormat executes the selected experiments (nil/empty = all) and
 // writes their tables to w.
-func RunAndFormat(c *Context, ids []string, w io.Writer) error {
+func RunAndFormat(ctx context.Context, c *Context, ids []string, w io.Writer) error {
 	exps := All
 	if len(ids) > 0 {
 		exps = exps[:0:0]
@@ -111,7 +111,7 @@ func RunAndFormat(c *Context, ids []string, w io.Writer) error {
 		}
 	}
 	for _, e := range exps {
-		tbl, err := runTraced(c, e)
+		tbl, err := runTraced(ctx, c, e)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -126,16 +126,16 @@ func RunAndFormat(c *Context, ids []string, w io.Writer) error {
 // context carries a tracer), parenting every MapReduce job the experiment
 // runs to it. Experiments run sequentially, so mutating c.Obs.Root between
 // them is safe.
-func runTraced(c *Context, e Experiment) (*Table, error) {
+func runTraced(ctx context.Context, c *Context, e Experiment) (*Table, error) {
 	tr := c.Obs.TracerOf()
 	if tr == nil {
-		return e.Run(c)
+		return e.Run(ctx, c)
 	}
 	id := tr.NextID()
 	prev := c.Obs.Root
 	c.Obs.Root = id
 	begin := time.Now()
-	tbl, err := e.Run(c)
+	tbl, err := e.Run(ctx, c)
 	c.Obs.Root = prev
 	tr.Record(obs.SpanRecord{ID: id, Name: "exp:" + e.ID, Partition: -1,
 		Start: begin, Duration: time.Since(begin)})
@@ -149,7 +149,7 @@ func newTable(id string, header ...string) *Table {
 
 // --- Tables 1 & 2 --------------------------------------------------------
 
-func runTable1(c *Context) (*Table, error) {
+func runTable1(ctx context.Context, c *Context) (*Table, error) {
 	t := newTable("table1", "Dataset", "Sequences", "Avg length", "Max length", "Total items", "Unique items")
 	nyt, err := c.TextDB(datagen.HierarchyCLP)
 	if err != nil {
@@ -171,7 +171,7 @@ func runTable1(c *Context) (*Table, error) {
 	return t, nil
 }
 
-func runTable2(c *Context) (*Table, error) {
+func runTable2(ctx context.Context, c *Context) (*Table, error) {
 	t := newTable("table2", "Hierarchy", "Total", "Leaf", "Root", "Intermediate", "Levels", "Avg fan-out", "Max fan-out")
 	for _, v := range datagen.TextHierarchies {
 		db, err := c.TextDB(v)
@@ -224,7 +224,7 @@ type fig4Run struct {
 	bytes string
 }
 
-func runFig4Common(c *Context) ([][3]fig4Run, []string, error) {
+func runFig4Common(ctx context.Context, c *Context) ([][3]fig4Run, []string, error) {
 	var rows [][3]fig4Run
 	var labels []string
 	for _, set := range fig4Settings(c) {
@@ -234,21 +234,21 @@ func runFig4Common(c *Context) ([][3]fig4Run, []string, error) {
 		}
 		var row [3]fig4Run
 		bopt := baseline.Options{Params: set.p, MR: c.mr(0), MaxEmit: c.Scale.NaiveCap}
-		if res, err := baseline.MineNaive(context.Background(), db, bopt); err == nil {
+		if res, err := baseline.MineNaive(ctx, db, bopt); err == nil {
 			row[0] = fig4Run{fmtDur(res.Jobs.Mine.Sim.Total()), fmtBytes(res.Jobs.Mine.MapOutputBytes)}
 		} else if errors.Is(err, baseline.ErrEmitCapExceeded) {
 			row[0] = fig4Run{"DNF", "DNF"}
 		} else {
 			return nil, nil, err
 		}
-		if res, err := baseline.MineSemiNaive(context.Background(), db, bopt); err == nil {
+		if res, err := baseline.MineSemiNaive(ctx, db, bopt); err == nil {
 			row[1] = fig4Run{fmtDur(res.Jobs.FList.Sim.Total() + res.Jobs.Mine.Sim.Total()), fmtBytes(res.Jobs.Mine.MapOutputBytes)}
 		} else if errors.Is(err, baseline.ErrEmitCapExceeded) {
 			row[1] = fig4Run{"DNF", "DNF"}
 		} else {
 			return nil, nil, err
 		}
-		res, err := core.Mine(context.Background(), db, core.Options{Params: set.p, MR: c.mr(0)})
+		res, err := core.Mine(ctx, db, core.Options{Params: set.p, MR: c.mr(0)})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -259,8 +259,8 @@ func runFig4Common(c *Context) ([][3]fig4Run, []string, error) {
 	return rows, labels, nil
 }
 
-func runFig4a(c *Context) (*Table, error) {
-	rows, labels, err := runFig4Common(c)
+func runFig4a(ctx context.Context, c *Context) (*Table, error) {
+	rows, labels, err := runFig4Common(ctx, c)
 	if err != nil {
 		return nil, err
 	}
@@ -273,8 +273,8 @@ func runFig4a(c *Context) (*Table, error) {
 	return t, nil
 }
 
-func runFig4b(c *Context) (*Table, error) {
-	rows, labels, err := runFig4Common(c)
+func runFig4b(ctx context.Context, c *Context) (*Table, error) {
+	rows, labels, err := runFig4Common(ctx, c)
 	if err != nil {
 		return nil, err
 	}
@@ -286,14 +286,14 @@ func runFig4b(c *Context) (*Table, error) {
 	return t, nil
 }
 
-func runFig4c(c *Context) (*Table, error) {
-	return fig4MinerTable(c, "fig4c", func(res *core.Result) string {
+func runFig4c(ctx context.Context, c *Context) (*Table, error) {
+	return fig4MinerTable(ctx, c, "fig4c", func(res *core.Result) string {
 		return fmtDur(res.Jobs.Mine.Sim.Reduce)
 	}, "paper: PSM 9-22× faster than BFS, 2.5-3.5× faster than DFS; BFS runs out of memory at CLP λ=7")
 }
 
-func runFig4d(c *Context) (*Table, error) {
-	return fig4MinerTable(c, "fig4d", func(res *core.Result) string {
+func runFig4d(ctx context.Context, c *Context) (*Table, error) {
+	return fig4MinerTable(ctx, c, "fig4d", func(res *core.Result) string {
 		if res.Miner.Output == 0 {
 			return "0"
 		}
@@ -301,7 +301,7 @@ func runFig4d(c *Context) (*Table, error) {
 	}, "paper: PSM explores a small fraction of DFS's candidates; the index prunes up to another 2×")
 }
 
-func fig4MinerTable(c *Context, id string, cell func(*core.Result) string, note string) (*Table, error) {
+func fig4MinerTable(ctx context.Context, c *Context, id string, cell func(*core.Result) string, note string) (*Table, error) {
 	s := c.Scale
 	settings := []struct {
 		label   string
@@ -322,7 +322,7 @@ func fig4MinerTable(c *Context, id string, cell func(*core.Result) string, note 
 		}
 		row := []string{set.label}
 		for _, k := range kinds {
-			res, err := core.Mine(context.Background(), db, core.Options{Params: set.p, Miner: k, MR: c.mr(0)})
+			res, err := core.Mine(ctx, db, core.Options{Params: set.p, Miner: k, MR: c.mr(0)})
 			if err != nil {
 				return nil, err
 			}
@@ -334,7 +334,7 @@ func fig4MinerTable(c *Context, id string, cell func(*core.Result) string, note 
 	return t, nil
 }
 
-func runFig4e(c *Context) (*Table, error) {
+func runFig4e(ctx context.Context, c *Context) (*Table, error) {
 	s := c.Scale
 	settings := []gsm.Params{
 		{Sigma: s.SigmaLo, Gamma: 1, Lambda: 5},
@@ -347,11 +347,11 @@ func runFig4e(c *Context) (*Table, error) {
 	}
 	t := newTable("fig4e", "NYT flat (σ,γ,λ)", "MG-FSM", "LASH")
 	for _, p := range settings {
-		mg, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, Miner: miner.KindBFS, MR: c.mr(0)})
+		mg, err := core.Mine(ctx, db, core.Options{Params: p, Flat: true, Miner: miner.KindBFS, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
-		la, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, Miner: miner.KindPSM, MR: c.mr(0)})
+		la, err := core.Mine(ctx, db, core.Options{Params: p, Flat: true, Miner: miner.KindPSM, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -373,14 +373,14 @@ func addPhaseRow(t *Table, label string, st *mapreduce.Stats) {
 	t.AddRow(label, fmtDur(st.Sim.Map), fmtDur(st.Sim.Shuffle), fmtDur(st.Sim.Reduce), fmtDur(st.Sim.Total()))
 }
 
-func runFig5a(c *Context) (*Table, error) {
+func runFig5a(ctx context.Context, c *Context) (*Table, error) {
 	db, err := c.MarketDB(8)
 	if err != nil {
 		return nil, err
 	}
 	t := phaseTable("fig5a", "Support σ")
 	for _, sigma := range []int64{c.Scale.SigmaXLo, c.Scale.SigmaLo, c.Scale.SigmaHi, c.Scale.SigmaXHi} {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: sigma, Gamma: 1, Lambda: 5}, MR: c.mr(0)})
+		res, err := core.Mine(ctx, db, core.Options{Params: gsm.Params{Sigma: sigma, Gamma: 1, Lambda: 5}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -390,14 +390,14 @@ func runFig5a(c *Context) (*Table, error) {
 	return t, nil
 }
 
-func runFig5b(c *Context) (*Table, error) {
+func runFig5b(ctx context.Context, c *Context) (*Table, error) {
 	db, err := c.MarketDB(8)
 	if err != nil {
 		return nil, err
 	}
 	t := phaseTable("fig5b", "Gap γ")
 	for gamma := 0; gamma <= 3; gamma++ {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: gamma, Lambda: 5}, MR: c.mr(0)})
+		res, err := core.Mine(ctx, db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: gamma, Lambda: 5}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -407,14 +407,14 @@ func runFig5b(c *Context) (*Table, error) {
 	return t, nil
 }
 
-func runFig5c(c *Context) (*Table, error) {
+func runFig5c(ctx context.Context, c *Context) (*Table, error) {
 	db, err := c.MarketDB(8)
 	if err != nil {
 		return nil, err
 	}
 	t := phaseTable("fig5c", "Length λ")
 	for lambda := 3; lambda <= 7; lambda++ {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: c.mr(0)})
+		res, err := core.Mine(ctx, db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -424,14 +424,14 @@ func runFig5c(c *Context) (*Table, error) {
 	return t, nil
 }
 
-func runFig5d(c *Context) (*Table, error) {
+func runFig5d(ctx context.Context, c *Context) (*Table, error) {
 	db, err := c.MarketDB(8)
 	if err != nil {
 		return nil, err
 	}
 	t := newTable("fig5d", "Length λ", "Output sequences")
 	for lambda := 3; lambda <= 7; lambda++ {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: c.mr(0)})
+		res, err := core.Mine(ctx, db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaXLo, Gamma: 1, Lambda: lambda}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -441,14 +441,14 @@ func runFig5d(c *Context) (*Table, error) {
 	return t, nil
 }
 
-func runFig5e(c *Context) (*Table, error) {
+func runFig5e(ctx context.Context, c *Context) (*Table, error) {
 	t := phaseTable("fig5e", "Hierarchy")
 	for _, lv := range datagen.MarketLevels {
 		db, err := c.MarketDB(lv)
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 2, Lambda: 5}, MR: c.mr(0)})
+		res, err := core.Mine(ctx, db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 2, Lambda: 5}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -458,14 +458,14 @@ func runFig5e(c *Context) (*Table, error) {
 	return t, nil
 }
 
-func runFig5f(c *Context) (*Table, error) {
+func runFig5f(ctx context.Context, c *Context) (*Table, error) {
 	t := phaseTable("fig5f", "Hierarchy")
 	for _, v := range datagen.TextHierarchies {
 		db, err := c.TextDB(v)
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.mr(0)})
+		res, err := core.Mine(ctx, db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -477,7 +477,7 @@ func runFig5f(c *Context) (*Table, error) {
 
 // --- Fig. 6: scalability --------------------------------------------------
 
-func runFig6a(c *Context) (*Table, error) {
+func runFig6a(ctx context.Context, c *Context) (*Table, error) {
 	full, err := c.TextDB(datagen.HierarchyCLP)
 	if err != nil {
 		return nil, err
@@ -485,7 +485,7 @@ func runFig6a(c *Context) (*Table, error) {
 	t := phaseTable("fig6a", "% of data")
 	for _, frac := range []float64{0.25, 0.50, 0.75, 1.0} {
 		db := datagen.Sample(full, frac)
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.mr(0)})
+		res, err := core.Mine(ctx, db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -495,14 +495,14 @@ func runFig6a(c *Context) (*Table, error) {
 	return t, nil
 }
 
-func runFig6b(c *Context) (*Table, error) {
+func runFig6b(ctx context.Context, c *Context) (*Table, error) {
 	db, err := c.TextDB(datagen.HierarchyCLP)
 	if err != nil {
 		return nil, err
 	}
 	t := phaseTable("fig6b", "Machines")
 	for _, m := range []int{2, 4, 8} {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.scalingMR(m)})
+		res, err := core.Mine(ctx, db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.scalingMR(m)})
 		if err != nil {
 			return nil, err
 		}
@@ -513,7 +513,7 @@ func runFig6b(c *Context) (*Table, error) {
 	return t, nil
 }
 
-func runFig6c(c *Context) (*Table, error) {
+func runFig6c(ctx context.Context, c *Context) (*Table, error) {
 	full, err := c.TextDB(datagen.HierarchyCLP)
 	if err != nil {
 		return nil, err
@@ -524,7 +524,7 @@ func runFig6c(c *Context) (*Table, error) {
 		frac float64
 	}{{2, 0.25}, {4, 0.50}, {8, 1.0}} {
 		db := datagen.Sample(full, step.frac)
-		res, err := core.Mine(context.Background(), db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.scalingMR(step.m)})
+		res, err := core.Mine(ctx, db, core.Options{Params: gsm.Params{Sigma: c.Scale.SigmaLo, Gamma: 0, Lambda: 5}, MR: c.scalingMR(step.m)})
 		if err != nil {
 			return nil, err
 		}
@@ -536,7 +536,7 @@ func runFig6c(c *Context) (*Table, error) {
 
 // --- ablation: value of the rewrites (§4 discussion) ----------------------
 
-func runAblation(c *Context) (*Table, error) {
+func runAblation(ctx context.Context, c *Context) (*Table, error) {
 	db, err := c.TextDB(datagen.HierarchyLP)
 	if err != nil {
 		return nil, err
@@ -545,7 +545,7 @@ func runAblation(c *Context) (*Table, error) {
 	t := newTable("ablation", "Rewrites", "Shuffled", "Records", "Partition seqs", "Largest partition", "Reduce", "Total")
 	var base *core.Result
 	for _, mode := range []rewrite.Mode{rewrite.ModeNone, rewrite.ModeGeneralizeOnly, rewrite.ModeFull} {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: p, Rewrites: mode, MR: c.mr(0)})
+		res, err := core.Mine(ctx, db, core.Options{Params: p, Rewrites: mode, MR: c.mr(0)})
 		if err != nil {
 			return nil, err
 		}
@@ -566,14 +566,14 @@ func runAblation(c *Context) (*Table, error) {
 
 // --- Table 3 ---------------------------------------------------------------
 
-func runTable3(c *Context) (*Table, error) {
+func runTable3(ctx context.Context, c *Context) (*Table, error) {
 	t := newTable("table3", "Setting", "Output", "Non-trivial %", "Closed %", "Maximal %")
 	addRow := func(label string, db *gsm.Database, p gsm.Params) error {
-		res, err := core.Mine(context.Background(), db, core.Options{Params: p, MR: c.mr(0)})
+		res, err := core.Mine(ctx, db, core.Options{Params: p, MR: c.mr(0)})
 		if err != nil {
 			return err
 		}
-		flat, err := core.Mine(context.Background(), db, core.Options{Params: p, Flat: true, MR: c.mr(0)})
+		flat, err := core.Mine(ctx, db, core.Options{Params: p, Flat: true, MR: c.mr(0)})
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package experiments_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range experiments.All {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tbl, err := e.Run(c)
+			tbl, err := e.Run(context.Background(), c)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -93,7 +94,7 @@ func TestAllExperimentsRun(t *testing.T) {
 func TestRunAndFormatSelection(t *testing.T) {
 	c := experiments.NewContext(testScale())
 	var buf bytes.Buffer
-	if err := experiments.RunAndFormat(c, []string{"table1", "table2"}, &buf); err != nil {
+	if err := experiments.RunAndFormat(context.Background(), c, []string{"table1", "table2"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -103,7 +104,7 @@ func TestRunAndFormatSelection(t *testing.T) {
 	if strings.Contains(out, "fig4a") {
 		t.Fatal("unselected experiment ran")
 	}
-	if err := experiments.RunAndFormat(c, []string{"nope"}, &buf); err == nil {
+	if err := experiments.RunAndFormat(context.Background(), c, []string{"nope"}, &buf); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 }

@@ -211,7 +211,7 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 	stats := &Stats{}
 	stats.MapInputRecords = int64(len(input))
 	if ctx.Err() != nil {
-		return nil, stats, wrapCtxErr(job.Name, "start", ctx)
+		return nil, stats, wrapCtxErr(ctx, job.Name, "start")
 	}
 	errs := &errOnce{}
 	stopWatch := watchContext(ctx, errs)
@@ -581,7 +581,7 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 	stats.SpillRuns = rc.SpillRuns.Load()
 	stats.SpillBytes = rc.SpillBytes.Load()
 	stats.SpillRecords = rc.SpillRecords.Load()
-	if err := runErr(errs, ctx, job.Name, "run"); err != nil {
+	if err := runErr(ctx, errs, job.Name, "run"); err != nil {
 		return nil, stats, err
 	}
 

@@ -273,7 +273,7 @@ func watchContext(ctx context.Context, errs *errOnce) func() bool {
 // wrapCtxErr annotates a context cancellation with the job and phase it
 // interrupted. The returned error matches ctx.Err() under errors.Is, and
 // also the cancellation cause when one was set via context.WithCancelCause.
-func wrapCtxErr(jobName, phase string, ctx context.Context) error {
+func wrapCtxErr(ctx context.Context, jobName, phase string) error {
 	err := ctx.Err()
 	if cause := context.Cause(ctx); cause != nil && cause != err {
 		return fmt.Errorf("mapreduce: job %q: %s: %w: %w", jobName, phase, err, cause)
@@ -283,12 +283,12 @@ func wrapCtxErr(jobName, phase string, ctx context.Context) error {
 
 // runErr resolves a run's exit error: the first recorded task error wins;
 // otherwise a done context is translated into a wrapped ctx.Err().
-func runErr(errs *errOnce, ctx context.Context, jobName, phase string) error {
+func runErr(ctx context.Context, errs *errOnce, jobName, phase string) error {
 	if err := errs.get(); err != nil {
 		return err
 	}
 	if ctx.Err() != nil {
-		return wrapCtxErr(jobName, phase, ctx)
+		return wrapCtxErr(ctx, jobName, phase)
 	}
 	return nil
 }
@@ -329,7 +329,7 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 	stats := &Stats{}
 	stats.MapInputRecords = int64(len(input))
 	if ctx.Err() != nil {
-		return nil, stats, wrapCtxErr(job.Name, "start", ctx)
+		return nil, stats, wrapCtxErr(ctx, job.Name, "start")
 	}
 	errs := &errOnce{}
 	stop := watchContext(ctx, errs)
@@ -439,7 +439,7 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 	stats.MapTaskTimes = taskTimes
 	stats.MapOutputRecords = rc.ShuffleRecords.Load()
 	stats.MapOutputBytes = rc.ShuffleBytes.Load()
-	if err := runErr(errs, ctx, job.Name, "map"); err != nil {
+	if err := runErr(ctx, errs, job.Name, "map"); err != nil {
 		return nil, stats, err
 	}
 
@@ -465,7 +465,7 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 	}))
 	stats.Wall.Shuffle = time.Since(shufStart)
 	report("shuffle")
-	if err := runErr(errs, ctx, job.Name, "shuffle"); err != nil {
+	if err := runErr(ctx, errs, job.Name, "shuffle"); err != nil {
 		return nil, stats, err
 	}
 
@@ -498,7 +498,7 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 	stats.ReduceTaskTimes = redTimes
 	stats.ReduceInputKeys = redKeys.Load()
 	stats.ReduceOutputRecords = redRecords.Load()
-	if err := runErr(errs, ctx, job.Name, "reduce"); err != nil {
+	if err := runErr(ctx, errs, job.Name, "reduce"); err != nil {
 		return nil, stats, err
 	}
 

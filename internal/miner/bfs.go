@@ -116,6 +116,7 @@ func (BFS) Mine(p *Partition, cfg Config, sc *Scratch, emit Emit) Stats {
 	if sc == nil {
 		sc = NewScratch()
 	}
+	//lashvet:ignore emitgo bfsRun is call-scoped traversal state; Mine returns before the struct is released and emit never crosses a goroutine
 	b := &bfsRun{p: p, cfg: cfg, emit: emit, bound: cfg.bound(p), sc: sc, n: maxRankPlus1(p)}
 	b.run()
 	cfg.record(b.stats)

@@ -18,6 +18,7 @@ func (DFS) Mine(p *Partition, cfg Config, sc *Scratch, emit Emit) Stats {
 	if sc == nil {
 		sc = NewScratch()
 	}
+	//lashvet:ignore emitgo dfsRun is call-scoped traversal state; Mine returns before the struct is released and emit never crosses a goroutine
 	d := &dfsRun{p: p, cfg: cfg, emit: emit, bound: cfg.bound(p), sc: sc, n: maxRankPlus1(p)}
 	d.run()
 	sc.pattern = d.pattern[:0]

@@ -33,6 +33,7 @@ func (m *PSM) Mine(p *Partition, cfg Config, sc *Scratch, emit Emit) Stats {
 	}
 	n := maxRankPlus1(p)
 	run := &psmRun{
+		//lashvet:ignore emitgo psmRun is call-scoped traversal state; Mine returns before the struct is released and emit never crosses a goroutine
 		p: p, cfg: cfg, emit: emit, useIndex: m.UseIndex,
 		bound: p.Pivot, sc: sc, n: n, words: (n + 63) / 64,
 	}

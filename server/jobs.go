@@ -134,6 +134,7 @@ func newManager(workers, cacheSize, maxJobs int, mineFn MineFunc, streamFn Strea
 	if workers < 1 {
 		workers = 1
 	}
+	//lashvet:ignore ctxfirst job lifetimes are server-scoped by design: the manager root context outlives any request, and Close cancels it with the shutdown cause
 	ctx, cancel := context.WithCancelCause(context.Background())
 	cache := newResultCache(cacheSize)
 	cache.instrument(met.cacheHits, met.cacheMisses, met.cacheEvictions)
@@ -345,7 +346,7 @@ func (m *manager) finish(j *job, res *lash.Result, err error) {
 		m.met.spilledBytes.Add(res.Stats.SpillBytes)
 		m.cache.add(j.key, res)
 		m.latest[j.dbName] = j
-	case wasCancelled(err, j.ctx):
+	case wasCancelled(j.ctx, err):
 		j.status = JobCancelled
 		j.err = err
 		m.met.jobsCancelled.Inc()
@@ -372,7 +373,7 @@ func (m *manager) finish(j *job, res *lash.Result, err error) {
 // the error chain directly, or a context.Canceled whose job context was
 // cancelled by DELETE or shutdown. (A MineFunc may surface either the
 // plain ctx error or the substrate's cause-carrying wrap.)
-func wasCancelled(err error, ctx context.Context) bool {
+func wasCancelled(ctx context.Context, err error) bool {
 	if errors.Is(err, errJobCancelled) || errors.Is(err, errShutdown) {
 		return true
 	}

@@ -1,0 +1,10 @@
+// Package obs is a stub registry so badmod/core can violate obshandle.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }

@@ -1,0 +1,108 @@
+// Unitchecker-protocol half of lashvet: cmd/vet drives analysis tools by
+// handing them a JSON config per package with pre-resolved import maps and
+// compiler export data; the tool type-checks from that, reports plain
+// file:line:col diagnostics on stderr, and exits 2 when it found
+// something. This mirrors x/tools' unitchecker without depending on it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"lash/tools/internal/analysis/load"
+)
+
+// vetConfig is the subset of cmd/vet's per-package JSON config lashvet
+// consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitMain runs one vet unit and returns the process exit code: 0 clean,
+// 1 operational failure, 2 findings (the cmd/vet convention).
+func unitMain(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lashvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "lashvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// lashvet produces no facts, but vet requires the output file to
+	// exist for caching and for dependents' PackageVetx maps.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "lashvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	findings, err := analyzeUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "lashvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.pos, f.analyzer, f.msg)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// analyzeUnit parses and type-checks one vet unit from its config and
+// applies the analyzer suite.
+func analyzeUnit(cfg *vetConfig) ([]finding, error) {
+	fset := token.NewFileSet()
+	files, err := load.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := load.NewInfo()
+	tconf := types.Config{
+		Importer: load.ExportImporter(fset, lookup),
+		Error:    func(error) {},
+	}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking: %w", err)
+	}
+	return analyzePackage(fset, files, pkg, info)
+}

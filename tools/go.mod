@@ -1,0 +1,3 @@
+module lash/tools
+
+go 1.24

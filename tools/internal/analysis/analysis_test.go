@@ -1,0 +1,98 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"lash/tools/internal/analysis"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseDirectives(t *testing.T) {
+	fset, files := parse(t, `package p
+
+//lashvet:ignore ctxfirst reason one
+var a int
+
+//lashvet:ignore ctxfirst,emitgo shared reason
+var b int
+
+//lashvet:ignore
+var c int
+
+//lashvet:ignore obshandle
+var d int
+
+//lashvet:ignoreother not ours at all
+var e int
+`)
+	dirs, bad := analysis.ParseDirectives(fset, files)
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2: %+v", len(dirs), dirs)
+	}
+	if dirs[0].Reason != "reason one" || len(dirs[0].Analyzers) != 1 || dirs[0].Analyzers[0] != "ctxfirst" {
+		t.Errorf("directive 0 parsed wrong: %+v", dirs[0])
+	}
+	if len(dirs[1].Analyzers) != 2 || dirs[1].Analyzers[1] != "emitgo" || dirs[1].Reason != "shared reason" {
+		t.Errorf("directive 1 parsed wrong: %+v", dirs[1])
+	}
+	// Bare directive and analyzer-without-reason are both malformed;
+	// //lashvet:ignoreother is not a directive at all.
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed directives, want 2: %+v", len(bad), bad)
+	}
+}
+
+func TestSuppressedLineScope(t *testing.T) {
+	fset, files := parse(t, `package p
+
+//lashvet:ignore ctxfirst the line below is covered
+var a int
+var b int
+`)
+	dirs, bad := analysis.ParseDirectives(fset, files)
+	if len(bad) != 0 || len(dirs) != 1 {
+		t.Fatalf("parse: dirs=%v bad=%v", dirs, bad)
+	}
+	posOnLine := func(line int) token.Pos {
+		return fset.File(dirs[0].Pos).LineStart(line)
+	}
+	if !analysis.Suppressed(fset, dirs, "ctxfirst", posOnLine(3)) {
+		t.Error("same line not suppressed")
+	}
+	if !analysis.Suppressed(fset, dirs, "ctxfirst", posOnLine(4)) {
+		t.Error("line below not suppressed")
+	}
+	if analysis.Suppressed(fset, dirs, "ctxfirst", posOnLine(5)) {
+		t.Error("two lines below wrongly suppressed")
+	}
+	if analysis.Suppressed(fset, dirs, "emitgo", posOnLine(4)) {
+		t.Error("other analyzer wrongly suppressed")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	if !analysis.PathHasElement("lash/internal/obs", "internal") {
+		t.Error("internal element not found")
+	}
+	if analysis.PathHasElement("lash/internals/obs", "internal") {
+		t.Error("substring wrongly matched as element")
+	}
+	if analysis.PathBase("lash/internal/obs") != "obs" {
+		t.Error("PathBase failed")
+	}
+	if analysis.PathBase("obs") != "obs" {
+		t.Error("PathBase failed on bare path")
+	}
+}

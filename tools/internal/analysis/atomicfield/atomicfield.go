@@ -1,0 +1,154 @@
+// Package atomicfield enforces the repository's atomic-access contract
+// (internal/obs package doc; internal/mapreduce "shared counters" note):
+// once a struct field is accessed through sync/atomic anywhere in a
+// package, every other access to that field in the package must also be
+// atomic. A plain read of an atomically-written counter is exactly the
+// data race the PR 6 Registry hammer test caught dynamically; this
+// analyzer catches the same shape at compile time.
+//
+// Detection is per package: pass one records every field whose address is
+// taken as an argument to a sync/atomic function (atomic.AddInt64(&x.n,
+// 1), atomic.LoadUint64(&x.v), ...); pass two reports any selector of a
+// recorded field that is not itself an operand of a sync/atomic call.
+// Fields of the atomic.Int64/Uint64/... wrapper types are type-safe by
+// construction and need no analysis — the analyzer also nudges mixed-use
+// fields toward those types in its message.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lash/tools/internal/analysis"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "struct fields accessed via sync/atomic must never be read or written plainly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: fields (as canonical *types.Var objects) used atomically,
+	// keyed to the position of their first atomic use for the message.
+	atomicFields := make(map[*types.Var]ast.Node)
+	// Selector expressions that are legitimate atomic operands, so pass 2
+	// can skip them.
+	atomicUses := make(map[*ast.SelectorExpr]bool)
+
+	analysis.WalkStack(pass.Files, func(stack []ast.Node) bool {
+		call, ok := stack[len(stack)-1].(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass.TypesInfo, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || unary.Op.String() != "&" {
+				continue
+			}
+			sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			field := fieldOf(pass.TypesInfo, sel)
+			if field == nil {
+				continue
+			}
+			atomicUses[sel] = true
+			if _, seen := atomicFields[field]; !seen {
+				atomicFields[field] = call
+			}
+		}
+		return true
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selection of those fields is a plain access.
+	analysis.WalkStack(pass.Files, func(stack []ast.Node) bool {
+		sel, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+		if !ok || atomicUses[sel] {
+			return true
+		}
+		field := fieldOf(pass.TypesInfo, sel)
+		if field == nil {
+			return true
+		}
+		first, isAtomic := atomicFields[field]
+		if !isAtomic {
+			return true
+		}
+		firstPos := pass.Fset.Position(first.Pos())
+		verb := "read"
+		if isWrite(stack) {
+			verb = "written"
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %s is accessed with sync/atomic (e.g. %s:%d) but %s plainly here; use atomic access everywhere or migrate the field to an atomic.%s",
+			field.Name(), firstPos.Filename, firstPos.Line, verb, wrapperFor(field.Type()))
+		return true
+	})
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// function (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fieldOf resolves sel to the struct field object it selects, or nil for
+// methods, package qualifiers, and non-field selections.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isWrite reports whether the selector at the top of the stack is being
+// assigned to (including op-assign and ++/--).
+func isWrite(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	sel := stack[len(stack)-1]
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if ast.Unparen(lhs) == sel {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return ast.Unparen(parent.X) == sel
+	}
+	return false
+}
+
+// wrapperFor suggests the sync/atomic wrapper type for a field's type.
+func wrapperFor(t types.Type) string {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch basic.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	default:
+		return "Value"
+	}
+}

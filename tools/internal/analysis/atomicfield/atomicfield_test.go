@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"lash/tools/internal/analysis/atomicfield"
+	"lash/tools/internal/analysis/vettest"
+)
+
+func TestAtomicField(t *testing.T) {
+	vettest.Run(t, vettest.TestData(t), atomicfield.Analyzer, "a", "suppress")
+}

@@ -1,0 +1,35 @@
+// Target package for atomicfield: fields touched through sync/atomic must
+// never be accessed plainly in the same package.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	n    int64
+	m    int64
+	u    uint32
+	safe atomic.Int64 // wrapper type: type-safe by construction, ignored
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.StoreInt64(&c.m, 2)
+	atomic.AddUint32(&c.u, 1)
+	c.safe.Add(1)
+}
+
+func (c *counters) bad() int64 {
+	x := c.n // want `field n is accessed with sync/atomic .* but read plainly`
+	c.m = 7  // want `field m is accessed with sync/atomic .* but written plainly`
+	c.u++    // want `field u is accessed with sync/atomic .* but written plainly`
+	return x + c.safe.Load()
+}
+
+func (c *counters) good() int64 {
+	return atomic.LoadInt64(&c.n) + atomic.LoadInt64(&c.m) + c.safe.Load()
+}
+
+// plain is never accessed atomically, so plain access is fine.
+type plain struct{ n int64 }
+
+func (p *plain) inc() { p.n++ }

@@ -1,0 +1,20 @@
+// Suppression case for atomicfield: a plain read under an external lock,
+// documented by the directive's reason.
+package suppress
+
+import "sync/atomic"
+
+type gauge struct {
+	v int64
+}
+
+func (g *gauge) set(x int64) { atomic.StoreInt64(&g.v, x) }
+
+func (g *gauge) snapshotLocked() int64 {
+	//lashvet:ignore atomicfield callers hold the registry lock here; the atomic store is for lock-free readers only
+	return g.v
+}
+
+func (g *gauge) stillBad() int64 {
+	return g.v // want `field v is accessed with sync/atomic`
+}

@@ -1,0 +1,187 @@
+// Package ctxfirst enforces the repository's context contract (README
+// "Cancellation, streaming, and progress"; lash package doc): every layer
+// of the mining pipeline is context-first, so cancellation reaches from
+// the HTTP handler down to every MapReduce emit point.
+//
+// The analyzer reports:
+//
+//  1. A function, method, interface method, or function type with a
+//     context.Context parameter anywhere but first.
+//  2. A context.Context stored in a struct field, unless the struct is an
+//     allowed job/session carrier (by default `job` and `manager`, the
+//     server types whose package docs state why they own a context).
+//  3. A context.Background()/context.TODO() call below the API boundary —
+//     in any package with an `internal` path element or listed in
+//     Config.DeepPackages — where the caller's context must be threaded
+//     instead.
+//  4. A context.Background()/context.TODO() call inside a function that
+//     (itself or through an enclosing closure) already receives a ctx:
+//     the incoming context is being swallowed.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lash/tools/internal/analysis"
+)
+
+// Config tunes the analyzer.
+type Config struct {
+	// AllowedStructs are struct type names permitted to hold a
+	// context.Context field (lifecycle carriers like the server's job and
+	// manager records, whose docs state the derivation contract).
+	AllowedStructs []string
+	// DeepPackages are import paths below the API boundary in addition to
+	// every package with an "internal" path element.
+	DeepPackages []string
+}
+
+// DefaultConfig matches this repository: the server's job/manager records
+// carry contexts, and lash/server sits below the public lash API.
+func DefaultConfig() Config {
+	return Config{
+		AllowedStructs: []string{"job", "manager"},
+		DeepPackages:   []string{"lash/server"},
+	}
+}
+
+// NewAnalyzer returns a ctxfirst analyzer with the given configuration.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "ctxfirst",
+		Doc:  "enforce context-first parameters, no context struct fields outside job/session types, and no context.Background/TODO below the API boundary",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// Analyzer is ctxfirst with DefaultConfig.
+var Analyzer = NewAnalyzer(DefaultConfig())
+
+func run(pass *analysis.Pass, cfg Config) error {
+	allowed := make(map[string]bool, len(cfg.AllowedStructs))
+	for _, s := range cfg.AllowedStructs {
+		allowed[s] = true
+	}
+	deep := analysis.PathHasElement(pass.Pkg.Path(), "internal")
+	for _, p := range cfg.DeepPackages {
+		if pass.Pkg.Path() == p {
+			deep = true
+		}
+	}
+
+	analysis.WalkStack(pass.Files, func(stack []ast.Node) bool {
+		switch n := stack[len(stack)-1].(type) {
+		case *ast.FuncType:
+			checkParams(pass, n)
+		case *ast.StructType:
+			checkFields(pass, n, stack, allowed)
+		case *ast.CallExpr:
+			checkBackground(pass, n, stack, deep)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkParams reports context.Context parameters that are not first. The
+// check applies to every function signature in the package — declarations,
+// literals, methods (the receiver does not count), interface methods, and
+// named function types.
+func checkParams(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // parameter index, counting each name in a grouped field
+	for fi, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && analysis.IsContextType(tv.Type) {
+			if fi > 0 || pos > 0 {
+				pass.Reportf(field.Pos(), "context.Context parameter must be first (found at position %d)", pos+1)
+			}
+			if n > 1 {
+				pass.Reportf(field.Pos(), "multiple context.Context parameters in one signature")
+			}
+		}
+		pos += n
+	}
+}
+
+// checkFields reports context.Context struct fields outside the allowed
+// carrier types.
+func checkFields(pass *analysis.Pass, st *ast.StructType, stack []ast.Node, allowed map[string]bool) {
+	name := enclosingTypeName(stack)
+	if allowed[name] {
+		return
+	}
+	for _, field := range st.Fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !analysis.IsContextType(tv.Type) {
+			continue
+		}
+		if name == "" {
+			pass.Reportf(field.Pos(), "context.Context stored in anonymous struct; pass it as a parameter instead")
+			continue
+		}
+		pass.Reportf(field.Pos(), "context.Context stored in struct %s; contexts are call-scoped — only designated job/session types may carry one", name)
+	}
+}
+
+// enclosingTypeName finds the TypeSpec name the struct literal belongs to,
+// or "" for anonymous structs.
+func enclosingTypeName(stack []ast.Node) string {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if ts, ok := stack[i].(*ast.TypeSpec); ok {
+			return ts.Name.Name
+		}
+	}
+	return ""
+}
+
+// checkBackground reports context.Background()/TODO() calls that discard
+// an available or required caller context.
+func checkBackground(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node, deep bool) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if fn.Name() != "Background" && fn.Name() != "TODO" {
+		return
+	}
+	if hasCtxInScope(pass.TypesInfo, stack) {
+		pass.Reportf(call.Pos(), "context.%s() inside a function that already receives a context.Context; thread the caller's ctx", fn.Name())
+		return
+	}
+	if deep {
+		pass.Reportf(call.Pos(), "context.%s() below the API boundary (package %s); accept and thread the caller's ctx", fn.Name(), pass.Pkg.Path())
+	}
+}
+
+// hasCtxInScope reports whether any enclosing function declaration or
+// literal on the stack takes a context.Context parameter (closures see
+// captured contexts too).
+func hasCtxInScope(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		default:
+			continue
+		}
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			if tv, ok := info.Types[field.Type]; ok && analysis.IsContextType(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"lash/tools/internal/analysis/ctxfirst"
+	"lash/tools/internal/analysis/vettest"
+)
+
+func TestCtxFirst(t *testing.T) {
+	vettest.Run(t, vettest.TestData(t), ctxfirst.Analyzer, "a", "internal/deep", "suppress")
+}

@@ -1,0 +1,53 @@
+// Target package for ctxfirst: parameter order, struct fields, and
+// swallowed contexts. Package path "a" is above the API boundary, so
+// context.Background is only flagged where a ctx is already in scope.
+package a
+
+import "context"
+
+type session struct {
+	ctx context.Context // want `context.Context stored in struct session`
+}
+
+type job struct { // allowed carrier type
+	ctx context.Context
+}
+
+type manager struct { // allowed carrier type
+	baseCtx context.Context
+}
+
+func Good(ctx context.Context, n int) {}
+
+func Bad(n int, ctx context.Context) {} // want `context.Context parameter must be first \(found at position 2\)`
+
+func Doubled(ctx, ctx2 context.Context) {} // want `multiple context.Context parameters`
+
+type handler interface {
+	Do(name string, ctx context.Context) // want `context.Context parameter must be first`
+}
+
+type fn func(n int, ctx context.Context) // want `context.Context parameter must be first`
+
+func swallow(ctx context.Context) error {
+	_ = context.Background() // want `context.Background\(\) inside a function that already receives`
+	return nil
+}
+
+func swallowNested(ctx context.Context) {
+	f := func() {
+		_ = context.TODO() // want `context.TODO\(\) inside a function that already receives`
+	}
+	f()
+}
+
+// topLevel has no ctx in scope and "a" is not a deep package: allowed.
+func topLevel() context.Context {
+	return context.Background()
+}
+
+var _ = session{}
+var _ = job{}
+var _ = manager{}
+var _ handler
+var _ fn

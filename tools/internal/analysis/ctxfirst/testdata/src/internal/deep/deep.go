@@ -1,0 +1,9 @@
+// Package deep sits below the API boundary (its import path contains an
+// "internal" element), so synthesizing a root context anywhere is flagged.
+package deep
+
+import "context"
+
+func start() context.Context {
+	return context.Background() // want `context.Background\(\) below the API boundary`
+}

@@ -1,0 +1,12 @@
+// Suppression cases for ctxfirst: directives on the same line and on the
+// line above silence the finding; the reason is mandatory.
+package suppress
+
+import "context"
+
+func legacy(n int, ctx context.Context) {} //lashvet:ignore ctxfirst frozen wire-compat signature, callers migrated in the v2 API
+
+//lashvet:ignore ctxfirst frozen wire-compat signature, callers migrated in the v2 API
+func legacyAbove(n int, ctx context.Context) {}
+
+func stillBad(n int, ctx context.Context) {} // want `context.Context parameter must be first`

@@ -1,0 +1,12 @@
+package emitgo_test
+
+import (
+	"testing"
+
+	"lash/tools/internal/analysis/emitgo"
+	"lash/tools/internal/analysis/vettest"
+)
+
+func TestEmitGo(t *testing.T) {
+	vettest.Run(t, vettest.TestData(t), emitgo.Analyzer, "a", "suppress")
+}

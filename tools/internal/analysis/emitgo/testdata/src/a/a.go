@@ -1,0 +1,44 @@
+// Target package for emitgo: serialized emit/progress callbacks must not
+// cross goroutines or outlive their call.
+package a
+
+type sink struct{ cb func(int) }
+
+var global func(int)
+
+func mapper(item int, emit func(int)) {
+	emit(item)   // synchronous call: allowed
+	helper(emit) // synchronous pass-through: allowed
+	e := emit
+	e(item) // local alias: allowed
+
+	go emit(item)              // want `serialized callback emit used inside a go statement`
+	go func() { emit(item) }() // want `serialized callback emit used inside a go statement`
+	go helper(e)               // want `serialized callback e used inside a go statement`
+
+	s := &sink{}
+	s.cb = emit        // want `serialized callback emit stored outside the call`
+	global = e         // want `serialized callback e stored outside the call`
+	_ = sink{cb: emit} // want `serialized callback emit stored in a composite literal`
+	ch := make(chan func(int), 1)
+	ch <- emit // want `serialized callback emit sent on a channel`
+	<-ch
+}
+
+func helper(f func(int)) {}
+
+func ret(emit func(int)) func(int) {
+	return emit // want `serialized callback emit returned from the function`
+}
+
+func progressLoop(progress func(done int), n int) {
+	for i := 0; i < n; i++ {
+		progress(i) // allowed
+	}
+}
+
+// notTracked is a func-typed parameter without a contract-bearing name:
+// storing it is fine.
+func notTracked(cb func(int)) {
+	global = cb
+}

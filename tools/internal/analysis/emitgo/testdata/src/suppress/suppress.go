@@ -1,0 +1,17 @@
+// Suppression case for emitgo: call-scoped traversal state may hold the
+// callback with a stated reason.
+package suppress
+
+type run struct{ emit func(int) }
+
+func Mine(items []int, emit func(int)) {
+	//lashvet:ignore emitgo run is call-scoped traversal state; Mine returns before the struct is released
+	r := &run{emit: emit}
+	for _, it := range items {
+		r.emit(it)
+	}
+}
+
+func MineBad(items []int, emit func(int)) *run {
+	return &run{emit: emit} // want `serialized callback emit stored in a composite literal`
+}

@@ -1,0 +1,182 @@
+// Package errjob enforces the error contract at the mapreduce/core
+// boundary (internal/mapreduce package doc "Errors and cancellation"):
+// errors that cross out of the MapReduce substrate or the core pipeline
+// must (a) wrap their cause with %w — so errors.Is(err, context.Canceled)
+// and errors.As keep working through the job runner and the HTTP layer —
+// and (b) carry a job/phase annotation, which mechanically means the
+// message starts with the package prefix ("mapreduce: job %q: ...",
+// "core: partition %d: ...") or chains off an already-annotated sentinel
+// via a leading %w.
+//
+// The analyzer checks fmt.Errorf and errors.New calls in the boundary
+// packages (import-path base mapreduce, core, or baseline by default):
+//
+//   - an error-typed argument to fmt.Errorf whose format verb is not %w
+//     is reported (the cause chain is being flattened to text);
+//   - a constant message that neither starts with "<package>: " nor with
+//     "%w" is reported (the error will surface without job/phase context).
+//
+// Non-constant format strings are skipped; bare `return err` propagation
+// is always fine (annotation happened below).
+package errjob
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"lash/tools/internal/analysis"
+)
+
+// Config tunes the analyzer.
+type Config struct {
+	// Packages are import-path bases whose error constructors are checked.
+	Packages []string
+}
+
+// DefaultConfig matches this repository's boundary packages.
+func DefaultConfig() Config {
+	return Config{Packages: []string{"mapreduce", "core", "baseline"}}
+}
+
+// NewAnalyzer returns an errjob analyzer with the given configuration.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "errjob",
+		Doc:  "errors crossing the mapreduce/core boundary wrap causes with %w and carry job/phase annotation",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// Analyzer is errjob with DefaultConfig.
+var Analyzer = NewAnalyzer(DefaultConfig())
+
+func run(pass *analysis.Pass, cfg Config) error {
+	applies := false
+	for _, p := range cfg.Packages {
+		if analysis.PathBase(pass.Pkg.Path()) == p {
+			applies = true
+		}
+	}
+	if !applies {
+		return nil
+	}
+	prefix := pass.Pkg.Name() + ":"
+
+	analysis.WalkStack(pass.Files, func(stack []ast.Node) bool {
+		call, ok := stack[len(stack)-1].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isStdCall(pass.TypesInfo, call, "fmt", "Errorf"):
+			checkErrorf(pass, call, prefix)
+		case isStdCall(pass.TypesInfo, call, "errors", "New"):
+			if msg, ok := constString(pass.TypesInfo, call.Args[0]); ok {
+				checkPrefix(pass, call, msg, prefix)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func isStdCall(info *types.Info, call *ast.CallExpr, pkg, name string) bool {
+	fn := analysis.CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkg && fn.Name() == name && len(call.Args) > 0
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr, prefix string) {
+	format, ok := constString(pass.TypesInfo, call.Args[0])
+	if !ok {
+		return // computed format: out of scope
+	}
+	checkPrefix(pass, call, format, prefix)
+
+	verbs, indexed := scanVerbs(format)
+	if indexed {
+		return // explicit argument indexes: out of scope
+	}
+	for i, arg := range call.Args[1:] {
+		if !isErrorValue(pass.TypesInfo, arg) {
+			continue
+		}
+		if i >= len(verbs) {
+			break // vet territory (too few verbs); not ours
+		}
+		if verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(),
+				"error cause formatted with %%%c instead of %%w; wrapping is required at the %s boundary so errors.Is/As (and ctx cause detection) see the chain",
+				verbs[i], pass.Pkg.Name())
+		}
+	}
+}
+
+// checkPrefix reports messages lacking the package/job annotation prefix.
+func checkPrefix(pass *analysis.Pass, call *ast.CallExpr, msg, prefix string) {
+	if strings.HasPrefix(msg, prefix) || strings.HasPrefix(msg, "%w") {
+		return
+	}
+	pass.Reportf(call.Args[0].Pos(),
+		"error message %q lacks the %q job/phase annotation prefix (or a leading %%w chaining an annotated sentinel)",
+		abbreviate(msg), prefix)
+}
+
+// abbreviate shortens long messages for diagnostics.
+func abbreviate(s string) string {
+	if len(s) > 48 {
+		return s[:45] + "..."
+	}
+	return s
+}
+
+// constString evaluates expr to a constant string if possible.
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isErrorValue reports whether the expression's static type implements
+// the error interface.
+func isErrorValue(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	return types.AssignableTo(tv.Type, errType)
+}
+
+// scanVerbs extracts the verb letter for each argument-consuming fmt verb
+// in order. '*' width/precision arguments are recorded as '*' so argument
+// positions stay aligned. Returns indexed=true when the format uses
+// explicit %[n] indexes, which this scanner does not model.
+func scanVerbs(format string) (verbs []byte, indexed bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue // literal %%
+		}
+		// Flags, width, precision (a '*' consumes an argument).
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.*", rune(format[i])) {
+			if format[i] == '*' {
+				verbs = append(verbs, '*')
+			}
+			i++
+		}
+		if i < len(format) && format[i] == '[' {
+			return nil, true
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, false
+}

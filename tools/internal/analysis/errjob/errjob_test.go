@@ -1,0 +1,12 @@
+package errjob_test
+
+import (
+	"testing"
+
+	"lash/tools/internal/analysis/errjob"
+	"lash/tools/internal/analysis/vettest"
+)
+
+func TestErrJob(t *testing.T) {
+	vettest.Run(t, vettest.TestData(t), errjob.Analyzer, "core", "other", "mapreduce")
+}

@@ -1,0 +1,39 @@
+// Target package for errjob: import-path base "core" is a boundary
+// package, so error constructors must %w-wrap causes and carry the
+// package/job annotation prefix.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+var sentinel = errors.New("core: partition store corrupt")
+
+func wrap(err error) error {
+	return fmt.Errorf("core: partition %d: %w", 3, err) // annotated and wrapped: allowed
+}
+
+func chained(err error) error {
+	return fmt.Errorf("%w: pivot 12: %w", sentinel, err) // leading %w chains an annotated sentinel: allowed
+}
+
+func flattened(err error) error {
+	return fmt.Errorf("core: partition %d: %v", 3, err) // want `error cause formatted with %v instead of %w`
+}
+
+func stringified(err error) error {
+	return fmt.Errorf("core: partition failed: %s", err) // want `error cause formatted with %s instead of %w`
+}
+
+func unannotated() error {
+	return errors.New("partition store corrupt") // want `lacks the "core:" job/phase annotation`
+}
+
+func unannotatedf(n int) error {
+	return fmt.Errorf("bad partition %d", n) // want `lacks the "core:" job/phase annotation`
+}
+
+func propagate(err error) error {
+	return err // bare propagation: annotation happened below, allowed
+}

@@ -1,0 +1,13 @@
+// Suppression case for errjob in the mapreduce boundary package.
+package mapreduce
+
+import "fmt"
+
+func userFacing(n int) error {
+	//lashvet:ignore errjob message is user-facing and annotated by the HTTP layer
+	return fmt.Errorf("task %d failed", n)
+}
+
+func stillBad(n int) error {
+	return fmt.Errorf("task %d failed", n) // want `lacks the "mapreduce:" job/phase annotation`
+}

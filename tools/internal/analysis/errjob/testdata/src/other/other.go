@@ -1,0 +1,14 @@
+// Package other is not a boundary package: errjob does not apply.
+package other
+
+import (
+	"errors"
+	"fmt"
+)
+
+func anyStyle(err error) error {
+	if err != nil {
+		return fmt.Errorf("whatever: %v", err)
+	}
+	return errors.New("free-form message")
+}

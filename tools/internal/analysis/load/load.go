@@ -1,0 +1,223 @@
+// Package load type-checks Go packages for the lashvet analyzers without
+// any dependency beyond the standard library and the go tool itself:
+// package metadata comes from `go list -export -deps -json`, source files
+// are parsed with go/parser, and imports are resolved from the compiler
+// export data the go command already has in its build cache — the same
+// offline mechanism `go vet` uses, reimplemented here because x/tools'
+// go/packages is not available to this build.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// ListPackage is the subset of `go list -json` output the loader uses.
+type ListPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string // export data file (with -export)
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Package is one parsed and type-checked target package.
+type Package struct {
+	List  *ListPackage
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Program holds the shared state of one load: the file set, the listed
+// package universe, and the export-data importer.
+type Program struct {
+	Fset    *token.FileSet
+	Targets []*Package
+
+	exports map[string]string // import path → export data file
+	imp     types.ImporterFrom
+}
+
+// Load lists patterns (with dependencies) in dir, then parses and
+// type-checks every matched non-standard package. Listing or parse errors
+// fail the load; type errors are attached per package by Check.
+func Load(dir string, patterns ...string) (*Program, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: token.NewFileSet(), exports: make(map[string]string)}
+	var targets []*ListPackage
+	dec := json.NewDecoder(out)
+	for {
+		lp := &ListPackage{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if lp.Export != "" {
+			prog.exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("load: go list: %w\n%s", err, stderr.String())
+	}
+	prog.imp = ExportImporter(prog.Fset, prog.lookup)
+	for _, lp := range targets {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := prog.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		prog.Targets = append(prog.Targets, pkg)
+	}
+	return prog, nil
+}
+
+func (p *Program) lookup(path string) (io.ReadCloser, error) {
+	file, ok := p.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// check parses the package's GoFiles and type-checks them against the
+// export data of their imports. Only non-test files are analyzed — the
+// invariants lashvet enforces are production-code contracts, and the
+// analyzers' own analysistest-style suites cover test semantics.
+func (p *Program) check(lp *ListPackage) (*Package, error) {
+	files, err := ParseFiles(p.Fset, lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: p.imp, Error: func(error) {}}
+	tpkg, err := conf.Check(lp.ImportPath, p.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{List: lp, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// ParseFiles parses the named files (relative to dir) with comments.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// NewInfo allocates a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// ExportImporter wraps the compiler ("gc") importer with a custom export
+// data lookup, sharing fset positions.
+func ExportImporter(fset *token.FileSet, lookup func(string) (io.ReadCloser, error)) types.ImporterFrom {
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+}
+
+// StdImporter resolves standard-library imports from build-cache export
+// data, shelling out to `go list -export -deps` lazily per unseen path
+// (one batch per root import; transitive dependencies land in the same
+// batch). It backs the analyzers' testdata loader, where target packages
+// live outside any module.
+type StdImporter struct {
+	mu      sync.Mutex
+	exports map[string]string
+	imp     types.ImporterFrom
+}
+
+// NewStdImporter returns a StdImporter sharing fset.
+func NewStdImporter(fset *token.FileSet) *StdImporter {
+	s := &StdImporter{exports: make(map[string]string)}
+	s.imp = ExportImporter(fset, s.lookup)
+	return s
+}
+
+// Import type-checks (from export data) the standard-library package.
+func (s *StdImporter) Import(path string) (*types.Package, error) {
+	return s.imp.ImportFrom(path, "", 0)
+}
+
+func (s *StdImporter) lookup(path string) (io.ReadCloser, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if file, ok := s.exports[path]; ok {
+		return os.Open(file)
+	}
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list -export %s: %w\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp ListPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if lp.Export != "" {
+			s.exports[lp.ImportPath] = lp.Export
+		}
+	}
+	file, ok := s.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(file)
+}

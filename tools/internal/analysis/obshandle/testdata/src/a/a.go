@@ -1,0 +1,46 @@
+// Target package for obshandle outside the hot layers: registration is
+// allowed in constructors/init and at package level, flagged in loops and
+// ordinary functions.
+package a
+
+import "obs"
+
+type metrics struct {
+	reqs *obs.Counter
+}
+
+// New registers once and binds handles: allowed.
+func New(r *obs.Registry) *metrics {
+	m := &metrics{reqs: r.Counter("reqs", "requests")}
+	r.OnScrape(func() {})
+	return m
+}
+
+func init() {
+	var r obs.Registry
+	_ = r.Gauge("g", "h")
+}
+
+// handle records on the pre-bound handle: allowed.
+func handle(m *metrics) {
+	m.reqs.Inc()
+}
+
+func perRequest(r *obs.Registry) {
+	r.Counter("reqs", "requests").Inc() // want `obs Registry.Counter call outside a constructor/init \(in perRequest\)`
+}
+
+func loopRegister(r *obs.Registry) []*obs.Gauge {
+	var out []*obs.Gauge
+	for i := 0; i < 3; i++ {
+		out = append(out, r.Gauge("g", "h")) // want `obs Registry.Gauge call inside a loop`
+	}
+	return out
+}
+
+// NewLoop is a constructor, but loops still dominate: the loop rule wins.
+func NewLoop(r *obs.Registry) {
+	for i := 0; i < 3; i++ {
+		r.OnScrape(func() {}) // want `obs Registry.OnScrape call inside a loop`
+	}
+}

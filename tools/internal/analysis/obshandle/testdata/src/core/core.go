@@ -1,0 +1,9 @@
+// Package core has a hot import-path base: any registration/lookup call is
+// flagged, even in constructors — hot layers receive bound handles.
+package core
+
+import "obs"
+
+func NewPipeline(r *obs.Registry) *obs.Counter {
+	return r.Counter("items", "items processed") // want `obs Registry.Counter call in hot package core`
+}
