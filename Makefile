@@ -1,15 +1,15 @@
 GO ?= go
 BENCH ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_PR6.json
-BENCH_BASE ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR6.json
 MAX_REGRESS ?= 40
 FUZZTIME ?= 60s
 FUZZ_PKGS ?= ./internal/seqenc ./internal/seqdb
 PROFILE_BENCH ?= BenchmarkFig4a
 PROFILE_BENCHTIME ?= 3x
 
-.PHONY: build test vet lint lashvet tools-test bench bench-smoke bench-ci bench-diff bench-gate fuzz profile race clean
+.PHONY: build test vet lint lashvet tools-test bench bench-smoke bench-ci bench-diff bench-gate fuzz profile race chaos clean
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,18 @@ test: vet
 race:
 	$(GO) test -race ./...
 
+# chaos runs the fault-injection differential tests under the race
+# detector: with faults armed and retries enabled, mining output must be
+# byte-identical to the fault-free run. Set LASH_CHAOS_SEED to shift the
+# deterministic seed window (CI randomizes it so every run exercises a
+# fresh fault schedule; the seed is echoed for reproduction).
+chaos:
+	$(GO) test -race -count=1 -run '^TestChaos' -v .
+
 # lashvet runs the project-invariant analyzer suite (ctxfirst,
-# atomicfield, obshandle, emitgo, errjob) over the root module. The
-# analyzers live in the tools/ module so the root go.mod stays
-# dependency-free. See "Static analysis" in README.md.
+# atomicfield, obshandle, emitgo, errjob, faultpoint) over the root
+# module. The analyzers live in the tools/ module so the root go.mod
+# stays dependency-free. See "Static analysis" in README.md.
 lashvet:
 	$(GO) -C tools run ./cmd/lashvet -dir .. ./...
 

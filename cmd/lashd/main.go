@@ -4,6 +4,7 @@
 //
 //	lashd [-addr :8080] [-workers 4] [-cache 128] [-data DIR]
 //	      [-db name=sequences.txt[,hierarchy.txt]]... [-demo]
+//	      [-max-job-time D] [-max-queue N] [-rate-limit R] [-rate-burst B]
 //	      [-log-format text|json] [-log-level LEVEL] [-debug-addr ADDR]
 //
 // lashd loads each -db database once at startup (paths are relative to
@@ -14,6 +15,14 @@
 // cancels a queued or running job; POST /v1/mine/stream streams patterns
 // as NDJSON while the run is still mining. See package lash/server for
 // the HTTP API.
+//
+// Robustness: -max-job-time caps every run's mining wall time (requests
+// may tighten it with deadline_ms, never loosen it), -max-queue bounds the
+// job backlog and -rate-limit throttles each client — both refusals answer
+// 429 with Retry-After. GET /healthz is pure liveness; GET /readyz flips
+// to 503 the moment shutdown starts draining (or the queue saturates, or
+// the spill directory stops accepting writes), so load balancers stop
+// routing before the process exits.
 //
 // Observability: GET /metrics exposes job, cache and mining-pipeline
 // counters in Prometheus text format; logs are structured (log/slog, text
@@ -57,6 +66,10 @@ func main() {
 		dataDir   = flag.String("data", "", "directory for file-based databases (empty disables file loading)")
 		demo      = flag.Bool("demo", false, "preload generated demo databases demo-text and demo-market")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+		maxJob    = flag.Duration("max-job-time", 0, "cap on one run's mining wall time; requests may set tighter deadlines, never looser (0 disables)")
+		maxQueue  = flag.Int("max-queue", 0, "job queue bound: fresh submissions past it get 429 + Retry-After (0 = unbounded)")
+		rateLimit = flag.Float64("rate-limit", 0, "per-client sustained requests/second; probes and /metrics are exempt (0 disables)")
+		rateBurst = flag.Int("rate-burst", 0, "per-client burst capacity for -rate-limit (0 = one second's worth)")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables)")
@@ -90,6 +103,10 @@ func main() {
 		JobHistory: *history,
 		DataDir:    *dataDir,
 		Logger:     logger,
+		MaxJobTime: *maxJob,
+		MaxQueue:   *maxQueue,
+		RateLimit:  *rateLimit,
+		RateBurst:  *rateBurst,
 	})
 	if *demo {
 		preload = append(preload,

@@ -115,6 +115,10 @@ func MineNaive(ctx context.Context, db *gsm.Database, opt Options) (*core.Result
 			}
 			return nil
 		},
+		// Batch-mode Reduce only filters and decodes — safe to re-run for a
+		// partition whose earlier attempt failed transiently. Streaming
+		// delivery is not replayable, so it stays single-attempt.
+		ReduceRetryable: opt.Stream == nil,
 	})
 	if err != nil {
 		return nil, err
@@ -229,6 +233,10 @@ func MineSemiNaive(ctx context.Context, db *gsm.Database, opt Options) (*core.Re
 			}
 			return nil
 		},
+		// Batch-mode Reduce only filters and decodes — safe to re-run for a
+		// partition whose earlier attempt failed transiently. Streaming
+		// delivery is not replayable, so it stays single-attempt.
+		ReduceRetryable: opt.Stream == nil,
 	})
 	if err != nil {
 		return nil, err

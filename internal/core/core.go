@@ -239,6 +239,21 @@ type patternOut struct {
 	support int64
 }
 
+// partStat is one partition's mining statistics. When task retries are
+// enabled the job records them by overwriting the pivot's slot in a
+// pivot-indexed slice instead of adding to process-wide atomics: a
+// re-executed Reduce (after a transient mid-merge failure) rewrites its
+// partitions' slots, so the post-run aggregation counts each partition
+// exactly once, where atomic adds would double-count the groups the failed
+// attempt already mined. Distinct pivots are distinct slots, and one
+// pivot's attempts never run concurrently, so plain writes are race-free.
+type partStat struct {
+	mined    bool
+	seqs     int64
+	explored int64
+	output   int64
+}
+
 // streamAbort is the panic sentinel a streaming emit callback uses to
 // unwind an in-flight local miner once streaming has failed (emit error,
 // translation error, or run cancellation).
@@ -298,6 +313,14 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 	var partitions, partSeqs atomic.Int64
 	var maxPart atomic.Int64
 	var streamMu sync.Mutex
+
+	// Retry-enabled runs route partition statistics through the
+	// re-execution-idempotent slice (see partStat); the default path keeps
+	// the atomics and allocates nothing extra.
+	var partStats []partStat
+	if opt.MR.Retry.MaxAttempts > 1 {
+		partStats = make([]partStat, fl.NumFrequent())
+	}
 
 	scratch := sync.Pool{New: func() any {
 		rw := rewrite.NewRewriter(fl, opt.Params.Gamma, opt.Params.Lambda)
@@ -397,12 +420,15 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 				})
 			}
 			rs.part = miner.Partition{Pivot: pivot, Parent: parent, Seqs: sc.Seqs}
-			partitions.Add(1)
-			partSeqs.Add(int64(len(sc.Seqs)))
-			for {
-				cur := maxPart.Load()
-				if int64(len(sc.Seqs)) <= cur || maxPart.CompareAndSwap(cur, int64(len(sc.Seqs))) {
-					break
+			nseqs := int64(len(sc.Seqs))
+			if partStats == nil {
+				partitions.Add(1)
+				partSeqs.Add(nseqs)
+				for {
+					cur := maxPart.Load()
+					if nseqs <= cur || maxPart.CompareAndSwap(cur, nseqs) {
+						break
+					}
 				}
 			}
 			if opt.Stream != nil {
@@ -434,8 +460,12 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 						panic(streamAbort{})
 					}
 				})
-				explored.Add(st.Explored)
-				output.Add(st.Output)
+				if partStats != nil {
+					partStats[pivot] = partStat{mined: true, seqs: nseqs, explored: st.Explored, output: st.Output}
+				} else {
+					explored.Add(st.Explored)
+					output.Add(st.Output)
+				}
 				streamMu.Lock()
 				defer streamMu.Unlock()
 				return streamErr
@@ -452,20 +482,45 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 				chunk = append(chunk, pat...)
 				emit(patternOut{ranks: chunk[start:len(chunk):len(chunk)], support: sup})
 			})
-			explored.Add(st.Explored)
-			output.Add(st.Output)
+			if partStats != nil {
+				partStats[pivot] = partStat{mined: true, seqs: nseqs, explored: st.Explored, output: st.Output}
+			} else {
+				explored.Add(st.Explored)
+				output.Add(st.Output)
+			}
 			return nil
 		},
+		// Reduce re-runs safely in batch mode: emitted patterns are
+		// attempt-scoped and the statistics above are overwrite-idempotent.
+		// Streaming delivery is not replayable — a retried partition would
+		// hand the consumer duplicate patterns — so it stays single-attempt.
+		ReduceRetryable: opt.Stream == nil,
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	res.Jobs.Mine = stats
-	res.Miner = miner.Stats{Explored: explored.Load(), Output: output.Load()}
-	res.NumPartitions = int(partitions.Load())
-	res.PartitionSeqs = partSeqs.Load()
-	res.MaxPartitionSeqs = maxPart.Load()
+	if partStats != nil {
+		for i := range partStats {
+			ps := &partStats[i]
+			if !ps.mined {
+				continue
+			}
+			res.NumPartitions++
+			res.PartitionSeqs += ps.seqs
+			if ps.seqs > res.MaxPartitionSeqs {
+				res.MaxPartitionSeqs = ps.seqs
+			}
+			res.Miner.Explored += ps.explored
+			res.Miner.Output += ps.output
+		}
+	} else {
+		res.Miner = miner.Stats{Explored: explored.Load(), Output: output.Load()}
+		res.NumPartitions = int(partitions.Load())
+		res.PartitionSeqs = partSeqs.Load()
+		res.MaxPartitionSeqs = maxPart.Load()
+	}
 	for _, po := range out {
 		items, err := fl.TranslateFromRanks(nil, po.ranks)
 		if err != nil {

@@ -56,6 +56,15 @@ type AggJob[I any, R any] struct {
 	// the partition's last map input has been merged, concurrently with
 	// other partitions' merges. Returning an error fails the whole run.
 	Reduce func(group uint32, entries []Entry, emit func(R)) error
+
+	// ReduceRetryable declares Reduce safe to re-execute for a partition
+	// whose earlier attempt failed transiently: no side effects beyond
+	// emit (emitted output is attempt-scoped and discarded on failure) —
+	// in particular no streaming delivery to a consumer and no shared
+	// accumulators that a re-run would double-count. Config.Retry applies
+	// to reduce tasks only when set; map tasks are always retryable (the
+	// substrate owns their output end to end).
+	ReduceRetryable bool
 }
 
 func (job AggJob[I, R]) hash(group uint32, key []byte) uint32 {
@@ -70,6 +79,19 @@ func (job AggJob[I, R]) size(group uint32, keyLen int, weight int64) int {
 		return job.Size(group, keyLen, weight)
 	}
 	return keyLen + uvarintLen(uint64(weight))
+}
+
+// tableShuffleSize measures one table's aggregated entries for the
+// MAP_OUTPUT_BYTES counter (post-aggregation output — what actually
+// ships).
+func tableShuffleSize[I any, R any](job AggJob[I, R], t *byteTable) int64 {
+	var size int64
+	for i := range t.entries {
+		if e := &t.entries[i]; e.hash != 0 {
+			size += int64(job.size(e.group, int(e.klen), e.weight))
+		}
+	}
+	return size
 }
 
 func uvarintLen(v uint64) int {
@@ -241,6 +263,7 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 		if spill, err = newSpillState(cfg.SpillDir, reduceTasks, rc); err != nil {
 			return nil, stats, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 		}
+		spill.faults = cfg.Faults
 		defer spill.cleanup()
 	}
 
@@ -252,11 +275,26 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 	mapTimes := make([]time.Duration, mapTasks)
 	redTimes := make([]time.Duration, reduceTasks)
 
+	// Per-task shuffle tallies for the spill path (nil on in-memory runs):
+	// flushes accumulate here instead of charging the run counters directly,
+	// so a failed attempt's partial accounting dies with it and a retried
+	// task charges the counters exactly once — same totals as the in-memory
+	// path's task-end accounting. Indexed by map task; one task's attempts
+	// are sequential, so no locking. (The spill counters inside writeRun
+	// stay cumulative across attempts on purpose: they report physical I/O,
+	// and a rewritten run really was written twice.)
+	var taskShufRecs, taskShufBytes []int64
+	if spill != nil {
+		taskShufRecs = make([]int64, mapTasks)
+		taskShufBytes = make([]int64, mapTasks)
+	}
+
 	start := time.Now()
 	oh := newObsHooks(cfg.Obs, start)
 	defer func() { oh.finish(job.Name, stats.Wall) }()
 	if spill != nil {
 		spill.pmRuns, spill.pmBytes, spill.pmRecords = oh.spillRuns, oh.spillBytes, oh.spillRecords
+		spill.pmFaults, spill.pmCleanupErrs = oh.faultsInjected, oh.spillCleanupErr
 	}
 	var mergesDone atomic.Int64
 	var mapWall, shufWall time.Duration // written once by the last task of each kind
@@ -276,105 +314,116 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 			ShuffleBytes:    rc.ShuffleBytes.Load(),
 			SpillRuns:       rc.SpillRuns.Load(),
 			SpillBytes:      rc.SpillBytes.Load(),
+			TaskRetries:     rc.TaskRetries.Load(),
+			FaultsInjected:  rc.FaultsInjected.Load(),
 		})
 	}
 	defer report("done")
 
-	reduceOne := guard(errs, job.Name, "reduce partition", func(p int) error {
-		defer func() {
-			rc.ReduceTasksDone.Add(1)
-			report("reduce")
-		}()
+	// Reduce tasks re-execute on transient failures only when the job
+	// declares Reduce re-runnable; otherwise the zero policy caps them at
+	// one attempt. Each attempt rebuilds the partition's output and group
+	// count from scratch, committing them only on success — a retried
+	// partition is indistinguishable from a fault-free one.
+	reducePol := cfg.Retry
+	if !job.ReduceRetryable {
+		reducePol = RetryPolicy{}
+	}
+	reduceOne := guard(ctx, errs, reducePol, rc, oh.taskRetries, job.Name, "reduce partition", func(p, attempt int) error {
+		if err := cfg.Faults.Hit("mapreduce.reduce.task"); err != nil {
+			rc.FaultsInjected.Add(1)
+			oh.faultsInjected.Inc()
+			return err
+		}
 		st := &parts[p]
+		st.out = st.out[:0] // attempt-scoped: discard a failed attempt's output
+		var keys int64
+		aborted := false
 		if spill != nil {
 			// Budgeted path: k-way merge the partition's sorted runs off
 			// disk. Groups arrive in ascending (group, key) order with
 			// weights re-aggregated across runs — the same delivery the
 			// in-memory sort below produces.
 			sp := &spill.parts[p]
-			if len(sp.runs) == 0 {
-				return nil
+			if len(sp.runs) > 0 {
+				begin := time.Now()
+				defer func() {
+					redTimes[p] = time.Since(begin)
+					oh.mergeSeconds.Observe(redTimes[p].Seconds())
+					oh.taskSpan("reduce-partition", job.Name, "reduce", p, begin)
+				}()
+				emit := func(r R) {
+					checkAbort(errs)
+					st.out = append(st.out, r)
+				}
+				err := spill.mergeRuns(p,
+					func() bool { return errs.canceled.Load() },
+					func(group uint32, entries []Entry) error {
+						keys++
+						return job.Reduce(group, entries, emit)
+					})
+				if err != nil {
+					return err
+				}
+				// The partition's spill file is fully consumed; release its
+				// file descriptor now instead of at run end.
+				sp.mu.Lock()
+				if sp.f != nil {
+					sp.f.Close()
+					sp.f = nil
+				}
+				sp.mu.Unlock()
 			}
+		} else if t := st.merged; t != nil && t.n > 0 {
 			begin := time.Now()
 			defer func() {
 				redTimes[p] = time.Since(begin)
-				oh.mergeSeconds.Observe(redTimes[p].Seconds())
 				oh.taskSpan("reduce-partition", job.Name, "reduce", p, begin)
 			}()
+
+			// Deterministic group order: entries sorted by (group, key bytes).
+			idx := t.sortedIndex()
+
 			emit := func(r R) {
 				checkAbort(errs)
 				st.out = append(st.out, r)
 			}
-			err := spill.mergeRuns(p,
-				func() bool { return errs.canceled.Load() },
-				func(group uint32, entries []Entry) error {
-					redKeys.Add(1)
-					return job.Reduce(group, entries, emit)
-				})
-			if err != nil {
-				return err
+			entries := make([]Entry, 0, len(idx))
+			for lo := 0; lo < len(idx); {
+				// Cancellation check between groups: one reduce partition can
+				// hold many groups, each an independent Reduce call.
+				if errs.canceled.Load() {
+					aborted = true
+					break
+				}
+				group := t.entries[idx[lo]].group
+				hi := lo
+				entries = entries[:0]
+				for ; hi < len(idx) && t.entries[idx[hi]].group == group; hi++ {
+					e := &t.entries[idx[hi]]
+					entries = append(entries, Entry{Key: t.key(e), Weight: e.weight})
+				}
+				keys++
+				if err := job.Reduce(group, entries, emit); err != nil {
+					return err
+				}
+				lo = hi
 			}
+		}
+		// Commit region: the attempt succeeded (or was aborted by
+		// cancellation, whose partial counts die with the run).
+		if !aborted {
+			redKeys.Add(keys)
 			redRecords.Add(int64(len(st.out)))
-			// The partition's spill file is fully consumed; release its file
-			// descriptor now instead of at run end.
-			sp.mu.Lock()
-			if sp.f != nil {
-				sp.f.Close()
-				sp.f = nil
-			}
-			sp.mu.Unlock()
-			return nil
 		}
-		t := st.merged
-		if t == nil || t.n == 0 {
-			return nil
-		}
-		begin := time.Now()
-		defer func() {
-			redTimes[p] = time.Since(begin)
-			oh.taskSpan("reduce-partition", job.Name, "reduce", p, begin)
-		}()
-
-		// Deterministic group order: entries sorted by (group, key bytes).
-		idx := t.sortedIndex()
-
-		emit := func(r R) {
-			checkAbort(errs)
-			st.out = append(st.out, r)
-		}
-		entries := make([]Entry, 0, len(idx))
-		for lo := 0; lo < len(idx); {
-			// Cancellation check between groups: one reduce partition can
-			// hold many groups, each an independent Reduce call.
-			if errs.canceled.Load() {
-				return nil
-			}
-			group := t.entries[idx[lo]].group
-			hi := lo
-			entries = entries[:0]
-			for ; hi < len(idx) && t.entries[idx[hi]].group == group; hi++ {
-				e := &t.entries[idx[hi]]
-				entries = append(entries, Entry{Key: t.key(e), Weight: e.weight})
-			}
-			redKeys.Add(1)
-			if err := job.Reduce(group, entries, emit); err != nil {
-				return err
-			}
-			lo = hi
-		}
-		redRecords.Add(int64(len(st.out)))
+		rc.ReduceTasksDone.Add(1)
+		report("reduce")
 		return nil
 	})
 
-	// accountTable charges one table's aggregated entries to the shuffle
-	// counters (post-aggregation output — what actually ships).
+	// accountTable charges one table to the shuffle counters.
 	accountTable := func(t *byteTable) {
-		var size int64
-		for i := range t.entries {
-			if e := &t.entries[i]; e.hash != 0 {
-				size += int64(job.size(e.group, int(e.klen), e.weight))
-			}
-		}
+		size := tableShuffleSize(job, t)
 		rc.ShuffleRecords.Add(int64(t.n))
 		rc.ShuffleBytes.Add(size)
 		oh.shufRecords.Add(int64(t.n))
@@ -382,7 +431,23 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 	}
 
 	// --- map + map-side aggregation + merge ------------------------------
-	mapOne := guard(errs, job.Name, "map", func(task int) error {
+	// The map body is organized so every failure-capable step (the fault
+	// hook, user Map code, spill writes) precedes the commit region
+	// (counters, contrib/ready handoff). A retried attempt therefore only
+	// has to drop its own spill runs and rebuild its tables; nothing
+	// partially-committed exists to undo.
+	mapOne := guard(ctx, errs, cfg.Retry, rc, oh.taskRetries, job.Name, "map", func(task, attempt int) error {
+		if err := cfg.Faults.Hit("mapreduce.map.task"); err != nil {
+			rc.FaultsInjected.Add(1)
+			oh.faultsInjected.Inc()
+			return err
+		}
+		if spill != nil && attempt > 0 {
+			// Drop the failed attempt's committed runs before rewriting
+			// them — a partition must never merge two copies of one
+			// task's output.
+			spill.dropTask(task)
+		}
 		lo := len(input) * task / mapTasks
 		hi := len(input) * (task + 1) / mapTasks
 		begin := time.Now()
@@ -400,6 +465,9 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 				perTask = 1
 			}
 		}
+		if spill != nil {
+			taskShufRecs[task], taskShufBytes[task] = 0, 0 // attempt-scoped
+		}
 		spillTables := func() error {
 			flushed := false
 			for p, t := range tables {
@@ -408,8 +476,9 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 				}
 				if t.n > 0 {
 					flushed = true
-					accountTable(t)
-					if err := spill.writeRun(p, t); err != nil {
+					taskShufRecs[task] += int64(t.n)
+					taskShufBytes[task] += tableShuffleSize(job, t)
+					if err := spill.writeRun(p, task, t); err != nil {
 						return err
 					}
 				}
@@ -442,10 +511,9 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 			t.add(group, key, weight)
 			if taskMem += t.mem() - before; taskMem > perTask {
 				if err := spillTables(); err != nil {
-					// Emit cannot return an error; record it and unwind the
-					// task with the abort sentinel, like cancellation does.
-					errs.set(fmt.Errorf("mapreduce: job %q: map task %d: %w", job.Name, task, err))
-					panic(taskAborted{})
+					// Emit cannot return an error; unwind the attempt with
+					// the failure so the retry loop can classify it.
+					panic(attemptFail{err})
 				}
 			}
 		}
@@ -453,17 +521,24 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 			checkAbort(errs)
 			job.Map(rec, emit)
 		}
-		mapTimes[task] = time.Since(begin)
-		oh.taskSpan("map-task", job.Name, "map", task, begin)
-		if rc.MapTasksDone.Add(1) == int64(mapTasks) {
-			mapWall = time.Since(start)
-		}
 
 		if spill != nil {
-			// Flush the tables that stayed under budget as final runs; the
-			// reduce-side merge is uniform over runs either way.
+			// Flush the tables that stayed under budget as final runs (the
+			// reduce-side merge is uniform over runs either way) BEFORE the
+			// commit region below: this final flush is the task's last
+			// failure-capable step, and a failed one must leave the task
+			// uncounted so its retry counts it exactly once.
 			if err := spillTables(); err != nil {
 				return err
+			}
+			rc.ShuffleRecords.Add(taskShufRecs[task])
+			rc.ShuffleBytes.Add(taskShufBytes[task])
+			oh.shufRecords.Add(taskShufRecs[task])
+			oh.shufBytes.Add(taskShufBytes[task])
+			mapTimes[task] = time.Since(begin)
+			oh.taskSpan("map-task", job.Name, "map", task, begin)
+			if rc.MapTasksDone.Add(1) == int64(mapTasks) {
+				mapWall = time.Since(start)
 			}
 			for p := range parts {
 				st := &parts[p]
@@ -480,6 +555,13 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 			}
 			report("map")
 			return nil
+		}
+
+		// In-memory commit region: nothing below can fail.
+		mapTimes[task] = time.Since(begin)
+		oh.taskSpan("map-task", job.Name, "map", task, begin)
+		if rc.MapTasksDone.Add(1) == int64(mapTasks) {
+			mapWall = time.Since(start)
 		}
 
 		// Account post-aggregation output, then merge into the partitions.
@@ -581,6 +663,8 @@ func RunAgg[I any, R any](ctx context.Context, cfg Config, input []I, job AggJob
 	stats.SpillRuns = rc.SpillRuns.Load()
 	stats.SpillBytes = rc.SpillBytes.Load()
 	stats.SpillRecords = rc.SpillRecords.Load()
+	stats.TaskRetries = rc.TaskRetries.Load()
+	stats.FaultsInjected = rc.FaultsInjected.Load()
 	if err := runErr(ctx, errs, job.Name, "run"); err != nil {
 		return nil, stats, err
 	}

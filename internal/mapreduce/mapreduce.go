@@ -34,6 +34,15 @@
 // The first task error cancels the run: unstarted tasks are skipped and the
 // partial output is discarded.
 //
+// Fault tolerance: Config.Retry re-executes failed RunAgg tasks when the
+// failure classifies as transient (I/O errors, injected faults, errors
+// marked ErrTransient — see IsTransient) with capped exponential backoff.
+// A retried task's partial output is attempt-scoped and discarded — its
+// spill runs are dropped and its tables rebuilt — so a retried run's
+// output is byte-identical to a fault-free run's. Recovered panics and
+// decode errors are deterministic and never retried. Config.Faults wires
+// in a fault-injection registry (internal/faults) for chaos testing.
+//
 // Cancellation contract: Run and RunAgg take a context.Context and observe
 // it cooperatively — between tasks, and at every emit point inside a task —
 // so even a single long-running map or reduce task is interrupted promptly.
@@ -47,12 +56,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"lash/internal/faults"
 	"lash/internal/obs"
 )
 
@@ -116,6 +125,19 @@ type Config struct {
 	// records nothing; every handle is nil-receiver safe, so the task
 	// bodies need no "is observability on?" branches.
 	Obs *obs.Run
+
+	// Retry re-executes failed RunAgg map and reduce tasks whose failure
+	// classifies as transient (see IsTransient). Reduce tasks are retried
+	// only when the job declares AggJob.ReduceRetryable. The zero policy
+	// disables retries. The generic Run path ignores it: its tasks perform
+	// no I/O, so their failures are deterministic by construction.
+	Retry RetryPolicy
+
+	// Faults, when non-nil, arms the substrate's fault-injection points
+	// (internal/faults) for chaos testing: mapreduce.map.task,
+	// mapreduce.reduce.task, mapreduce.spill.write, mapreduce.spill.merge.
+	// nil (the production default) costs one branch per point.
+	Faults *faults.Registry
 }
 
 // Progress is a point-in-time snapshot of a running job, delivered to
@@ -133,6 +155,8 @@ type Progress struct {
 	ShuffleBytes    int64 // encoded bytes shuffled so far (MAP_OUTPUT_BYTES)
 	SpillRuns       int64 // sorted spill runs written so far (budgeted runs)
 	SpillBytes      int64 // physical spill bytes written so far
+	TaskRetries     int64 // task re-executions after transient failures
+	FaultsInjected  int64 // synthetic faults injected so far (chaos runs)
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +194,12 @@ type Counters struct {
 	SpillRuns    int64
 	SpillBytes   int64
 	SpillRecords int64
+
+	// Fault-tolerance counters: task re-executions after transient
+	// failures (Config.Retry) and synthetic faults injected through
+	// Config.Faults. Both zero on healthy, un-instrumented runs.
+	TaskRetries    int64
+	FaultsInjected int64
 }
 
 // PhaseTimes breaks a job into the phases the paper reports.
@@ -293,29 +323,6 @@ func runErr(ctx context.Context, errs *errOnce, jobName, phase string) error {
 	return nil
 }
 
-// guard wraps one task body with cancellation and panic recovery. A
-// recovered panic is annotated with the job name, phase, and task index and
-// recorded as the run's error; the abort sentinel retires the task quietly.
-func guard(errs *errOnce, jobName, phase string, fn func(task int) error) func(int) {
-	return func(task int) {
-		if errs.canceled.Load() {
-			return
-		}
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(taskAborted); ok {
-					return
-				}
-				errs.set(fmt.Errorf("mapreduce: job %q: %s task %d: panic: %v\n%s",
-					jobName, phase, task, r, debug.Stack()))
-			}
-		}()
-		if err := fn(task); err != nil {
-			errs.set(fmt.Errorf("mapreduce: job %q: %s task %d: %w", jobName, phase, task, err))
-		}
-	}
-}
-
 // Run executes the job over the input and returns the reduce outputs
 // (ordered by reduce task, then by key hash order — callers needing a total
 // order must sort) together with run statistics. A panic in any task is
@@ -373,7 +380,11 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 	mapStart := time.Now()
 	oh := newObsHooks(cfg.Obs, mapStart)
 	defer func() { oh.finish(job.Name, stats.Wall) }()
-	runPool(cfg.Workers, mapTasks, guard(errs, job.Name, "map", func(task int) error {
+	// The generic path never retries (see Config.Retry): the zero policy
+	// caps every task at one attempt, so guard degenerates to cancellation
+	// + panic recovery.
+	noRetry := RetryPolicy{}
+	runPool(cfg.Workers, mapTasks, guard(ctx, errs, noRetry, rc, nil, job.Name, "map", func(task, _ int) error {
 		lo := len(input) * task / mapTasks
 		hi := len(input) * (task + 1) / mapTasks
 		start := time.Now()
@@ -446,7 +457,7 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 	// --- shuffle: group by key within each reduce partition -------------
 	shufStart := time.Now()
 	groups := make([]map[K][]V, reduceTasks)
-	runPool(cfg.Workers, reduceTasks, guard(errs, job.Name, "shuffle", func(p int) error {
+	runPool(cfg.Workers, reduceTasks, guard(ctx, errs, noRetry, rc, nil, job.Name, "shuffle", func(p, _ int) error {
 		g := make(map[K][]V)
 		for t := range outs {
 			checkAbort(errs)
@@ -474,7 +485,7 @@ func Run[I any, K comparable, V any, R any](ctx context.Context, cfg Config, inp
 	results := make([][]R, reduceTasks)
 	redTimes := make([]time.Duration, reduceTasks)
 	var redKeys, redRecords atomic.Int64
-	runPool(cfg.Workers, reduceTasks, guard(errs, job.Name, "reduce", func(p int) error {
+	runPool(cfg.Workers, reduceTasks, guard(ctx, errs, noRetry, rc, nil, job.Name, "reduce", func(p, _ int) error {
 		start := time.Now()
 		var out []R
 		emit := func(r R) {

@@ -18,14 +18,17 @@ type obsHooks struct {
 	start time.Time
 
 	// Process-wide pipeline counters (nil when no metrics are attached).
-	pm           *obs.PipelineMetrics
-	shufRecords  *obs.Counter
-	shufBytes    *obs.Counter
-	spillFlushes *obs.Counter
-	spillRuns    *obs.Counter
-	spillBytes   *obs.Counter
-	spillRecords *obs.Counter
-	mergeSeconds *obs.Histogram
+	pm              *obs.PipelineMetrics
+	shufRecords     *obs.Counter
+	shufBytes       *obs.Counter
+	spillFlushes    *obs.Counter
+	spillRuns       *obs.Counter
+	spillBytes      *obs.Counter
+	spillRecords    *obs.Counter
+	mergeSeconds    *obs.Histogram
+	taskRetries     *obs.Counter
+	faultsInjected  *obs.Counter
+	spillCleanupErr *obs.Counter
 }
 
 // newObsHooks pre-allocates the job's span id (published through
@@ -44,6 +47,9 @@ func newObsHooks(o *obs.Run, start time.Time) obsHooks {
 		h.spillBytes = h.pm.SpillBytes
 		h.spillRecords = h.pm.SpillRecords
 		h.mergeSeconds = h.pm.MergeSeconds
+		h.taskRetries = h.pm.TaskRetries
+		h.faultsInjected = h.pm.FaultsInjected
+		h.spillCleanupErr = h.pm.SpillCleanupErrors
 	}
 	if h.tr != nil {
 		h.jobID = h.tr.NextID()

@@ -1,0 +1,168 @@
+package mapreduce
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"lash/internal/faults"
+	"lash/internal/obs"
+)
+
+func TestIsTransientClassification(t *testing.T) {
+	wrapped := func(err error) error { return errors.Join(errors.New("ctx"), err) }
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("decode failure"), false},
+		{"transient sentinel", ErrTransient, true},
+		{"wrapped transient", wrapped(ErrTransient), true},
+		{"injected fault", wrapped(faults.ErrInjected), true},
+		{"path error", &os.PathError{Op: "write", Path: "x", Err: errors.New("EIO")}, true},
+		{"syscall error", os.NewSyscallError("write", errors.New("ENOSPC")), true},
+		{"link error", &os.LinkError{Op: "rename", Old: "a", New: "b", Err: errors.New("EXDEV")}, true},
+		{"short write", io.ErrShortWrite, true},
+		{"panic", &taskPanicError{val: "boom"}, false},
+		// A panic always classifies deterministic, even when its payload
+		// would otherwise look transient (a panicking I/O path is a bug).
+		{"panic wrapping transient", &taskPanicError{val: ErrTransient}, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBackoffDelayDeterministicAndBounded(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 8, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, Seed: 7}
+	for task := 0; task < 4; task++ {
+		for attempt := 0; attempt < 8; attempt++ {
+			d := pol.BaseBackoff
+			for i := 0; i < attempt; i++ {
+				d *= 2
+				if d >= pol.MaxBackoff {
+					d = pol.MaxBackoff
+					break
+				}
+			}
+			got := backoffDelay(pol, task, attempt)
+			if got < d/2 || got >= d {
+				t.Fatalf("task %d attempt %d: delay %v outside [%v, %v)", task, attempt, got, d/2, d)
+			}
+			if again := backoffDelay(pol, task, attempt); again != got {
+				t.Fatalf("task %d attempt %d: nondeterministic delay %v != %v", task, attempt, again, got)
+			}
+		}
+	}
+	// Different seeds must decorrelate at least somewhere.
+	other := pol
+	other.Seed = 8
+	same := true
+	for attempt := 0; attempt < 8 && same; attempt++ {
+		same = backoffDelay(pol, 0, attempt) == backoffDelay(other, 0, attempt)
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical jitter across all attempts")
+	}
+}
+
+// TestCleanupCountsErrors: a close failure during cleanup cannot be returned
+// (the run's error is already decided) but must land in the counters.
+func TestCleanupCountsErrors(t *testing.T) {
+	rc := &obs.RunCounters{}
+	s, err := newSpillState(t.TempDir(), 2, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.CreateTemp(s.dir, "part-0-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.parts[0].f = f
+	if err := f.Close(); err != nil { // sabotage: cleanup's Close now fails
+		t.Fatal(err)
+	}
+	s.cleanup()
+	if got := rc.SpillCleanupErrors.Load(); got != 1 {
+		t.Fatalf("SpillCleanupErrors = %d, want 1", got)
+	}
+	if _, err := os.Stat(s.dir); !os.IsNotExist(err) {
+		t.Fatalf("spill dir survived cleanup: %v", err)
+	}
+}
+
+// TestFailRunRollback: a failed append truncates the partition file back to
+// the last committed boundary and discards the writer's buffered bytes.
+func TestFailRunRollback(t *testing.T) {
+	rc := &obs.RunCounters{}
+	s, err := newSpillState(t.TempDir(), 1, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.cleanup()
+	st := &s.parts[0]
+	f, err := os.CreateTemp(s.dir, "part-0-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.f = f
+	if _, err := f.WriteString("committed"); err != nil {
+		t.Fatal(err)
+	}
+	st.off = int64(len("committed"))
+	if _, err := f.WriteString("partial-failed-run"); err != nil {
+		t.Fatal(err)
+	}
+	st.w = bufio.NewWriterSize(f, 1<<16)
+	st.w.WriteString("buffered-tail")
+
+	boom := errors.New("synthetic append failure")
+	if got := s.failRun(st, boom); got != boom {
+		t.Fatalf("failRun returned %v, want %v", got, boom)
+	}
+	if st.bad != nil {
+		t.Fatalf("partition poisoned on successful rollback: %v", st.bad)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "committed" {
+		t.Fatalf("file = %q after rollback, want %q", data, "committed")
+	}
+	// The writer must be usable again at the rollback offset.
+	st.w.WriteString("next-run")
+	if err := st.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(f.Name())
+	if string(data) != "committednext-run" {
+		t.Fatalf("file = %q after rewrite, want %q", data, "committednext-run")
+	}
+}
+
+// TestDropTask removes exactly the retrying task's runs, across partitions.
+func TestDropTask(t *testing.T) {
+	rc := &obs.RunCounters{}
+	s, err := newSpillState(t.TempDir(), 2, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.cleanup()
+	s.parts[0].runs = []spillRun{{owner: 0}, {owner: 1}, {owner: 0}}
+	s.parts[1].runs = []spillRun{{owner: 1}}
+	s.dropTask(0)
+	if got := len(s.parts[0].runs); got != 1 || s.parts[0].runs[0].owner != 1 {
+		t.Fatalf("partition 0 runs after dropTask(0): %+v", s.parts[0].runs)
+	}
+	if got := len(s.parts[1].runs); got != 1 {
+		t.Fatalf("partition 1 runs after dropTask(0): %+v", s.parts[1].runs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"lash/internal/faults"
 	"lash/internal/obs"
 )
 
@@ -64,22 +65,28 @@ func (t *byteTable) sortedIndex() []int32 {
 	return idx
 }
 
-// spillRun is one sorted run inside a partition's spill file.
+// spillRun is one sorted run inside a partition's spill file. owner is the
+// map task that wrote it, so a retried task's stale runs can be dropped
+// (dropTask) before the attempt rewrites them.
 type spillRun struct {
 	off     int64
 	len     int64
 	records int
+	owner   int
 }
 
 // spillPart is the per-partition spill state. mu serializes file appends
 // from concurrently-retiring map tasks; by the time the partition is
-// reduced, every map task has retired, so the reader needs no lock.
+// reduced, every map task has retired, so the reader needs no lock. bad
+// poisons the partition when a failed append could not be rolled back —
+// the file tail is then in an unknown state and no further runs may land.
 type spillPart struct {
 	mu   sync.Mutex
 	f    *os.File
 	w    *bufio.Writer // created with f, reused across runs
 	off  int64
 	runs []spillRun
+	bad  error
 }
 
 // spillState owns a run's spill directory and per-partition files. Spill
@@ -87,13 +94,16 @@ type spillPart struct {
 // metrics are attached, mirrored into the process-wide counters (pm*,
 // nil-safe).
 type spillState struct {
-	dir   string
-	parts []spillPart
-	rc    *obs.RunCounters
+	dir    string
+	parts  []spillPart
+	rc     *obs.RunCounters
+	faults *faults.Registry
 
-	pmRuns    *obs.Counter
-	pmBytes   *obs.Counter
-	pmRecords *obs.Counter
+	pmRuns        *obs.Counter
+	pmBytes       *obs.Counter
+	pmRecords     *obs.Counter
+	pmFaults      *obs.Counter
+	pmCleanupErrs *obs.Counter
 }
 
 // newSpillState creates the run's private spill directory under baseDir
@@ -108,25 +118,42 @@ func newSpillState(baseDir string, reduceTasks int, rc *obs.RunCounters) (*spill
 
 // cleanup closes every partition file and removes the spill directory with
 // everything in it. Safe to call exactly once, after all tasks have retired.
+// Failures cannot be returned (cleanup runs on every exit path, after the
+// run's error is already decided) but must not vanish either — a close or
+// remove error means a temp file or the directory may have leaked, so each
+// one is counted into the run's counters and the process-wide gauge feeding
+// lash_spill_cleanup_errors_total.
 func (s *spillState) cleanup() {
 	for p := range s.parts {
 		if f := s.parts[p].f; f != nil {
-			f.Close()
+			if err := f.Close(); err != nil {
+				s.rc.SpillCleanupErrors.Add(1)
+				s.pmCleanupErrs.Inc()
+			}
 			s.parts[p].f = nil
 		}
 	}
-	os.RemoveAll(s.dir)
+	if err := os.RemoveAll(s.dir); err != nil {
+		s.rc.SpillCleanupErrors.Add(1)
+		s.pmCleanupErrs.Inc()
+	}
 }
 
 // writeRun sorts t's entries by (group, key bytes) and appends them as one
-// run to partition p's spill file. The caller accounts shuffle counters;
-// writeRun accounts the spill counters.
-func (s *spillState) writeRun(p int, t *byteTable) error {
+// run to partition p's spill file, tagged with the owning map task. The
+// caller accounts shuffle counters; writeRun accounts the spill counters.
+// A run is committed atomically: it joins st.runs only after every byte
+// reached the file, and a failed append rolls the file back to the last
+// committed boundary (failRun) so a retried task can rewrite it.
+func (s *spillState) writeRun(p, owner int, t *byteTable) error {
 	idx := t.sortedIndex()
 
 	st := &s.parts[p]
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.bad != nil {
+		return st.bad
+	}
 	if st.f == nil {
 		f, err := os.CreateTemp(s.dir, fmt.Sprintf("part-%d-", p))
 		if err != nil {
@@ -143,23 +170,31 @@ func (s *spillState) writeRun(p int, t *byteTable) error {
 		n := binary.PutUvarint(scratch[:], uint64(e.group))
 		n += binary.PutUvarint(scratch[n:], uint64(e.klen))
 		if _, err := w.Write(scratch[:n]); err != nil {
-			return fmt.Errorf("mapreduce: write spill run: %w", err)
+			return s.failRun(st, fmt.Errorf("mapreduce: write spill run: %w", err))
 		}
 		written += int64(n)
 		if _, err := w.Write(t.key(e)); err != nil {
-			return fmt.Errorf("mapreduce: write spill run: %w", err)
+			return s.failRun(st, fmt.Errorf("mapreduce: write spill run: %w", err))
 		}
 		written += int64(e.klen)
 		n = binary.PutVarint(scratch[:], e.weight)
 		if _, err := w.Write(scratch[:n]); err != nil {
-			return fmt.Errorf("mapreduce: write spill run: %w", err)
+			return s.failRun(st, fmt.Errorf("mapreduce: write spill run: %w", err))
 		}
 		written += int64(n)
 	}
-	if err := w.Flush(); err != nil {
-		return fmt.Errorf("mapreduce: flush spill run: %w", err)
+	// The injection point sits just before the final flush, when the
+	// buffer (and possibly the file tail) holds a run's worth of
+	// uncommitted bytes — the worst case the rollback must handle.
+	if err := s.faults.Hit("mapreduce.spill.write"); err != nil {
+		s.rc.FaultsInjected.Add(1)
+		s.pmFaults.Inc()
+		return s.failRun(st, fmt.Errorf("mapreduce: write spill run: %w", err))
 	}
-	st.runs = append(st.runs, spillRun{off: st.off, len: written, records: len(idx)})
+	if err := w.Flush(); err != nil {
+		return s.failRun(st, fmt.Errorf("mapreduce: flush spill run: %w", err))
+	}
+	st.runs = append(st.runs, spillRun{off: st.off, len: written, records: len(idx), owner: owner})
 	st.off += written
 	s.rc.SpillRuns.Add(1)
 	s.rc.SpillBytes.Add(written)
@@ -168,6 +203,43 @@ func (s *spillState) writeRun(p int, t *byteTable) error {
 	s.pmBytes.Add(written)
 	s.pmRecords.Add(int64(len(idx)))
 	return nil
+}
+
+// failRun rolls partition st back to its last committed run boundary after
+// a failed append: the writer's buffered bytes are discarded and the file
+// is truncated to st.off (a bufio flush may already have pushed part of the
+// failed run to disk). When the rollback itself fails the partition is
+// poisoned — the file tail is unknowable, so every later writeRun returns
+// the poisoning error instead of appending garbage. Always returns err.
+func (s *spillState) failRun(st *spillPart, err error) error {
+	st.w.Reset(st.f)
+	if terr := st.f.Truncate(st.off); terr != nil {
+		st.bad = fmt.Errorf("mapreduce: spill rollback failed: %w (rolling back: %w)", terr, err)
+		return err
+	}
+	if _, serr := st.f.Seek(st.off, io.SeekStart); serr != nil {
+		st.bad = fmt.Errorf("mapreduce: spill rollback failed: %w (rolling back: %w)", serr, err)
+	}
+	return err
+}
+
+// dropTask removes every run the given map task has written, across all
+// partitions — called by a retrying attempt before it rewrites them, so a
+// partition never merges two copies of one task's output. The dead bytes
+// stay in the files unread (runs are addressed by offset, never scanned).
+func (s *spillState) dropTask(owner int) {
+	for p := range s.parts {
+		st := &s.parts[p]
+		st.mu.Lock()
+		kept := st.runs[:0]
+		for _, r := range st.runs {
+			if r.owner != owner {
+				kept = append(kept, r)
+			}
+		}
+		st.runs = kept
+		st.mu.Unlock()
+	}
 }
 
 // runCursor streams one sorted run back off disk. group/key/weight hold the
@@ -274,6 +346,14 @@ func (s *spillState) mergeRuns(p int, abort func() bool, reduce func(group uint3
 	st := &s.parts[p]
 	if len(st.runs) == 0 {
 		return nil
+	}
+	// Injected merge failures model a read error at merge start; the merge
+	// is re-runnable (fresh section readers per call), so a retried reduce
+	// task simply merges again.
+	if err := s.faults.Hit("mapreduce.spill.merge"); err != nil {
+		s.rc.FaultsInjected.Add(1)
+		s.pmFaults.Inc()
+		return fmt.Errorf("mapreduce: merge spill runs: %w", err)
 	}
 	heap := make(cursorHeap, 0, len(st.runs))
 	for _, run := range st.runs {

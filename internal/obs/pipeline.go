@@ -18,6 +18,13 @@ type RunCounters struct {
 	SpillRuns       atomic.Int64
 	SpillBytes      atomic.Int64
 	SpillRecords    atomic.Int64
+
+	// Fault tolerance: task re-executions after transient failures,
+	// synthetic faults injected (chaos runs), and spill cleanup failures
+	// (leaked temp dirs/files — see spillState.cleanup).
+	TaskRetries        atomic.Int64
+	FaultsInjected     atomic.Int64
+	SpillCleanupErrors atomic.Int64
 }
 
 // JobPhases bundles one job family's per-phase duration histograms. The
@@ -80,6 +87,12 @@ type PipelineMetrics struct {
 	SpillRecords *Counter
 	MergeSeconds *Histogram
 
+	// Fault tolerance: retried tasks, injected faults, and spill cleanup
+	// failures (each leaked temp dir/file is one increment).
+	TaskRetries        *Counter
+	FaultsInjected     *Counter
+	SpillCleanupErrors *Counter
+
 	// Local mining: partitions mined, per-partition mining duration, and
 	// the miners' work counters.
 	PartitionsMined      *Counter
@@ -117,6 +130,10 @@ func NewPipelineMetrics(r *Registry) *PipelineMetrics {
 		SpillBytes:   r.Counter("lash_spill_bytes_total", "Physical bytes written to spill files by budgeted shuffles."),
 		SpillRecords: r.Counter("lash_spill_records_total", "Aggregated entries written to spill runs (an entry spilled in several runs counts once per run)."),
 		MergeSeconds: r.Histogram("lash_spill_merge_seconds", "Duration of one spilled partition's k-way merge and reduce.", DurationBuckets),
+
+		TaskRetries:        r.Counter("lash_task_retries_total", "Map/reduce task re-executions after transient failures (Config.Retry)."),
+		FaultsInjected:     r.Counter("lash_faults_injected_total", "Synthetic faults injected through the fault-injection registry (chaos runs)."),
+		SpillCleanupErrors: r.Counter("lash_spill_cleanup_errors_total", "Spill cleanup failures; each increment is a potentially leaked temp file or directory."),
 
 		PartitionsMined:      r.Counter("lash_partitions_mined_total", "Partitions handed to a local miner."),
 		PartitionMineSeconds: r.Histogram("lash_partition_mine_seconds", "Duration of one partition's decode and local mining.", DurationBuckets),

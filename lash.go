@@ -38,12 +38,14 @@ package lash
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"lash/internal/baseline"
 	"lash/internal/core"
+	"lash/internal/faults"
 	"lash/internal/gsm"
 	"lash/internal/hierarchy"
 	"lash/internal/mapreduce"
@@ -187,6 +189,24 @@ type Options struct {
 	// (lashd's /metrics endpoint uses it); external callers leave it nil.
 	// Metrics do not affect the mined output and are ignored by CacheKey.
 	Metrics *obs.PipelineMetrics
+	// Deadline, when positive, bounds the run's wall time: a run still in
+	// flight after the deadline is cancelled cooperatively and fails with
+	// an error matching ErrDeadlineExceeded (and context.DeadlineExceeded)
+	// under errors.Is. Zero means no deadline. Deadlines bound resources,
+	// not output: they do not affect the mined output of runs that finish
+	// in time, and are ignored by CacheKey.
+	Deadline time.Duration
+	// MaxAttempts, when > 1, re-executes MapReduce tasks that fail
+	// transiently (I/O errors on the spill path, injected faults) up to
+	// this many total attempts each, with capped exponential backoff.
+	// Retried runs produce byte-identical output to fault-free runs.
+	// 0 (or 1) disables retries. Ignored by CacheKey.
+	MaxAttempts int
+	// Faults, when non-nil, arms the pipeline's fault-injection points for
+	// chaos testing (see internal/faults). The field's type lives in an
+	// internal package: it is settable only from inside this module;
+	// external callers leave it nil. Ignored by CacheKey.
+	Faults *faults.Registry
 }
 
 // ProgressEvent is one live progress update of a mining run.
@@ -219,6 +239,11 @@ type ProgressEvent struct {
 	// Options.MemoryBudget forced the run to disk.
 	SpillRuns  int64
 	SpillBytes int64
+	// TaskRetries counts task re-executions after transient failures
+	// (Options.MaxAttempts); FaultsInjected counts synthetic faults
+	// injected so far. Both zero on healthy, un-instrumented runs.
+	TaskRetries    int64
+	FaultsInjected int64
 }
 
 // Restriction selects an output restriction.
@@ -236,6 +261,11 @@ const (
 
 // ErrAborted reports that a baseline run exceeded Options.MaxIntermediate.
 var ErrAborted = baseline.ErrEmitCapExceeded
+
+// ErrDeadlineExceeded reports that a run outlived Options.Deadline and was
+// cancelled. Errors returned by deadline-exceeded runs match it (and
+// context.DeadlineExceeded) under errors.Is.
+var ErrDeadlineExceeded = errors.New("lash: run deadline exceeded")
 
 // Pattern is one mined generalized sequence.
 type Pattern struct {
@@ -277,6 +307,13 @@ type RunStats struct {
 	// forced the run to disk.
 	SpillRuns  int64
 	SpillBytes int64
+	// TaskRetries counts task re-executions after transient failures
+	// (Options.MaxAttempts); FaultsInjected counts synthetic faults the
+	// run injected (Options.Faults). Unlike the fields above, both sum
+	// over all of the run's jobs, preprocessing included. Zero on healthy,
+	// un-instrumented runs.
+	TaskRetries    int64
+	FaultsInjected int64
 }
 
 // Mine runs the selected algorithm over the database. It is
@@ -334,7 +371,21 @@ func mine(ctx context.Context, db *Database, opt Options, freqs []int64, emit fu
 		return nil, err
 	}
 	params := gsm.Params{Sigma: opt.MinSupport, Gamma: opt.MaxGap, Lambda: opt.MaxLength}
-	mr := mapreduce.Config{Workers: opt.Workers, MemoryBudget: opt.MemoryBudget}
+	mr := mapreduce.Config{
+		Workers:      opt.Workers,
+		MemoryBudget: opt.MemoryBudget,
+		Retry:        mapreduce.RetryPolicy{MaxAttempts: opt.MaxAttempts},
+		Faults:       opt.Faults,
+	}
+	if opt.Deadline > 0 {
+		// The deadline rides the run's context so every cooperative
+		// cancellation point honors it; the cause marks the failure as a
+		// deadline (not a caller cancellation) for errors.Is.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, opt.Deadline,
+			fmt.Errorf("%w after %v", ErrDeadlineExceeded, opt.Deadline))
+		defer cancel()
+	}
 	if opt.Progress != nil {
 		mr.Progress = progressAdapter(opt.Progress)
 	}
@@ -447,6 +498,14 @@ func mine(ctx context.Context, db *Database, opt Options, freqs []int64, emit fu
 		out.Stats.MapOutputRecords = res.Jobs.Mine.MapOutputRecords
 		out.Stats.SpillRuns = res.Jobs.Mine.SpillRuns
 		out.Stats.SpillBytes = res.Jobs.Mine.SpillBytes
+		out.Stats.TaskRetries = res.Jobs.Mine.TaskRetries
+		out.Stats.FaultsInjected = res.Jobs.Mine.FaultsInjected
+	}
+	if res.Jobs.FList != nil {
+		// Preprocessing-job retries/faults count toward the run too (the
+		// mining job's other counters keep their main-job-only meaning).
+		out.Stats.TaskRetries += res.Jobs.FList.TaskRetries
+		out.Stats.FaultsInjected += res.Jobs.FList.FaultsInjected
 	}
 	return out, nil
 }
@@ -469,6 +528,8 @@ func progressAdapter(fn func(ProgressEvent)) func(mapreduce.Progress) {
 			ShuffleBytes:    p.ShuffleBytes,
 			SpillRuns:       p.SpillRuns,
 			SpillBytes:      p.SpillBytes,
+			TaskRetries:     p.TaskRetries,
+			FaultsInjected:  p.FaultsInjected,
 		})
 	}
 }

@@ -28,6 +28,12 @@ func (o Options) Validate() error {
 	if o.MemoryBudget < 0 {
 		return fmt.Errorf("lash: MemoryBudget must be ≥ 0, got %d", o.MemoryBudget)
 	}
+	if o.Deadline < 0 {
+		return fmt.Errorf("lash: Deadline must be ≥ 0, got %v", o.Deadline)
+	}
+	if o.MaxAttempts < 0 {
+		return fmt.Errorf("lash: MaxAttempts must be ≥ 0, got %d", o.MaxAttempts)
+	}
 	switch o.Algorithm {
 	case AlgorithmLASH, AlgorithmNaive, AlgorithmSemiNaive, AlgorithmMGFSM, AlgorithmLASHFlat:
 	default:
@@ -77,9 +83,12 @@ func (o Options) ValidateStream() error {
 
 // Canonical returns o with every field that cannot affect Mine's output
 // normalized to its zero value: Workers (a pure parallelism knob), the
-// observability hooks (Progress, Trace, Metrics), and MemoryBudget (an
+// observability hooks (Progress, Trace, Metrics), MemoryBudget (an
 // execution-mode knob — the spill path is differential-tested
-// byte-identical to the in-memory path) are always zeroed, LocalMiner is
+// byte-identical to the in-memory path), and the robustness knobs
+// (Deadline, MaxAttempts, Faults — retried runs are differential-tested
+// byte-identical to fault-free runs, and deadlines only decide whether a
+// run finishes, not what it outputs) are always zeroed, LocalMiner is
 // zeroed for algorithms that do not run a local miner, and MaxIntermediate
 // is zeroed for algorithms that never emit intermediate records. Two valid
 // Options values with equal canonical forms produce identical results on
@@ -90,6 +99,9 @@ func (o Options) Canonical() Options {
 	o.Trace = nil
 	o.Metrics = nil
 	o.MemoryBudget = 0
+	o.Deadline = 0
+	o.MaxAttempts = 0
+	o.Faults = nil
 	switch o.Algorithm {
 	case AlgorithmLASH, AlgorithmLASHFlat:
 		o.MaxIntermediate = 0

@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package server
+
+// diskFree is unavailable on this platform: the lash_spill_dir_free_bytes
+// gauge stays at -1 and readiness falls back to the write probe alone.
+func diskFree(path string) (int64, bool) { return 0, false }

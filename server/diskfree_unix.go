@@ -1,0 +1,17 @@
+//go:build linux || darwin
+
+package server
+
+import "syscall"
+
+// diskFree returns the bytes available to unprivileged writers on the
+// filesystem holding path — what a budgeted shuffle could actually spill.
+func diskFree(path string) (int64, bool) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil {
+		return 0, false
+	}
+	// Field widths differ across platforms (Bsize is int64 on Linux,
+	// uint32 on Darwin); the product fits int64 on any real filesystem.
+	return int64(st.Bavail) * int64(st.Bsize), true
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lash"
+	"lash/internal/faults"
 )
 
 // JobStatus is a job's lifecycle state.
@@ -112,6 +113,16 @@ type manager struct {
 	baseCtx  context.Context
 	cancel   context.CancelCauseFunc
 
+	// Robustness knobs, set once by New before the manager serves anything.
+	// maxQueue bounds the fresh-job backlog (0 = unbounded): submissions
+	// that would queue past it are refused with errOverloaded. maxJobTime
+	// caps every run's Options.Deadline (0 = uncapped): a request may set a
+	// tighter deadline, never a looser one. faults arms the run-level
+	// injection points of every mine (nil in production).
+	maxQueue   int
+	maxJobTime time.Duration
+	faults     *faults.Registry
+
 	mu       sync.Mutex
 	closed   bool
 	jobs     map[string]*job
@@ -128,6 +139,9 @@ var (
 	errShutdown     = errors.New("server is shutting down")
 	errJobMissing   = errors.New("no such job")
 	errJobCancelled = errors.New("job cancelled")
+	// errOverloaded maps to 429 + Retry-After: the request was well-formed
+	// but the server refuses it for now (queue bound or rate limit).
+	errOverloaded = errors.New("server overloaded")
 )
 
 func newManager(workers, cacheSize, maxJobs int, mineFn MineFunc, streamFn StreamFunc, met *serverMetrics, logger *slog.Logger) *manager {
@@ -160,11 +174,27 @@ func jobKey(dbName string, opt lash.Options) string {
 	return dbName + "|" + opt.CacheKey()
 }
 
+// applyPolicies caps opt's deadline at the server-wide bound and arms the
+// configured fault registry. Neither affects the job key — Canonical zeroes
+// both — so caching and coalescing keep working across them.
+func (m *manager) applyPolicies(opt lash.Options) lash.Options {
+	if m.maxJobTime > 0 && (opt.Deadline <= 0 || opt.Deadline > m.maxJobTime) {
+		opt.Deadline = m.maxJobTime
+	}
+	if opt.Faults == nil {
+		opt.Faults = m.faults
+	}
+	return opt
+}
+
 // submit registers a mining request and returns the job that answers it.
 // Three paths, checked in order: a cached result yields an already-done job
 // without mining; an identical in-flight job absorbs the request
-// (singleflight); otherwise a fresh job is queued on the worker pool.
+// (singleflight); otherwise a fresh job is queued on the worker pool —
+// unless the queue is at its admission bound, which refuses the request
+// with errOverloaded (429) instead of letting the backlog grow unbounded.
 func (m *manager) submit(ctx context.Context, dbName string, db *lash.Database, opt lash.Options) (*job, error) {
+	opt = m.applyPolicies(opt)
 	key := jobKey(dbName, opt)
 	reqID := requestIDFrom(ctx)
 
@@ -173,7 +203,6 @@ func (m *manager) submit(ctx context.Context, dbName string, db *lash.Database, 
 	if m.closed {
 		return nil, errShutdown
 	}
-	m.met.jobsSubmitted.Inc()
 
 	if res, ok := m.cache.get(key); ok {
 		j := m.newJobLocked(key, dbName, opt)
@@ -184,6 +213,7 @@ func (m *manager) submit(ctx context.Context, dbName string, db *lash.Database, 
 		j.finished = j.created
 		j.cancelCause(nil) // no run to cancel; release the context now
 		close(j.done)
+		m.met.jobsSubmitted.Inc()
 		m.met.jobsCompleted.Inc()
 		m.log.Info("job answered from cache", "job_id", j.id, "request_id", reqID, "database", dbName)
 		return j, nil
@@ -191,12 +221,23 @@ func (m *manager) submit(ctx context.Context, dbName string, db *lash.Database, 
 
 	if running, ok := m.inflight[key]; ok {
 		running.coalesced++
+		m.met.jobsSubmitted.Inc()
 		m.met.jobsCoalesced.Inc()
 		m.log.Info("job coalesced", "job_id", running.id, "request_id", reqID, "database", dbName)
 		return running, nil
 	}
 
+	// Admission control: only now would a fresh job join the queue. Cache
+	// hits and coalesced submits are always admitted above — they cost no
+	// queue slot — so saturation never degrades already-answerable requests.
+	if m.maxQueue > 0 {
+		if queued := int(m.met.jobsQueued.Value()); queued >= m.maxQueue {
+			return nil, fmt.Errorf("%w: %d jobs queued (bound %d)", errOverloaded, queued, m.maxQueue)
+		}
+	}
+
 	j := m.newJobLocked(key, dbName, opt)
+	m.met.jobsSubmitted.Inc()
 	j.status = JobQueued
 	m.inflight[key] = j
 	m.met.jobsQueued.Inc()
@@ -354,6 +395,12 @@ func (m *manager) finish(j *job, res *lash.Result, err error) {
 		j.status = JobFailed
 		j.err = err
 		m.met.jobsFailed.Inc()
+		// A deadline expiry is cancellation-shaped but counts as a failure:
+		// the server (or the request's deadline_ms) decided the run was not
+		// worth finishing, and operators alert on this separately.
+		if errors.Is(err, lash.ErrDeadlineExceeded) {
+			m.met.jobsDeadline.Inc()
+		}
 	}
 	delete(m.inflight, j.key)
 	close(j.done)
@@ -426,6 +473,7 @@ func (m *manager) cancelJob(id string) (*job, error) {
 // worker slot, count into the stats, and participate in shutdown draining
 // — closing the manager cancels their context.
 func (m *manager) stream(ctx context.Context, db *lash.Database, opt lash.Options, emit func(lash.Pattern) error) (*lash.Result, error) {
+	opt = m.applyPolicies(opt)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -480,6 +528,9 @@ func (m *manager) stream(ctx context.Context, db *lash.Database, opt lash.Option
 		outcome = "cancelled"
 	default:
 		m.met.jobsFailed.Inc()
+		if errors.Is(err, lash.ErrDeadlineExceeded) {
+			m.met.jobsDeadline.Inc()
+		}
 		outcome = "failed"
 	}
 	m.log.Info("stream finished", "request_id", reqID, "status", outcome,
@@ -536,9 +587,19 @@ func (m *manager) stats() JobStats {
 	}
 }
 
+// draining reports whether close has begun: from that moment every new
+// submission is refused with errShutdown (503 + Retry-After) and /readyz
+// answers 503, while in-flight runs finish under the drain timeout.
+func (m *manager) draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
 // close stops accepting jobs and waits for in-flight ones to drain or ctx
 // to expire, whichever comes first. Queued jobs that have not claimed a
-// worker slot yet fail with errShutdown.
+// worker slot yet fail with errShutdown. Idempotent: repeated closes (and
+// submissions racing them) all observe the same refused state.
 func (m *manager) close(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true

@@ -32,6 +32,16 @@ type serverMetrics struct {
 	queueSeconds  *obs.Histogram
 	runSeconds    *obs.Histogram
 
+	// jobsDeadline counts runs that failed because they outlived their
+	// deadline (request deadline_ms, capped by the server's MaxJobTime).
+	// rateLimited counts requests the per-client token bucket rejected
+	// with 429. spillDirFree mirrors the free space of the filesystem
+	// budgeted shuffles spill to (refreshed at scrape and readiness
+	// checks; -1 until first measured or when the platform cannot tell).
+	jobsDeadline *obs.Counter
+	rateLimited  *obs.Counter
+	spillDirFree *obs.Gauge
+
 	// spilledRuns/spilledBytes accumulate the shuffle spilling of completed
 	// runs (jobs and streams). They are the single source of truth for
 	// JobStats.SpilledRuns/SpilledBytes — the manager keeps no shadow
@@ -78,6 +88,13 @@ func newServerMetrics() *serverMetrics {
 		runSeconds: r.Histogram("lash_job_run_seconds",
 			"Wall-clock time of mining runs, from worker pickup to a terminal state.", obs.DurationBuckets),
 
+		jobsDeadline: r.Counter("lash_jobs_deadline_exceeded_total",
+			"Jobs and streams that failed because they outlived their deadline (deadline_ms or -max-job-time)."),
+		rateLimited: r.Counter("lash_http_rate_limited_total",
+			"HTTP requests rejected with 429 by the per-client rate limiter."),
+		spillDirFree: r.Gauge("lash_spill_dir_free_bytes",
+			"Free bytes on the filesystem holding the shuffle spill directory (-1 when unknown)."),
+
 		spilledRuns: r.Counter("lash_jobs_spilled_runs_total",
 			"Sorted shuffle runs spilled to disk by completed runs whose memory_budget forced external sorting."),
 		spilledBytes: r.Counter("lash_jobs_spilled_bytes_total",
@@ -100,6 +117,7 @@ func newServerMetrics() *serverMetrics {
 			"Time spent writing one pattern record to a streaming client; long tails mean client backpressure.",
 			obs.DurationBuckets),
 	}
+	m.spillDirFree.Set(-1) // unknown until the first readiness check or scrape
 	obs.RegisterGoCollector(r)
 	return m
 }

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter: each remote host owns a
+// bucket that refills at rate tokens per second up to burst capacity, and
+// every non-exempt request spends one token. Buckets of idle clients are
+// pruned once they have refilled completely — forgetting a full bucket is
+// lossless, so the map stays proportional to the recently-active client
+// set rather than growing with every address ever seen.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastPrune time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time // last refill moment
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		// Default burst: one second's worth of tokens, at least one.
+		burst = int(rate)
+		if float64(burst) < rate {
+			burst++
+		}
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from key's bucket, reporting whether one was
+// available at now. New clients start with a full bucket.
+func (l *rateLimiter) allow(key string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	l.prune(now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// prune drops buckets whose owners have been idle long enough to refill
+// completely. Runs at most once per minute; caller holds l.mu.
+func (l *rateLimiter) prune(now time.Time) {
+	if now.Sub(l.lastPrune) < time.Minute {
+		return
+	}
+	l.lastPrune = now
+	for key, b := range l.buckets {
+		if now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// clientHost is the rate-limit key for a request: the remote host with the
+// ephemeral port dropped, so one client maps to one bucket across
+// connections.
+func clientHost(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}
+
+// rateLimitExempt lists the paths probes and scrapers poll: limiting those
+// would turn monitoring itself into an outage amplifier.
+func rateLimitExempt(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	return false
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lash"
+	"lash/internal/faults"
 	"lash/internal/obs"
 )
 
@@ -65,6 +66,9 @@ type registry struct {
 	// loading/generating its corpus (nil-safe; server.New wires it to
 	// lash_corpus_load_seconds).
 	loadSeconds *obs.Histogram
+	// faults, when non-nil, arms the registry's corpus-loading injection
+	// point for chaos tests (see internal/faults). Nil in production.
+	faults *faults.Registry
 
 	mu    sync.RWMutex
 	dbs   map[string]*dbEntry
@@ -137,6 +141,13 @@ func (r *registry) load(spec DatabaseSpec) (*lash.Database, string, error) {
 		return nil, "", fmt.Errorf("%w: sequences_file, sequences and generator are mutually exclusive", errBadSpec)
 	case fromGen && (spec.HierarchyFile != "" || len(spec.Hierarchy) > 0):
 		return nil, "", fmt.Errorf("%w: generator cannot be combined with hierarchy data", errBadSpec)
+	}
+
+	// Chaos hook: a corpus-load failure (bad disk, truncated file) at the
+	// moment the spec validated and real loading begins. Surfaces as the
+	// registration's error — a server-side failure, not a bad request.
+	if err := r.faults.Hit("server.corpus.load"); err != nil {
+		return nil, "", fmt.Errorf("loading database %q: %w", spec.Name, err)
 	}
 
 	if fromGen {

@@ -23,7 +23,15 @@
 //	GET    /v1/patterns           query a database's latest mined patterns
 //	GET    /v1/stats              registry / job / cache counters
 //	GET    /metrics               Prometheus text exposition of the same counters
-//	GET    /healthz               liveness probe
+//	GET    /healthz               liveness probe (200 while the process serves)
+//	GET    /readyz                readiness probe (503 while draining/saturated)
+//
+// Robustness: every run can carry a deadline (deadline_ms, capped by
+// Config.MaxJobTime) and a task-retry budget (max_attempts); the manager
+// refuses submissions past its queue bound and rate-limits per client,
+// answering 429 with Retry-After in both cases. Shutdown flips /readyz to
+// 503 immediately and refuses new submissions with 503 + Retry-After while
+// in-flight jobs drain.
 //
 // Every job runs under a context derived from the server's lifetime:
 // DELETE /v1/jobs/{id} cancels one job (it lands in the "cancelled" state,
@@ -44,12 +52,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"lash"
+	"lash/internal/faults"
 )
 
 // Config parameterizes New. The zero value is usable: 4 mining workers, a
@@ -81,6 +91,30 @@ type Config struct {
 	// requests, job_id for jobs, both where a request touches a job. Nil
 	// discards all logs.
 	Logger *slog.Logger
+	// MaxJobTime, when positive, caps every run's mining wall time
+	// (lashd -max-job-time). A request's deadline_ms may tighten the cap,
+	// never loosen it; runs past it fail with a timeout error counted by
+	// lash_jobs_deadline_exceeded_total.
+	MaxJobTime time.Duration
+	// MaxQueue, when positive, bounds the fresh-job backlog (lashd
+	// -max-queue): submissions that would queue past it are refused with
+	// 429 + Retry-After. Cache hits and coalesced submissions are always
+	// admitted — they cost no queue slot.
+	MaxQueue int
+	// RateLimit, when positive, enables per-client token-bucket rate
+	// limiting (lashd -rate-limit): sustained requests per second allowed
+	// from one remote host, with bursts up to RateBurst. Probe and scrape
+	// endpoints (/healthz, /readyz, /metrics) are exempt; over-limit
+	// requests get 429 + Retry-After.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity per client (0 = RateLimit
+	// rounded up, minimum 1).
+	RateBurst int
+	// Faults, when non-nil, arms the server's fault-injection points —
+	// corpus loading ("server.corpus.load") and, forwarded into every run,
+	// the pipeline points (see lash.Options.Faults). Chaos tests only; nil
+	// in production.
+	Faults *faults.Registry
 }
 
 // Server is a concurrent mining service. Create one with New, mount
@@ -92,6 +126,7 @@ type Server struct {
 	root     http.Handler // mux wrapped in the request-id/logging/metrics middleware
 	metrics  *serverMetrics
 	log      *slog.Logger
+	limiter  *rateLimiter // nil when rate limiting is off
 	started  time.Time
 	nextReq  atomic.Uint64 // request-id source
 }
@@ -129,11 +164,21 @@ func New(cfg Config) *Server {
 		started:  time.Now().UTC(),
 	}
 	s.registry.loadSeconds = met.pm.CorpusLoadSeconds
+	s.registry.faults = cfg.Faults
+	s.jobs.maxQueue = cfg.MaxQueue
+	s.jobs.maxJobTime = cfg.MaxJobTime
+	s.jobs.faults = cfg.Faults
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
+	}
 	// Gauges whose truth lives elsewhere are refreshed at scrape time.
 	met.reg.OnScrape(func() {
 		met.uptime.Set(int64(time.Since(s.started).Seconds()))
 		met.cacheEntries.Set(int64(s.jobs.cache.stats().Size))
 		met.databases.Set(int64(s.registry.len()))
+		if free, ok := diskFree(os.TempDir()); ok {
+			met.spillDirFree.Set(free)
+		}
 	})
 	s.mux.HandleFunc("POST /v1/databases", s.handleAddDatabase)
 	s.mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
@@ -146,23 +191,72 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// /healthz is pure liveness — 200 for as long as the process serves
+	// HTTP at all, even mid-drain — while /readyz reports whether new work
+	// would be accepted right now.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.root = s.middleware(s.mux)
 	return s
 }
 
+// handleReady answers GET /readyz: 200 while the server can usefully accept
+// mining work, 503 + Retry-After the moment it cannot — the job manager is
+// draining (Close has begun), the admission queue is saturated, or the
+// spill directory stopped accepting writes. Load balancers use it to stop
+// routing before shutdown finishes; /healthz stays green throughout the
+// drain so the process is not killed mid-flight.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if free, ok := diskFree(os.TempDir()); ok {
+		s.metrics.spillDirFree.Set(free)
+	}
+	switch {
+	case s.jobs.draining():
+		writeError(w, http.StatusServiceUnavailable, errors.New("not ready: draining (shutdown in progress)"))
+	case s.jobs.maxQueue > 0 && int(s.metrics.jobsQueued.Value()) >= s.jobs.maxQueue:
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("not ready: job queue saturated (%d/%d)",
+			int(s.metrics.jobsQueued.Value()), s.jobs.maxQueue))
+	default:
+		if err := probeSpillDir(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("not ready: spill dir not writable: %v", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// probeSpillDir verifies a budgeted shuffle could spill right now: runs
+// create their private spill directories under the process temp dir, so
+// readiness round-trips one small write there.
+func probeSpillDir() error {
+	f, err := os.CreateTemp("", "lash-readyz-")
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("ok"))
+	return errors.Join(werr, f.Close(), os.Remove(f.Name()))
+}
+
 // middleware assigns each request an id (threaded through the context so
-// job logs can point back at the request that caused them), logs the
-// request, and counts it into lash_http_requests_total.
+// job logs can point back at the request that caused them), applies the
+// per-client rate limit, logs the request, and counts it into
+// lash_http_requests_total (rate-limited requests included, so the 429s
+// show up in the same place as everything else).
 func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := fmt.Sprintf("req-%d", s.nextReq.Add(1))
 		r = r.WithContext(withRequestID(r.Context(), id))
 		sw := &statusWriter{ResponseWriter: w}
 		begin := time.Now()
-		next.ServeHTTP(sw, r)
+		if s.limiter != nil && !rateLimitExempt(r.URL.Path) && !s.limiter.allow(clientHost(r.RemoteAddr), begin) {
+			s.metrics.rateLimited.Inc()
+			writeError(sw, http.StatusTooManyRequests,
+				fmt.Errorf("%w: client %s exceeded %g requests/second", errOverloaded, clientHost(r.RemoteAddr), s.limiter.rate))
+		} else {
+			next.ServeHTTP(sw, r)
+		}
 		code := sw.status
 		if code == 0 {
 			code = http.StatusOK
@@ -250,6 +344,19 @@ type OptionsSpec struct {
 	// 0 = unlimited. Does not affect the mined result, so cache hits and
 	// singleflight coalescing work across different budgets.
 	MemoryBudget int64 `json:"memory_budget,omitempty"`
+	// DeadlineMS, when positive, bounds the run's mining wall time in
+	// milliseconds: a run still in flight past it fails with a timeout
+	// error. The server's -max-job-time cap still applies — the tighter
+	// bound wins. Like memory_budget, deadlines decide whether a run
+	// finishes, never what it outputs, so caching and coalescing work
+	// across different values.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// MaxAttempts, when > 1, re-executes transiently-failed MapReduce
+	// tasks (spill I/O errors and the like) up to this many total attempts
+	// each (see lash.Options.MaxAttempts). Retried runs are differentially
+	// tested byte-identical to fault-free runs, so this too is invisible
+	// to the cache key.
+	MaxAttempts int `json:"max_attempts,omitempty"`
 }
 
 // toOptions parses and validates the spec.
@@ -276,6 +383,8 @@ func (o OptionsSpec) toOptions() (lash.Options, error) {
 		Workers:         o.Workers,
 		MaxIntermediate: o.MaxIntermediate,
 		MemoryBudget:    o.MemoryBudget,
+		Deadline:        time.Duration(o.DeadlineMS) * time.Millisecond,
+		MaxAttempts:     o.MaxAttempts,
 	}
 	if err := opt.Validate(); err != nil {
 		return lash.Options{}, err
@@ -312,6 +421,11 @@ type ResultView struct {
 	// memory_budget (0 when the run stayed in memory).
 	SpillRuns  int64 `json:"spill_runs,omitempty"`
 	SpillBytes int64 `json:"spill_bytes,omitempty"`
+	// TaskRetries/FaultsInjected report the run's fault-tolerance work:
+	// task re-executions after transient failures (max_attempts) and
+	// synthetic faults injected into the run. Both 0 on healthy runs.
+	TaskRetries    int64 `json:"task_retries,omitempty"`
+	FaultsInjected int64 `json:"faults_injected,omitempty"`
 }
 
 func viewPatterns(ps []lash.Pattern) []PatternView {
@@ -332,6 +446,8 @@ func viewResult(res *lash.Result) *ResultView {
 		MapOutputRecords: res.Stats.MapOutputRecords,
 		SpillRuns:        res.Stats.SpillRuns,
 		SpillBytes:       res.Stats.SpillBytes,
+		TaskRetries:      res.Stats.TaskRetries,
+		FaultsInjected:   res.Stats.FaultsInjected,
 	}
 }
 
@@ -528,6 +644,8 @@ type StreamTrailer struct {
 	MapOutputRecords int64         `json:"map_output_records,omitempty"`
 	SpillRuns        int64         `json:"spill_runs,omitempty"`
 	SpillBytes       int64         `json:"spill_bytes,omitempty"`
+	TaskRetries      int64         `json:"task_retries,omitempty"`
+	FaultsInjected   int64         `json:"faults_injected,omitempty"`
 	RuntimeMS        int64         `json:"runtime_ms"`
 }
 
@@ -605,6 +723,8 @@ func (s *Server) handleMineStream(w http.ResponseWriter, r *http.Request) {
 		trailer.MapOutputRecords = res.Stats.MapOutputRecords
 		trailer.SpillRuns = res.Stats.SpillRuns
 		trailer.SpillBytes = res.Stats.SpillBytes
+		trailer.TaskRetries = res.Stats.TaskRetries
+		trailer.FaultsInjected = res.Stats.FaultsInjected
 	}
 	enc.Encode(trailer) //nolint:errcheck // nothing to do about a broken client pipe
 	if flusher != nil {
@@ -744,6 +864,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	// Backoffable refusals (overload, drain) advertise when to come back:
+	// well-behaved clients and load balancers honor Retry-After instead of
+	// hammering a server that already said no.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
@@ -756,6 +882,8 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, errShutdown):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, errJobMissing):
 		return http.StatusNotFound
 	}

@@ -5,6 +5,7 @@
 //	obshandle   obs Registry registration only in constructors/init
 //	emitgo      serialized emit/progress callbacks never cross goroutines
 //	errjob      %w-wrapped, job/phase-annotated errors at the boundary
+//	faultpoint  fault-injection points are constant, package-prefixed, unique names
 //
 // It runs in two modes:
 //
@@ -48,6 +49,7 @@ import (
 	"lash/tools/internal/analysis/ctxfirst"
 	"lash/tools/internal/analysis/emitgo"
 	"lash/tools/internal/analysis/errjob"
+	"lash/tools/internal/analysis/faultpoint"
 	"lash/tools/internal/analysis/load"
 	"lash/tools/internal/analysis/obshandle"
 )
@@ -61,6 +63,7 @@ var suite = []*analysis.Analyzer{
 	obshandle.Analyzer,
 	emitgo.Analyzer,
 	errjob.Analyzer,
+	faultpoint.Analyzer,
 }
 
 func main() {

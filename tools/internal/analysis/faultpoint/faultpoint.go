@@ -1,0 +1,100 @@
+// Package faultpoint enforces the fault-injection naming contract
+// (internal/faults package doc): every Registry.Hit call site names its
+// point with a constant, package-prefixed string — "<package>.<point>" —
+// unique within the package.
+//
+// The contract is what makes chaos tests trustworthy: a test arms
+// "mapreduce.spill.write" by name, so the name at the Hit site must be a
+// greppable constant (never computed at runtime), must say which package
+// owns it (so two subsystems cannot collide on "flush"), and must not be
+// reused for a second site (an armed point firing from two places would
+// make FailNth counts ambiguous).
+//
+// The faults package itself is exempt — its own tests exercise arbitrary
+// names by design.
+package faultpoint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"lash/tools/internal/analysis"
+)
+
+// Config tunes the analyzer.
+type Config struct {
+	// FaultsPackage is the import-path base of the injection registry
+	// package whose Hit method anchors the check.
+	FaultsPackage string
+}
+
+// DefaultConfig matches this repository's lash/internal/faults.
+func DefaultConfig() Config {
+	return Config{FaultsPackage: "faults"}
+}
+
+// NewAnalyzer returns a faultpoint analyzer with the given configuration.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "faultpoint",
+		Doc:  "fault-injection points are constant, package-prefixed, unique names",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// Analyzer is faultpoint with DefaultConfig.
+var Analyzer = NewAnalyzer(DefaultConfig())
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if analysis.PathBase(pass.Pkg.Path()) == cfg.FaultsPackage {
+		return nil // the registry's own package uses arbitrary names freely
+	}
+	prefix := pass.Pkg.Name() + "."
+	seen := make(map[string]bool)
+
+	analysis.WalkStack(pass.Files, func(stack []ast.Node) bool {
+		call, ok := stack[len(stack)-1].(*ast.CallExpr)
+		if !ok || !isHitCall(pass.TypesInfo, call, cfg.FaultsPackage) {
+			return true
+		}
+		name, ok := constString(pass.TypesInfo, call.Args[0])
+		if !ok {
+			pass.Reportf(call.Args[0].Pos(),
+				"fault-point name must be a constant string, not a computed value; chaos tests arm points by grepping for the literal")
+			return true
+		}
+		if !strings.HasPrefix(name, prefix) {
+			pass.Reportf(call.Args[0].Pos(),
+				"fault-point name %q lacks the %q package prefix; points are namespaced by their owning package", name, prefix)
+			return true
+		}
+		if seen[name] {
+			pass.Reportf(call.Args[0].Pos(),
+				"fault-point name %q duplicates another Hit site in this package; FailNth counts would be ambiguous across sites", name)
+			return true
+		}
+		seen[name] = true
+		return true
+	})
+	return nil
+}
+
+// isHitCall reports whether call invokes the Hit method of the faults
+// registry package (matched by import-path base, so testdata stubs
+// exercise the same path as the real tree).
+func isHitCall(info *types.Info, call *ast.CallExpr, faultsPkg string) bool {
+	fn := analysis.CalleeFunc(info, call)
+	return fn != nil && fn.Name() == "Hit" && fn.Pkg() != nil &&
+		analysis.PathBase(fn.Pkg().Path()) == faultsPkg && len(call.Args) == 1
+}
+
+// constString evaluates expr to a constant string if possible.
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

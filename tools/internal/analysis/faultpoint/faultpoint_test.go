@@ -1,0 +1,12 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"lash/tools/internal/analysis/faultpoint"
+	"lash/tools/internal/analysis/vettest"
+)
+
+func TestFaultPoint(t *testing.T) {
+	vettest.Run(t, vettest.TestData(t), faultpoint.Analyzer, "pipeline", "suppress", "faults")
+}

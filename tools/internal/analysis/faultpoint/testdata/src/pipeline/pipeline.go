@@ -1,0 +1,27 @@
+// Target package exercising the faultpoint naming contract.
+package pipeline
+
+import "faults"
+
+// ptMerge shows that a named constant satisfies the literal requirement —
+// it is still a greppable compile-time string.
+const ptMerge = "pipeline.spill.merge"
+
+func run(reg *faults.Registry, computed string) error {
+	if err := reg.Hit("pipeline.map.task"); err != nil { // ok: constant, prefixed, unique
+		return err
+	}
+	if err := reg.Hit(ptMerge); err != nil { // ok: named constant
+		return err
+	}
+	if err := reg.Hit("map.task"); err != nil { // want `lacks the "pipeline\." package prefix`
+		return err
+	}
+	if err := reg.Hit(computed); err != nil { // want `must be a constant string`
+		return err
+	}
+	if err := reg.Hit("pipeline." + computed); err != nil { // want `must be a constant string`
+		return err
+	}
+	return reg.Hit("pipeline.map.task") // want `duplicates another Hit site`
+}

@@ -1,0 +1,13 @@
+// Suppression case for faultpoint.
+package suppress
+
+import "faults"
+
+func run(reg *faults.Registry, name string) error {
+	//lashvet:ignore faultpoint point names come from a vetted table keyed elsewhere
+	return reg.Hit(name)
+}
+
+func stillBad(reg *faults.Registry, name string) error {
+	return reg.Hit(name) // want `must be a constant string`
+}
