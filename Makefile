@@ -1,8 +1,8 @@
 GO ?= go
 BENCH ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_PR8.json
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR9.json
+BENCH_BASE ?= BENCH_PR8.json
 MAX_REGRESS ?= 40
 FUZZTIME ?= 60s
 FUZZ_PKGS ?= ./internal/seqenc ./internal/seqdb

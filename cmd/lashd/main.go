@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	lashd [-addr :8080] [-workers 4] [-cache 128] [-data DIR]
+//	lashd [-addr :8080] [-workers 4] [-cache-bytes N] [-data DIR]
 //	      [-db name=sequences.txt[,hierarchy.txt]]... [-demo]
 //	      [-max-job-time D] [-max-queue N] [-rate-limit R] [-rate-burst B]
 //	      [-log-format text|json] [-log-level LEVEL] [-debug-addr ADDR]
@@ -59,20 +59,21 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 4, "concurrent mining jobs")
-		cacheSize = flag.Int("cache", 128, "result cache capacity (entries; negative disables)")
-		history   = flag.Int("history", 1024, "retained job records (negative retains everything)")
-		dataDir   = flag.String("data", "", "directory for file-based databases (empty disables file loading)")
-		demo      = flag.Bool("demo", false, "preload generated demo databases demo-text and demo-market")
-		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
-		maxJob    = flag.Duration("max-job-time", 0, "cap on one run's mining wall time; requests may set tighter deadlines, never looser (0 disables)")
-		maxQueue  = flag.Int("max-queue", 0, "job queue bound: fresh submissions past it get 429 + Retry-After (0 = unbounded)")
-		rateLimit = flag.Float64("rate-limit", 0, "per-client sustained requests/second; probes and /metrics are exempt (0 disables)")
-		rateBurst = flag.Int("rate-burst", 0, "per-client burst capacity for -rate-limit (0 = one second's worth)")
-		logFormat = flag.String("log-format", "text", "log output format: text or json")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
-		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 4, "concurrent mining jobs")
+		cacheBytes = flag.Int64("cache-bytes", 256<<20, "result cache byte budget (negative disables)")
+		cacheSize  = flag.Int("cache", 0, "deprecated alias: additional result cache entry bound (negative disables caching; prefer -cache-bytes)")
+		history    = flag.Int("history", 1024, "retained job records (negative retains everything)")
+		dataDir    = flag.String("data", "", "directory for file-based databases (empty disables file loading)")
+		demo       = flag.Bool("demo", false, "preload generated demo databases demo-text and demo-market")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+		maxJob     = flag.Duration("max-job-time", 0, "cap on one run's mining wall time; requests may set tighter deadlines, never looser (0 disables)")
+		maxQueue   = flag.Int("max-queue", 0, "job queue bound: fresh submissions past it get 429 + Retry-After (0 = unbounded)")
+		rateLimit  = flag.Float64("rate-limit", 0, "per-client sustained requests/second; probes and /metrics are exempt (0 disables)")
+		rateBurst  = flag.Int("rate-burst", 0, "per-client burst capacity for -rate-limit (0 = one second's worth)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		debugAddr  = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty disables)")
 	)
 	var preload []server.DatabaseSpec
 	flag.Func("db", "preload a database: name=sequences.txt[,hierarchy.txt] (repeatable; paths relative to -data)", func(v string) error {
@@ -99,6 +100,7 @@ func main() {
 
 	srv := server.New(server.Config{
 		Workers:    *workers,
+		CacheBytes: *cacheBytes,
 		CacheSize:  *cacheSize,
 		JobHistory: *history,
 		DataDir:    *dataDir,
@@ -134,7 +136,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Info("serving", "addr", *addr, "workers", *workers, "cache", *cacheSize)
+	logger.Info("serving", "addr", *addr, "workers", *workers, "cache_bytes", *cacheBytes)
 
 	// pprof lives on its own listener (opt-in) so profiling endpoints are
 	// never reachable through the public API port. The explicit

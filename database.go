@@ -26,6 +26,26 @@ func (d *Database) NumItems() int { return d.db.Forest.Size() }
 // HierarchyDepth returns the number of hierarchy levels (1 = flat).
 func (d *Database) HierarchyDepth() int { return d.db.Forest.Depth() }
 
+// ItemLevel returns the hierarchy level of the named item (0 = root), or
+// -1 when the item is not in the vocabulary.
+func (d *Database) ItemLevel(name string) int {
+	w, ok := d.db.Forest.Lookup(name)
+	if !ok {
+		return -1
+	}
+	return d.db.Forest.Level(w)
+}
+
+// ItemParent returns the name of the item's direct generalization. The
+// second result is false when the item is unknown or a hierarchy root.
+func (d *Database) ItemParent(name string) (string, bool) {
+	w, ok := d.db.Forest.Lookup(name)
+	if !ok || d.db.Forest.IsRoot(w) {
+		return "", false
+	}
+	return d.db.Forest.Name(d.db.Forest.Parent(w)), true
+}
+
 // Sequence returns the i-th input sequence as item names.
 func (d *Database) Sequence(i int) []string {
 	seq := d.db.Seqs[i]

@@ -1,0 +1,514 @@
+// Package pindex is the serving tier's immutable pattern index: a compact,
+// query-oriented layout built exactly once over a completed mining result
+// and never mutated afterwards, so any number of concurrent readers can
+// query it without locking and an LRU tier can account for it byte-exactly.
+//
+// # Layout contract
+//
+// Build interns every item that occurs in the pattern set into a dense
+// private vocabulary and stores all patterns id-encoded in one arena with a
+// per-pattern offset table — pattern i of the input keeps id i ("canonical
+// id"), so the input's canonical mining order is recoverable for free. On
+// top of the arena sit four derived, equally immutable tables:
+//
+//   - lex: the canonical ids sorted in prefix-lexicographic order of their
+//     encoded item sequences. Every pattern set sharing a given item-sequence
+//     prefix is one contiguous lex range, so prefix queries and exact
+//     lookups are a binary search, never a scan.
+//   - bySupport: the serving permutation — canonical ids ordered by support
+//     descending, ties by canonical id ascending (the order GET /v1/patterns
+//     has always served). rank[] is its inverse. top-k is a slice of this
+//     permutation; a min-support filter is a prefix of it (supports are
+//     non-increasing along it, so the cutoff is one binary search).
+//   - postings: for each vocabulary item, the serving ranks (ascending) of
+//     the patterns containing it. contains-item queries intersect postings
+//     lists instead of scanning, and the intersection is born in serving
+//     order because rank order is serving order.
+//   - levels and parent: the hierarchy tables. A pattern's level is the
+//     maximum hierarchy level of its items (0 = all items are roots, i.e.
+//     fully generalized); levels[L] lists the ranks at level L. parent maps
+//     each pattern to its canonical parent generalization — the pattern
+//     obtained by generalizing the rightmost non-root item one hierarchy
+//     step — when that pattern is itself in the index, making "roll up this
+//     pattern" a pointer chase instead of a search.
+//
+// Everything is position-based and append-only at build time; after Build
+// returns, the Index is never written again. SizeBytes accounts the layout
+// deterministically, which is what lets the server's result cache budget
+// bytes instead of entries.
+package pindex
+
+import (
+	"slices"
+	"sort"
+
+	"lash/internal/hierarchy"
+)
+
+// Pattern is one mined pattern handed to Build, in the lash package's wire
+// shape (item names plus support).
+type Pattern struct {
+	Items   []string
+	Support int64
+}
+
+// noParent marks "no indexed parent generalization" in the parent table.
+const noParent = int32(-1)
+
+// noID marks "no such vocabulary item".
+const noID = ^uint32(0)
+
+// Index is the immutable pattern index. Build one with Build; all methods
+// are safe for concurrent use because nothing is ever mutated.
+type Index struct {
+	// Private vocabulary over the items occurring in patterns.
+	names  []string          // vocab id → item name
+	byName map[string]uint32 // item name → vocab id
+	level  []int32           // vocab id → hierarchy level (0 = root or unknown)
+	up     []uint32          // vocab id → vocab id of hierarchy parent (noID if none indexed)
+
+	// Pattern storage: canonical order, one arena.
+	arena    []uint32 // all patterns' vocab ids, concatenated in canonical order
+	offs     []uint32 // canonical id → arena offset (len n+1)
+	supports []int64  // canonical id → support
+
+	// Derived tables (see package doc).
+	lex       []uint32   // lex position → canonical id, prefix-lex order
+	bySupport []uint32   // serving rank → canonical id
+	rank      []uint32   // canonical id → serving rank
+	postings  [][]uint32 // vocab id → serving ranks, ascending
+	levels    [][]uint32 // pattern level → serving ranks, ascending
+	parent    []int32    // canonical id → canonical id of parent generalization
+
+	size int64 // SizeBytes, computed once at build
+}
+
+// Build constructs the index over patterns, which must be in canonical
+// mining order (lash.Result.Patterns order) — canonical ids are positions
+// in this slice. f supplies the item hierarchy for the level and roll-up
+// tables; a nil forest (or items absent from it) degrades gracefully to a
+// flat vocabulary, never fails. Build does not retain patterns' slices.
+func Build(patterns []Pattern, f *hierarchy.Forest) *Index {
+	n := len(patterns)
+	ix := &Index{
+		byName:   make(map[string]uint32),
+		offs:     make([]uint32, n+1),
+		supports: make([]int64, n),
+	}
+
+	// Intern the vocabulary and encode every pattern into the arena.
+	total := 0
+	for _, p := range patterns {
+		total += len(p.Items)
+	}
+	ix.arena = make([]uint32, 0, total)
+	for i, p := range patterns {
+		ix.offs[i] = uint32(len(ix.arena))
+		ix.supports[i] = p.Support
+		for _, name := range p.Items {
+			ix.arena = append(ix.arena, ix.intern(name, f))
+		}
+	}
+	ix.offs[n] = uint32(len(ix.arena))
+
+	// Hierarchy parents resolve only after the whole vocabulary is known: a
+	// parent item matters to the index only if it occurs in some pattern.
+	ix.up = make([]uint32, len(ix.names))
+	for id := range ix.names {
+		ix.up[id] = noID
+		if f == nil {
+			continue
+		}
+		w, ok := f.Lookup(ix.names[id])
+		if !ok || f.IsRoot(w) {
+			continue
+		}
+		if p, ok := ix.byName[f.Name(f.Parent(w))]; ok {
+			ix.up[id] = p
+		}
+	}
+
+	// Lex table: canonical ids sorted by encoded item sequence.
+	ix.lex = make([]uint32, n)
+	for i := range ix.lex {
+		ix.lex[i] = uint32(i)
+	}
+	slices.SortFunc(ix.lex, func(a, b uint32) int {
+		return slices.Compare(ix.items(a), ix.items(b))
+	})
+
+	// Serving permutation: support descending, ties canonical-id ascending.
+	ix.bySupport = make([]uint32, n)
+	for i := range ix.bySupport {
+		ix.bySupport[i] = uint32(i)
+	}
+	slices.SortFunc(ix.bySupport, func(a, b uint32) int {
+		if ix.supports[a] != ix.supports[b] {
+			if ix.supports[a] > ix.supports[b] {
+				return -1
+			}
+			return 1
+		}
+		return int(a) - int(b)
+	})
+	ix.rank = make([]uint32, n)
+	for r, id := range ix.bySupport {
+		ix.rank[id] = uint32(r)
+	}
+
+	// Postings and level buckets, walked in rank order so every list is
+	// born sorted by serving rank.
+	ix.postings = make([][]uint32, len(ix.names))
+	maxLevel := 0
+	patLevel := make([]int32, n)
+	for id := 0; id < n; id++ {
+		lvl := int32(0)
+		for _, w := range ix.items(uint32(id)) {
+			if ix.level[w] > lvl {
+				lvl = ix.level[w]
+			}
+		}
+		patLevel[id] = lvl
+		if int(lvl) > maxLevel {
+			maxLevel = int(lvl)
+		}
+	}
+	ix.levels = make([][]uint32, maxLevel+1)
+	for r := 0; r < n; r++ {
+		id := ix.bySupport[r]
+		items := ix.items(id)
+		for j, w := range items {
+			if seenBefore(items[:j], w) {
+				continue // one postings entry per pattern, even for repeats
+			}
+			ix.postings[w] = append(ix.postings[w], uint32(r))
+		}
+		lvl := patLevel[id]
+		ix.levels[lvl] = append(ix.levels[lvl], uint32(r))
+	}
+
+	// Roll-up table: the canonical parent generalization, when indexed.
+	ix.parent = make([]int32, n)
+	scratch := make([]uint32, 0, 16)
+	for id := 0; id < n; id++ {
+		ix.parent[id] = noParent
+		items := ix.items(uint32(id))
+		// Rightmost item with an indexed hierarchy parent defines the
+		// canonical one-step generalization.
+		for j := len(items) - 1; j >= 0; j-- {
+			if ix.up[items[j]] == noID {
+				continue
+			}
+			scratch = append(scratch[:0], items...)
+			scratch[j] = ix.up[items[j]]
+			if pid, ok := ix.lookupIDs(scratch); ok {
+				ix.parent[id] = int32(pid)
+			}
+			break
+		}
+	}
+
+	ix.size = ix.computeSize()
+	return ix
+}
+
+// intern returns the vocabulary id for name, interning it on first sight.
+func (ix *Index) intern(name string, f *hierarchy.Forest) uint32 {
+	if id, ok := ix.byName[name]; ok {
+		return id
+	}
+	id := uint32(len(ix.names))
+	ix.names = append(ix.names, name)
+	lvl := int32(0)
+	if f != nil {
+		if w, ok := f.Lookup(name); ok {
+			lvl = int32(f.Level(w))
+		}
+	}
+	ix.level = append(ix.level, lvl)
+	ix.byName[name] = id
+	return id
+}
+
+func seenBefore(prefix []uint32, w uint32) bool {
+	for _, u := range prefix {
+		if u == w {
+			return true
+		}
+	}
+	return false
+}
+
+// items returns pattern id's encoded item sequence (a view into the arena;
+// callers must not modify it).
+func (ix *Index) items(id uint32) []uint32 {
+	return ix.arena[ix.offs[id]:ix.offs[id+1]]
+}
+
+// Len returns the number of indexed patterns.
+func (ix *Index) Len() int { return len(ix.supports) }
+
+// Support returns pattern id's support.
+func (ix *Index) Support(id uint32) int64 { return ix.supports[id] }
+
+// NumItems returns the size of the index's private vocabulary.
+func (ix *Index) NumItems() int { return len(ix.names) }
+
+// AppendItems appends pattern id's item names to dst and returns the
+// extended slice — the allocation-free rendering primitive.
+func (ix *Index) AppendItems(dst []string, id uint32) []string {
+	for _, w := range ix.items(id) {
+		dst = append(dst, ix.names[w])
+	}
+	return dst
+}
+
+// Items returns pattern id's item names as a fresh slice.
+func (ix *Index) Items(id uint32) []string {
+	return ix.AppendItems(make([]string, 0, len(ix.items(id))), id)
+}
+
+// SizeBytes returns the deterministic byte accounting of the index's
+// retained layout: every backing array at its element width, plus the
+// vocabulary strings and an amortized per-entry charge for the name map.
+// Two builds over equal inputs report equal sizes, which makes the value
+// safe to use as a cache charging key.
+func (ix *Index) SizeBytes() int64 { return ix.size }
+
+func (ix *Index) computeSize() int64 {
+	const (
+		wordBytes     = 8  // slice headers are charged via their arrays only
+		mapEntryBytes = 48 // amortized bucket + header share per map entry
+	)
+	size := int64(0)
+	size += int64(len(ix.arena)+len(ix.offs)+len(ix.lex)+len(ix.bySupport)+len(ix.rank)) * 4
+	size += int64(len(ix.supports)) * 8
+	size += int64(len(ix.level)+len(ix.parent))*4 + int64(len(ix.up))*4
+	for _, name := range ix.names {
+		size += int64(len(name)) + wordBytes*2 // string bytes + header
+		size += int64(len(name)) + mapEntryBytes
+	}
+	for _, pl := range ix.postings {
+		size += int64(len(pl))*4 + wordBytes*3
+	}
+	for _, ll := range ix.levels {
+		size += int64(len(ll))*4 + wordBytes*3
+	}
+	return size
+}
+
+// MaxLevel returns the largest pattern level in the index (0 for a flat
+// vocabulary or an empty index).
+func (ix *Index) MaxLevel() int {
+	if len(ix.levels) == 0 {
+		return 0
+	}
+	return len(ix.levels) - 1
+}
+
+// lookupIDs finds the canonical id of the pattern with exactly the encoded
+// item sequence want, via binary search over the lex table.
+func (ix *Index) lookupIDs(want []uint32) (uint32, bool) {
+	lo := sort.Search(len(ix.lex), func(i int) bool {
+		return slices.Compare(ix.items(ix.lex[i]), want) >= 0
+	})
+	if lo < len(ix.lex) && slices.Compare(ix.items(ix.lex[lo]), want) == 0 {
+		return ix.lex[lo], true
+	}
+	return 0, false
+}
+
+// Lookup finds the canonical id of the pattern with exactly the given
+// items, if indexed.
+func (ix *Index) Lookup(items []string) (uint32, bool) {
+	ids := make([]uint32, len(items))
+	for i, name := range items {
+		id, ok := ix.byName[name]
+		if !ok {
+			return 0, false
+		}
+		ids[i] = id
+	}
+	return ix.lookupIDs(ids)
+}
+
+// Rollup returns the roll-up chain of the pattern with the given items: the
+// pattern itself followed by successive parent generalizations present in
+// the index (each one hierarchy step more general than the last). An empty
+// chain means the pattern itself is not indexed.
+func (ix *Index) Rollup(items []string) []uint32 {
+	id, ok := ix.Lookup(items)
+	if !ok {
+		return nil
+	}
+	chain := []uint32{id}
+	for ix.parent[id] != noParent {
+		id = uint32(ix.parent[id])
+		chain = append(chain, id)
+	}
+	return chain
+}
+
+// Parent returns the canonical id of pattern id's parent generalization,
+// if one is indexed.
+func (ix *Index) Parent(id uint32) (uint32, bool) {
+	if p := ix.parent[id]; p != noParent {
+		return uint32(p), true
+	}
+	return 0, false
+}
+
+// Query selects patterns. The zero value matches everything. Filters
+// compose conjunctively.
+type Query struct {
+	// MinSupport keeps patterns with at least this support (0 = all).
+	MinSupport int64
+	// Contains keeps patterns mentioning every listed item.
+	Contains []string
+	// Prefix keeps patterns whose item sequence starts with these items.
+	Prefix []string
+	// Level, when ≥ 0, keeps patterns whose level (max hierarchy level over
+	// their items) equals it. -1 matches every level; the zero value
+	// therefore does NOT mean "any" — build queries with NoLevel.
+	Level int
+}
+
+// NoLevel is the Query.Level value that matches every level.
+const NoLevel = -1
+
+// Search appends to dst the canonical ids of up to limit matching patterns
+// in serving order (support descending, ties in canonical mining order),
+// skipping the first offset matches, and returns the extended slice plus
+// the total match count. limit < 0 means "no limit". The only allocations
+// are dst growth and, for queries with postings or lex-range terms, one
+// scratch list proportional to the smallest term — never to Len().
+func (ix *Index) Search(dst []uint32, q Query, offset, limit int) ([]uint32, int) {
+	if limit < 0 {
+		limit = len(ix.supports)
+	}
+	// cut is the serving-rank cutoff of the min-support filter: supports
+	// are non-increasing along bySupport, so ranks [0, cut) qualify.
+	cut := len(ix.bySupport)
+	if q.MinSupport > 0 {
+		cut = sort.Search(len(ix.bySupport), func(r int) bool {
+			return ix.supports[ix.bySupport[r]] < q.MinSupport
+		})
+	}
+
+	lists, ok := ix.gatherLists(q)
+	if !ok {
+		return dst, 0 // a term referenced an unknown item: nothing matches
+	}
+	if lists == nil {
+		// Pure permutation walk: the matches are exactly ranks [0, cut).
+		total := cut
+		for r := offset; r < cut && limit > 0; r++ {
+			dst = append(dst, ix.bySupport[r])
+			limit--
+		}
+		return dst, total
+	}
+
+	matches := intersectLists(lists)
+	// Apply the min-support cutoff: ranks are ascending, qualifying ranks
+	// are < cut, so the qualifying matches are a prefix.
+	end := sort.Search(len(matches), func(i int) bool { return int(matches[i]) >= cut })
+	matches = matches[:end]
+	total := len(matches)
+	for i := offset; i < len(matches) && limit > 0; i++ {
+		dst = append(dst, ix.bySupport[matches[i]])
+		limit--
+	}
+	return dst, total
+}
+
+// gatherLists collects the rank lists of every postings/prefix/level term
+// of q. A nil result with ok=true means q has no such term; ok=false means
+// a term cannot match anything.
+func (ix *Index) gatherLists(q Query) ([][]uint32, bool) {
+	var lists [][]uint32
+	for _, name := range q.Contains {
+		id, ok := ix.byName[name]
+		if !ok {
+			return nil, false
+		}
+		lists = append(lists, ix.postings[id])
+	}
+	if q.Level >= 0 {
+		if q.Level >= len(ix.levels) {
+			return nil, false
+		}
+		lists = append(lists, ix.levels[q.Level])
+	}
+	if len(q.Prefix) > 0 {
+		ranks, ok := ix.prefixRanks(q.Prefix)
+		if !ok {
+			return nil, false
+		}
+		lists = append(lists, ranks)
+	}
+	return lists, true
+}
+
+// prefixRanks resolves a prefix term to its serving ranks (ascending): the
+// lex range sharing the prefix, mapped through rank and sorted. Costs
+// O(R log R) for a range of R patterns — proportional to the term's
+// selectivity, never to Len().
+func (ix *Index) prefixRanks(prefix []string) ([]uint32, bool) {
+	want := make([]uint32, len(prefix))
+	for i, name := range prefix {
+		id, ok := ix.byName[name]
+		if !ok {
+			return nil, false
+		}
+		want[i] = id
+	}
+	cmpPrefix := func(id uint32) int {
+		items := ix.items(id)
+		if len(items) > len(want) {
+			items = items[:len(want)]
+		}
+		return slices.Compare(items, want)
+	}
+	lo := sort.Search(len(ix.lex), func(i int) bool { return cmpPrefix(ix.lex[i]) >= 0 })
+	hi := lo + sort.Search(len(ix.lex)-lo, func(i int) bool { return cmpPrefix(ix.lex[lo+i]) > 0 })
+	if lo == hi {
+		return nil, false
+	}
+	ranks := make([]uint32, 0, hi-lo)
+	for _, id := range ix.lex[lo:hi] {
+		ranks = append(ranks, ix.rank[id])
+	}
+	slices.Sort(ranks)
+	return ranks, true
+}
+
+// intersectLists intersects rank lists (each ascending) into one ascending
+// list. The scratch result is bounded by the smallest input.
+func intersectLists(lists [][]uint32) []uint32 {
+	smallest := 0
+	for i, l := range lists {
+		if len(l) < len(lists[smallest]) {
+			smallest = i
+		}
+	}
+	out := make([]uint32, 0, len(lists[smallest]))
+	for _, r := range lists[smallest] {
+		inAll := true
+		for i, l := range lists {
+			if i == smallest {
+				continue
+			}
+			// Galloping membership probe; lists are sorted ascending.
+			j := sort.Search(len(l), func(k int) bool { return l[k] >= r })
+			if j == len(l) || l[j] != r {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package pindex
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"lash/internal/hierarchy"
+)
+
+// testForest builds the small two-level hierarchy used across the tests:
+//
+//	FRUIT ← apple, pear
+//	VEG   ← carrot
+//	tool            (root leaf)
+func testForest(t *testing.T) *hierarchy.Forest {
+	t.Helper()
+	b := hierarchy.NewBuilder()
+	b.AddEdge("apple", "FRUIT")
+	b.AddEdge("pear", "FRUIT")
+	b.AddEdge("carrot", "VEG")
+	b.Add("tool")
+	f, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func testPatterns() []Pattern {
+	// Canonical order is whatever the miner emitted; supports deliberately
+	// include ties so the serving tiebreak (canonical order) is exercised.
+	return []Pattern{
+		{Items: []string{"FRUIT"}, Support: 9},
+		{Items: []string{"apple"}, Support: 5},
+		{Items: []string{"pear"}, Support: 4},
+		{Items: []string{"VEG"}, Support: 4},
+		{Items: []string{"FRUIT", "VEG"}, Support: 3},
+		{Items: []string{"apple", "VEG"}, Support: 2},
+		{Items: []string{"apple", "carrot"}, Support: 2},
+		{Items: []string{"tool"}, Support: 2},
+		{Items: []string{"FRUIT", "carrot"}, Support: 2},
+	}
+}
+
+func names(ix *Index, ids []uint32) [][]string {
+	out := make([][]string, len(ids))
+	for i, id := range ids {
+		out[i] = ix.Items(id)
+	}
+	return out
+}
+
+func search(ix *Index, q Query) []uint32 {
+	ids, _ := ix.Search(nil, q, 0, -1)
+	return ids
+}
+
+func TestServingOrder(t *testing.T) {
+	ix := Build(testPatterns(), testForest(t))
+	if ix.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", ix.Len())
+	}
+	got := names(ix, search(ix, Query{Level: NoLevel}))
+	want := [][]string{
+		{"FRUIT"},           // 9
+		{"apple"},           // 5
+		{"pear"},            // 4, canonical before VEG
+		{"VEG"},             // 4
+		{"FRUIT", "VEG"},    // 3
+		{"apple", "VEG"},    // 2, canonical order among the 2-support ties
+		{"apple", "carrot"}, // 2
+		{"tool"},            // 2
+		{"FRUIT", "carrot"}, // 2
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("serving order = %v, want %v", got, want)
+	}
+}
+
+func TestTopKAndOffset(t *testing.T) {
+	ix := Build(testPatterns(), testForest(t))
+	ids, total := ix.Search(nil, Query{Level: NoLevel}, 0, 3)
+	if total != 9 || len(ids) != 3 {
+		t.Fatalf("top 3: total=%d len=%d", total, len(ids))
+	}
+	if got := ix.Items(ids[0]); !reflect.DeepEqual(got, []string{"FRUIT"}) {
+		t.Fatalf("top pattern = %v", got)
+	}
+	// Offset pagination must continue exactly where the previous page ended.
+	page2, total2 := ix.Search(nil, Query{Level: NoLevel}, 3, 3)
+	if total2 != 9 || len(page2) != 3 {
+		t.Fatalf("page 2: total=%d len=%d", total2, len(page2))
+	}
+	all := search(ix, Query{Level: NoLevel})
+	if !reflect.DeepEqual(page2, all[3:6]) {
+		t.Fatalf("page 2 = %v, want %v", page2, all[3:6])
+	}
+	// Offset past the end yields an empty page but the true total.
+	none, totalPast := ix.Search(nil, Query{Level: NoLevel}, 100, 5)
+	if len(none) != 0 || totalPast != 9 {
+		t.Fatalf("past-end page: len=%d total=%d", len(none), totalPast)
+	}
+}
+
+func TestMinSupport(t *testing.T) {
+	ix := Build(testPatterns(), testForest(t))
+	ids, total := ix.Search(nil, Query{MinSupport: 4, Level: NoLevel}, 0, -1)
+	if total != 4 || len(ids) != 4 {
+		t.Fatalf("min_support=4: total=%d len=%d", total, len(ids))
+	}
+	for _, id := range ids {
+		if ix.Support(id) < 4 {
+			t.Fatalf("pattern %v support %d < 4", ix.Items(id), ix.Support(id))
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	ix := Build(testPatterns(), testForest(t))
+	got := names(ix, search(ix, Query{Contains: []string{"VEG"}, Level: NoLevel}))
+	want := [][]string{{"VEG"}, {"FRUIT", "VEG"}, {"apple", "VEG"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("contains=VEG: %v, want %v", got, want)
+	}
+	// Multi-item conjunction.
+	got = names(ix, search(ix, Query{Contains: []string{"apple", "VEG"}, Level: NoLevel}))
+	want = [][]string{{"apple", "VEG"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("contains=apple,VEG: %v, want %v", got, want)
+	}
+	// Unknown item matches nothing.
+	if ids, total := ix.Search(nil, Query{Contains: []string{"nope"}, Level: NoLevel}, 0, -1); len(ids) != 0 || total != 0 {
+		t.Fatalf("contains unknown item: len=%d total=%d", len(ids), total)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	ix := Build(testPatterns(), testForest(t))
+	got := names(ix, search(ix, Query{Prefix: []string{"apple"}, Level: NoLevel}))
+	// Every pattern starting with "apple", in serving order.
+	want := [][]string{{"apple"}, {"apple", "VEG"}, {"apple", "carrot"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("prefix=apple: %v, want %v", got, want)
+	}
+	got = names(ix, search(ix, Query{Prefix: []string{"FRUIT", "VEG"}, Level: NoLevel}))
+	want = [][]string{{"FRUIT", "VEG"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("prefix=FRUIT,VEG: %v, want %v", got, want)
+	}
+	if ids, _ := ix.Search(nil, Query{Prefix: []string{"carrot", "apple"}, Level: NoLevel}, 0, -1); len(ids) != 0 {
+		t.Fatalf("absent prefix matched %d patterns", len(ids))
+	}
+}
+
+func TestLevel(t *testing.T) {
+	ix := Build(testPatterns(), testForest(t))
+	if ix.MaxLevel() != 1 {
+		t.Fatalf("MaxLevel = %d, want 1", ix.MaxLevel())
+	}
+	// Level 0 = fully generalized (every item a root).
+	got := names(ix, search(ix, Query{Level: 0}))
+	want := [][]string{{"FRUIT"}, {"VEG"}, {"FRUIT", "VEG"}, {"tool"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("level=0: %v, want %v", got, want)
+	}
+	// Level 1 = at least one leaf-level item.
+	got = names(ix, search(ix, Query{Level: 1}))
+	want = [][]string{{"apple"}, {"pear"}, {"apple", "VEG"}, {"apple", "carrot"}, {"FRUIT", "carrot"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("level=1: %v, want %v", got, want)
+	}
+	// A level beyond the index matches nothing.
+	if ids, _ := ix.Search(nil, Query{Level: 7}, 0, -1); len(ids) != 0 {
+		t.Fatalf("level=7 matched %d patterns", len(ids))
+	}
+}
+
+func TestCombinedFilters(t *testing.T) {
+	ix := Build(testPatterns(), testForest(t))
+	got := names(ix, search(ix, Query{Contains: []string{"VEG"}, MinSupport: 3, Level: 0}))
+	want := [][]string{{"VEG"}, {"FRUIT", "VEG"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("combined: %v, want %v", got, want)
+	}
+}
+
+func TestLookupAndRollup(t *testing.T) {
+	ix := Build(testPatterns(), testForest(t))
+	id, ok := ix.Lookup([]string{"apple", "carrot"})
+	if !ok {
+		t.Fatal("Lookup(apple,carrot) missed")
+	}
+	if got := ix.Items(id); !reflect.DeepEqual(got, []string{"apple", "carrot"}) {
+		t.Fatalf("Lookup returned %v", got)
+	}
+	if _, ok := ix.Lookup([]string{"carrot", "apple"}); ok {
+		t.Fatal("Lookup matched a non-indexed ordering")
+	}
+
+	// apple,carrot → (generalize rightmost: carrot→VEG) apple,VEG →
+	// (generalize rightmost non-root... VEG is root; apple→FRUIT) FRUIT,VEG.
+	chain := ix.Rollup([]string{"apple", "carrot"})
+	got := names(ix, chain)
+	want := [][]string{{"apple", "carrot"}, {"apple", "VEG"}, {"FRUIT", "VEG"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rollup chain: %v, want %v", got, want)
+	}
+	// A fully generalized pattern rolls up to itself only.
+	chain = ix.Rollup([]string{"FRUIT", "VEG"})
+	if len(chain) != 1 {
+		t.Fatalf("rollup of root pattern has %d entries", len(chain))
+	}
+	if ix.Rollup([]string{"nope"}) != nil {
+		t.Fatal("rollup of unknown pattern should be nil")
+	}
+}
+
+func TestEmptyAndFlat(t *testing.T) {
+	ix := Build(nil, nil)
+	if ix.Len() != 0 || ix.SizeBytes() < 0 {
+		t.Fatalf("empty index: len=%d size=%d", ix.Len(), ix.SizeBytes())
+	}
+	if ids, total := ix.Search(nil, Query{Level: NoLevel}, 0, -1); len(ids) != 0 || total != 0 {
+		t.Fatal("empty index matched patterns")
+	}
+
+	// nil forest: flat vocabulary, everything level 0, no rollups.
+	flat := Build([]Pattern{{Items: []string{"a", "b"}, Support: 2}, {Items: []string{"a"}, Support: 3}}, nil)
+	if flat.MaxLevel() != 0 {
+		t.Fatalf("flat MaxLevel = %d", flat.MaxLevel())
+	}
+	if chain := flat.Rollup([]string{"a", "b"}); len(chain) != 1 {
+		t.Fatalf("flat rollup chain len = %d", len(chain))
+	}
+}
+
+func TestSizeBytesDeterministic(t *testing.T) {
+	f := testForest(t)
+	a := Build(testPatterns(), f)
+	b := Build(testPatterns(), f)
+	if a.SizeBytes() != b.SizeBytes() {
+		t.Fatalf("SizeBytes not deterministic: %d vs %d", a.SizeBytes(), b.SizeBytes())
+	}
+	if a.SizeBytes() <= 0 {
+		t.Fatalf("SizeBytes = %d, want > 0", a.SizeBytes())
+	}
+}
+
+// buildLarge synthesizes n patterns over a sized vocabulary with collision-free
+// sequences, supports drawn deterministically.
+func buildLarge(n int) *Index {
+	rng := rand.New(rand.NewSource(42))
+	pats := make([]Pattern, 0, n)
+	seen := make(map[string]bool, n)
+	for len(pats) < n {
+		l := 1 + rng.Intn(4)
+		items := make([]string, l)
+		for i := range items {
+			items[i] = fmt.Sprintf("item%04d", rng.Intn(2000))
+		}
+		key := fmt.Sprint(items)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pats = append(pats, Pattern{Items: items, Support: int64(1 + rng.Intn(1000))})
+	}
+	// Canonical order: length, then lex — mirror gsm.SortPatterns closely
+	// enough for index purposes (any deterministic order works).
+	sort.Slice(pats, func(i, j int) bool {
+		if len(pats[i].Items) != len(pats[j].Items) {
+			return len(pats[i].Items) < len(pats[j].Items)
+		}
+		for k := range pats[i].Items {
+			if pats[i].Items[k] != pats[j].Items[k] {
+				return pats[i].Items[k] < pats[j].Items[k]
+			}
+		}
+		return false
+	})
+	return Build(pats, nil)
+}
+
+// TestQueryAllocsBound is the regression test for the serving migration:
+// on a 100k-pattern index, queries must run in O(log n + k) work with an
+// allocation count independent of the index size. With a preallocated
+// destination, a top-k/min-support walk allocates nothing at all, and a
+// selective contains/prefix query allocates only its result-proportional
+// scratch — a constant number of allocations, never O(n).
+func TestQueryAllocsBound(t *testing.T) {
+	ix := buildLarge(100_000)
+	if ix.Len() != 100_000 {
+		t.Fatalf("built %d patterns", ix.Len())
+	}
+	dst := make([]uint32, 0, 256)
+
+	measure := func(name string, q Query, maxAllocs float64) {
+		t.Helper()
+		got := testing.AllocsPerRun(100, func() {
+			dst = dst[:0]
+			dst, _ = ix.Search(dst, q, 0, 100)
+		})
+		if got > maxAllocs {
+			t.Errorf("%s: %v allocs/op, want <= %v", name, got, maxAllocs)
+		}
+	}
+
+	// Permutation walks: zero allocations.
+	measure("top-100", Query{Level: NoLevel}, 0)
+	measure("min_support", Query{MinSupport: 500, Level: NoLevel}, 0)
+	// List queries: one scratch slice bounded by the smallest term, plus the
+	// intersection result — a handful of allocations regardless of n.
+	measure("contains", Query{Contains: []string{"item0007"}, Level: NoLevel}, 4)
+	measure("prefix", Query{Prefix: []string{"item0007"}, Level: NoLevel}, 6)
+	measure("combined", Query{Contains: []string{"item0007"}, MinSupport: 100, Level: NoLevel}, 6)
+}

@@ -51,6 +51,7 @@ import (
 	"lash/internal/mapreduce"
 	"lash/internal/miner"
 	"lash/internal/obs"
+	"lash/internal/pindex"
 	"lash/internal/stats"
 )
 
@@ -293,6 +294,36 @@ type Result struct {
 	Explored int64
 	// Stats reports MapReduce phase measurements of the main mining job.
 	Stats RunStats
+
+	// forest is the hierarchy the patterns were named under, stashed by
+	// mine() so Index() can attach level and roll-up tables. nil for
+	// hand-assembled Results — Index() then builds a flat index.
+	forest *hierarchy.Forest
+	// index memoizes Index(): the serving index is immutable and every
+	// caller can share one copy.
+	indexOnce sync.Once
+	index     *pindex.Index
+}
+
+// Index returns the serving index over the result's patterns: an immutable
+// pattern index supporting top-k, min-support, contains-item, prefix,
+// hierarchy-level and roll-up queries without scanning (see
+// lash/internal/pindex for the layout contract). The index is built on
+// first call and memoized — concurrent callers share one copy — so results
+// can be served at query rates far above mining rates. The receiver must
+// not be copied by value once Index has been called.
+//
+// The returned type lives in an internal package: external callers can use
+// every method on it but cannot construct one except through this accessor.
+func (r *Result) Index() *pindex.Index {
+	r.indexOnce.Do(func() {
+		pats := make([]pindex.Pattern, len(r.Patterns))
+		for i, p := range r.Patterns {
+			pats[i] = pindex.Pattern{Items: p.Items, Support: p.Support}
+		}
+		r.index = pindex.Build(pats, r.forest)
+	})
+	return r.index
 }
 
 // RunStats summarizes the MapReduce work of a run.
@@ -479,7 +510,7 @@ func mine(ctx context.Context, db *Database, opt Options, freqs []int64, emit fu
 		return nil, fmt.Errorf("lash: unknown restriction %d", int(opt.Restriction))
 	}
 
-	out := &Result{NumPartitions: res.NumPartitions, Explored: res.Miner.Explored}
+	out := &Result{NumPartitions: res.NumPartitions, Explored: res.Miner.Explored, forest: f}
 	for _, p := range res.Patterns {
 		items := make([]string, len(p.Items))
 		for i, w := range p.Items {

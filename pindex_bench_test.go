@@ -1,0 +1,92 @@
+package lash_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"lash/internal/pindex"
+)
+
+// Benchmarks of the serving-tier pattern index over a 100k-pattern corpus:
+// build cost (paid once per mined result, off the worker goroutine) and the
+// three query families the HTTP tier leans on. The query benchmarks reuse
+// one prebuilt index and a preallocated result slice, so their alloc counts
+// are the serving path's steady-state numbers.
+
+var (
+	pindexBenchOnce sync.Once
+	pindexBenchPats []pindex.Pattern
+	pindexBenchIx   *pindex.Index
+)
+
+func pindexBenchSetup(b *testing.B) {
+	b.Helper()
+	pindexBenchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		seen := map[string]bool{}
+		for len(pindexBenchPats) < 100_000 {
+			items := make([]string, 1+rng.Intn(4))
+			for i := range items {
+				items[i] = fmt.Sprintf("item%04d", rng.Intn(2000))
+			}
+			key := strings.Join(items, " ")
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pindexBenchPats = append(pindexBenchPats,
+				pindex.Pattern{Items: items, Support: int64(1 + rng.Intn(5000))})
+		}
+		pindexBenchIx = pindex.Build(pindexBenchPats, nil)
+	})
+	b.ResetTimer()
+}
+
+func BenchmarkPindexBuild(b *testing.B) {
+	pindexBenchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ix := pindex.Build(pindexBenchPats, nil); ix.Len() != len(pindexBenchPats) {
+			b.Fatal("build dropped patterns")
+		}
+	}
+}
+
+func BenchmarkPindexTopK(b *testing.B) {
+	pindexBenchSetup(b)
+	b.ReportAllocs()
+	dst := make([]uint32, 0, 100)
+	q := pindex.Query{Level: pindex.NoLevel}
+	for i := 0; i < b.N; i++ {
+		ids, total := pindexBenchIx.Search(dst[:0], q, 0, 100)
+		if len(ids) != 100 || total != pindexBenchIx.Len() {
+			b.Fatalf("top-100: got %d of %d", len(ids), total)
+		}
+	}
+}
+
+func BenchmarkPindexPrefix(b *testing.B) {
+	pindexBenchSetup(b)
+	b.ReportAllocs()
+	dst := make([]uint32, 0, 256)
+	q := pindex.Query{Level: pindex.NoLevel, Prefix: []string{"item0007"}}
+	for i := 0; i < b.N; i++ {
+		ids, _ := pindexBenchIx.Search(dst[:0], q, 0, -1)
+		if len(ids) == 0 {
+			b.Fatal("prefix matched nothing")
+		}
+	}
+}
+
+func BenchmarkPindexContains(b *testing.B) {
+	pindexBenchSetup(b)
+	b.ReportAllocs()
+	dst := make([]uint32, 0, 256)
+	q := pindex.Query{Level: pindex.NoLevel, Contains: []string{"item0007", "item0123"}}
+	for i := 0; i < b.N; i++ {
+		pindexBenchIx.Search(dst[:0], q, 0, -1)
+	}
+}

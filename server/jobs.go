@@ -126,10 +126,11 @@ type manager struct {
 	mu       sync.Mutex
 	closed   bool
 	jobs     map[string]*job
-	order    []string        // submission order, for stable listings
-	inflight map[string]*job // key → queued/running job (singleflight)
-	latest   map[string]*job // database → most recent successful job
-	maxJobs  int             // retained job records; older terminal jobs are pruned
+	order    []string           // submission order, for stable listings
+	inflight map[string]*job    // key → queued/running job (singleflight)
+	latest   map[string]*job    // database → most recent successful job
+	hubs     map[string]*subHub // job id → live subscription hub (see subscribe.go)
+	maxJobs  int                // retained job records; older terminal jobs are pruned
 	nextID   uint64
 }
 
@@ -144,13 +145,13 @@ var (
 	errOverloaded = errors.New("server overloaded")
 )
 
-func newManager(workers, cacheSize, maxJobs int, mineFn MineFunc, streamFn StreamFunc, met *serverMetrics, logger *slog.Logger) *manager {
+func newManager(workers int, cacheBytes int64, cacheEntries, maxJobs int, mineFn MineFunc, streamFn StreamFunc, met *serverMetrics, logger *slog.Logger) *manager {
 	if workers < 1 {
 		workers = 1
 	}
 	//lashvet:ignore ctxfirst job lifetimes are server-scoped by design: the manager root context outlives any request, and Close cancels it with the shutdown cause
 	ctx, cancel := context.WithCancelCause(context.Background())
-	cache := newResultCache(cacheSize)
+	cache := newResultCache(cacheBytes, cacheEntries)
 	cache.instrument(met.cacheHits, met.cacheMisses, met.cacheEvictions)
 	return &manager{
 		mineFn:   mineFn,
@@ -164,6 +165,7 @@ func newManager(workers, cacheSize, maxJobs int, mineFn MineFunc, streamFn Strea
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		latest:   make(map[string]*job),
+		hubs:     make(map[string]*subHub),
 		maxJobs:  maxJobs,
 	}
 }
@@ -385,8 +387,16 @@ func (m *manager) finish(j *job, res *lash.Result, err error) {
 		m.met.jobsCompleted.Inc()
 		m.met.spilledRuns.Add(res.Stats.SpillRuns)
 		m.met.spilledBytes.Add(res.Stats.SpillBytes)
+		// The result enters the cache immediately, charged at an estimate,
+		// so an identical resubmission in the next instant is a hit rather
+		// than a re-mine. The serving index is built asynchronously — off
+		// both the worker goroutine and this lock — and the cache charge is
+		// corrected to the exact size once it exists. The wg.Add is safe
+		// against close(): the caller still holds its own wg count.
 		m.cache.add(j.key, res)
 		m.latest[j.dbName] = j
+		m.wg.Add(1)
+		go m.buildIndex(j.key, res)
 	case wasCancelled(j.ctx, err):
 		j.status = JobCancelled
 		j.err = err
@@ -413,6 +423,21 @@ func (m *manager) finish(j *job, res *lash.Result, err error) {
 	}
 	m.log.Info("job finished", "job_id", j.id, "database", j.dbName,
 		"status", string(status), "run_ms", j.finished.Sub(j.started).Milliseconds())
+}
+
+// buildIndex builds a finished result's serving index off the worker
+// goroutine, records the build cost, and corrects the cache's byte charge
+// for the entry to estimate + exact index size. Result.Index is memoized,
+// so the pattern endpoints share the one index built here; a request that
+// races ahead of this goroutine simply builds it first and this call
+// returns the memoized copy instantly.
+func (m *manager) buildIndex(key string, res *lash.Result) {
+	defer m.wg.Done()
+	begin := time.Now()
+	ix := res.Index()
+	m.met.pindexBuildSeconds.Observe(time.Since(begin).Seconds())
+	m.met.pindexBytes.Add(ix.SizeBytes())
+	m.cache.recost(key, estimateResultBytes(res)+ix.SizeBytes())
 }
 
 // wasCancelled reports whether a run's error means its context was

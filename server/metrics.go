@@ -53,6 +53,15 @@ type serverMetrics struct {
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
 	cacheEntries   *obs.Gauge
+	cacheBytes     *obs.Gauge
+
+	// Serving-index (internal/pindex) families: build cost and size of the
+	// per-result indexes the pattern endpoints query, plus query counts by
+	// kind. The query counters are pre-registered per kind — handlers only
+	// ever touch the fixed handle map, never the registry.
+	pindexBuildSeconds *obs.Histogram
+	pindexBytes        *obs.Counter
+	pindexQueries      map[string]*obs.Counter
 
 	databases  *obs.Gauge
 	uptime     *obs.Gauge
@@ -108,6 +117,13 @@ func newServerMetrics() *serverMetrics {
 			"Results dropped from the cache to make room (LRU)."),
 		cacheEntries: r.Gauge("lash_cache_entries",
 			"Entries currently held by the result cache."),
+		cacheBytes: r.Gauge("lash_cache_bytes",
+			"Bytes currently charged against the result cache's byte budget (index-exact after recosting)."),
+
+		pindexBuildSeconds: r.Histogram("lash_pindex_build_seconds",
+			"Time to build one serving index over a completed mining result.", obs.DurationBuckets),
+		pindexBytes: r.Counter("lash_pindex_bytes_total",
+			"Bytes of serving indexes built (SizeBytes summed over builds)."),
 
 		databases: r.Gauge("lash_databases",
 			"Databases registered with the server."),
@@ -117,9 +133,29 @@ func newServerMetrics() *serverMetrics {
 			"Time spent writing one pattern record to a streaming client; long tails mean client backpressure.",
 			obs.DurationBuckets),
 	}
+	m.pindexQueries = make(map[string]*obs.Counter, len(pindexQueryKinds))
+	for _, kind := range pindexQueryKinds {
+		//lashvet:ignore obshandle one-time constructor registration over the closed kind list; handlers use the prebuilt map
+		m.pindexQueries[kind] = r.Counter("lash_pindex_queries_total",
+			"Serving-index queries answered, by query kind.", "kind", kind)
+	}
 	m.spillDirFree.Set(-1) // unknown until the first readiness check or scrape
 	obs.RegisterGoCollector(r)
 	return m
+}
+
+// pindexQueryKinds is the closed label space of lash_pindex_queries_total:
+// one kind per query shape the pattern endpoints answer from the serving
+// index.
+var pindexQueryKinds = []string{"plain", "top", "min_support", "contains", "prefix", "level", "rollup", "subscribe"}
+
+// pindexQuery counts one serving-index query of the given kind. Unknown
+// kinds are dropped rather than registered on the fly, keeping the label
+// space closed.
+func (m *serverMetrics) pindexQuery(kind string) {
+	if c, ok := m.pindexQueries[kind]; ok {
+		c.Inc()
+	}
 }
 
 // httpRequest counts one served HTTP request. This path tolerates the

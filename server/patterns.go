@@ -1,0 +1,332 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"lash/internal/pindex"
+)
+
+// This file is the pattern-serving tier: GET /v1/patterns answers pattern
+// queries from the immutable serving index each completed result carries
+// (lash.Result.Index, built by the job manager off the worker goroutine)
+// instead of scanning the pattern slice, and shares the limit/cursor
+// pagination helper with GET /v1/jobs. GET /v1/patterns/subscribe lives in
+// subscribe.go.
+
+// pageCursor is the decoded form of the opaque pagination cursor: a
+// fingerprint of the query it belongs to and the position to resume from.
+// Positions index the serving permutation of an immutable index (or the
+// submission-ordered job list), so a cursor stays valid for as long as the
+// result it points into is retained.
+type pageCursor struct {
+	Query string `json:"q"`
+	Pos   int    `json:"pos"`
+}
+
+// encodeCursor renders a cursor opaquely (base64url of its JSON).
+func encodeCursor(fingerprint string, pos int) string {
+	raw, _ := json.Marshal(pageCursor{Query: fingerprint, Pos: pos}) //nolint:errcheck // struct of two plain fields cannot fail to marshal
+	return base64.RawURLEncoding.EncodeToString(raw)
+}
+
+// decodeCursor parses an opaque cursor and checks it against the request's
+// query fingerprint, so a cursor minted by one query cannot silently page
+// through another.
+func decodeCursor(s, fingerprint string) (int, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad cursor %q", s)
+	}
+	var c pageCursor
+	if err := json.Unmarshal(raw, &c); err != nil || c.Pos < 0 {
+		return 0, fmt.Errorf("bad cursor %q", s)
+	}
+	if c.Query != fingerprint {
+		return 0, fmt.Errorf("cursor does not match this query (mint a fresh one without cursor=)")
+	}
+	return c.Pos, nil
+}
+
+// parsePage reads the shared limit/cursor pagination parameters. limit = 0
+// (absent) means "everything"; a cursor resumes a previous page of the
+// query identified by fingerprint.
+func parsePage(q url.Values, fingerprint string) (limit, offset int, err error) {
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", v)
+		}
+		limit = n
+	}
+	if v := q.Get("cursor"); v != "" {
+		offset, err = decodeCursor(v, fingerprint)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return limit, offset, nil
+}
+
+// csvParam collects a repeatable, comma-separable query parameter into a
+// list: ?contains=a,b&contains=c → [a b c].
+func csvParam(q url.Values, key string) []string {
+	var out []string
+	for _, v := range q[key] {
+		for _, item := range strings.Split(v, ",") {
+			if item = strings.TrimSpace(item); item != "" {
+				out = append(out, item)
+			}
+		}
+	}
+	return out
+}
+
+// patternQuery is one parsed GET /v1/patterns request.
+type patternQuery struct {
+	q      pindex.Query
+	rollup []string // exclusive roll-up chain lookup
+	top    int      // legacy result-set cap (0 = uncapped)
+	limit  int      // page size (0 = everything)
+	offset int      // cursor position
+}
+
+// kind names the query for lash_pindex_queries_total, by its most specific
+// term.
+func (pq *patternQuery) kind() string {
+	switch {
+	case len(pq.rollup) > 0:
+		return "rollup"
+	case len(pq.q.Prefix) > 0:
+		return "prefix"
+	case len(pq.q.Contains) > 0:
+		return "contains"
+	case pq.q.Level >= 0:
+		return "level"
+	case pq.q.MinSupport > 0:
+		return "min_support"
+	case pq.top > 0 || pq.limit > 0:
+		return "top"
+	}
+	return "plain"
+}
+
+// parsePatternQuery reads every filter and pagination parameter of
+// GET /v1/patterns. jobID seals the cursor fingerprint to the result being
+// paged, so a cursor cannot cross from one job's index into another's.
+func parsePatternQuery(v url.Values, jobID string) (*patternQuery, error) {
+	pq := &patternQuery{q: pindex.Query{Level: pindex.NoLevel}}
+	if s := v.Get("top"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad top %q", s)
+		}
+		pq.top = n
+	}
+	if s := v.Get("min_support"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad min_support %q", s)
+		}
+		pq.q.MinSupport = n
+	}
+	if s := v.Get("level"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad level %q", s)
+		}
+		pq.q.Level = n
+	}
+	pq.q.Contains = csvParam(v, "contains")
+	pq.q.Prefix = csvParam(v, "prefix")
+	pq.rollup = csvParam(v, "rollup")
+	if len(pq.rollup) > 0 &&
+		(pq.top > 0 || pq.q.MinSupport > 0 || pq.q.Level != pindex.NoLevel ||
+			len(pq.q.Contains) > 0 || len(pq.q.Prefix) > 0 || v.Get("limit") != "" || v.Get("cursor") != "") {
+		return nil, errors.New("rollup= cannot be combined with other filters or pagination")
+	}
+
+	var err error
+	pq.limit, pq.offset, err = parsePage(v, pq.fingerprint(jobID))
+	if err != nil {
+		return nil, err
+	}
+	return pq, nil
+}
+
+// fingerprint canonically identifies the query (filters + result identity,
+// not pagination) for cursor sealing.
+func (pq *patternQuery) fingerprint(jobID string) string {
+	return fmt.Sprintf("%s|t%d|s%d|c%s|p%s|l%d", jobID, pq.top, pq.q.MinSupport,
+		strings.Join(pq.q.Contains, ","), strings.Join(pq.q.Prefix, ","), pq.q.Level)
+}
+
+// resolvePatternsJob picks the job whose result a pattern query reads: the
+// named job (which must be terminal and successful) or the database's most
+// recent successful job. Shared by GET /v1/patterns and /v1/patterns/subscribe.
+func (s *Server) resolvePatternsJob(w http.ResponseWriter, v url.Values) (*job, bool) {
+	dbName := v.Get("db")
+	if dbName == "" && v.Get("job") == "" {
+		writeError(w, http.StatusBadRequest, errors.New("db or job query parameter is required"))
+		return nil, false
+	}
+	if id := v.Get("job"); id != "" {
+		j, ok := s.jobs.get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", errJobMissing, id))
+			return nil, false
+		}
+		if status, done := j.terminal(); !done || status != JobDone {
+			writeError(w, http.StatusConflict, fmt.Errorf("job %s has no result (status %s)", id, s.jobs.view(j, false).Status))
+			return nil, false
+		}
+		if dbName != "" && j.dbName != dbName {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("job %s mined database %q, not %q", id, j.dbName, dbName))
+			return nil, false
+		}
+		return j, true
+	}
+	if _, ok := s.registry.get(dbName); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such database %q", dbName))
+		return nil, false
+	}
+	j, ok := s.jobs.latestResult(dbName)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("database %q has no mined results yet (POST /v1/mine first)", dbName))
+		return nil, false
+	}
+	return j, true
+}
+
+// handlePatterns answers GET /v1/patterns?db=NAME[&job=ID][&top=K]
+// [&min_support=N][&contains=ITEMS][&prefix=ITEMS][&level=L][&rollup=ITEMS]
+// [&limit=N][&cursor=C] from already-mined results: by default the
+// database's most recent successful job, or the named job. Patterns come
+// from the result's immutable serving index in serving order — support
+// descending, ties in canonical mining order — without scanning: top-k and
+// min_support slice the support permutation, contains intersects postings
+// lists, prefix binary-searches one lex range, level reads a bucket, and
+// rollup walks the hierarchy roll-up chain of one pattern. limit/cursor
+// paginate any of them (except rollup) with an opaque position cursor that
+// stays stable because the index never changes.
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.resolvePatternsJob(w, r.URL.Query())
+	if !ok {
+		return
+	}
+	pq, err := parsePatternQuery(r.URL.Query(), j.id)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.pindexQuery(pq.kind())
+
+	// The job is terminal, so its result — and the memoized index — is
+	// immutable: no lock needed. A request racing the manager's async
+	// index build simply builds it first (Result.Index is memoized).
+	ix := j.result.Index()
+
+	if len(pq.rollup) > 0 {
+		chain := ix.Rollup(pq.rollup)
+		if chain == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("pattern %q is not in the mined result", strings.Join(pq.rollup, " ")))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"database": j.dbName,
+			"job_id":   j.id,
+			"total":    len(chain),
+			"returned": len(chain),
+			"patterns": viewIndexPatterns(ix, chain),
+		})
+		return
+	}
+
+	// top caps the result set (the old ?top=K contract); limit/cursor then
+	// page within the capped set. The reported total stays the full match
+	// count, also the old contract.
+	limit := pq.limit
+	if pq.top > 0 {
+		if pq.offset >= pq.top {
+			limit = -1 // past the capped set: empty page
+		} else if limit == 0 || pq.offset+limit > pq.top {
+			limit = pq.top - pq.offset
+		}
+	}
+	var ids []uint32
+	var total int
+	if limit < 0 {
+		_, total = ix.Search(nil, pq.q, 0, 0)
+	} else if limit == 0 {
+		ids, total = ix.Search(nil, pq.q, pq.offset, -1)
+	} else {
+		ids, total = ix.Search(nil, pq.q, pq.offset, limit)
+	}
+
+	resp := map[string]any{
+		"database": j.dbName,
+		"job_id":   j.id,
+		"total":    total,
+		"returned": len(ids),
+		"patterns": viewIndexPatterns(ix, ids),
+	}
+	// A next_cursor appears only when a limited page stopped short of the
+	// (possibly top-capped) result set.
+	if pq.limit > 0 {
+		end := total
+		if pq.top > 0 && pq.top < end {
+			end = pq.top
+		}
+		if next := pq.offset + len(ids); next < end {
+			resp["next_cursor"] = encodeCursor(pq.fingerprint(j.id), next)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// viewIndexPatterns renders index pattern ids to the wire shape.
+func viewIndexPatterns(ix *pindex.Index, ids []uint32) []PatternView {
+	out := make([]PatternView, len(ids))
+	for i, id := range ids {
+		out[i] = PatternView{Items: ix.Items(id), Support: ix.Support(id)}
+	}
+	return out
+}
+
+// handleListJobs answers GET /v1/jobs[?limit=N&cursor=C]: all jobs in
+// submission order, paginated with the same opaque cursor the patterns
+// endpoint uses. Positions index the retained job list; records pruned by
+// the history bound may shift later pages, so cursors here are best-effort
+// (the patterns cursor, over an immutable index, is exact).
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	const fingerprint = "jobs"
+	limit, offset, err := parsePage(r.URL.Query(), fingerprint)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs := s.jobs.list()
+	total := len(jobs)
+	if offset > total {
+		offset = total
+	}
+	page := jobs[offset:]
+	if limit > 0 && limit < len(page) {
+		page = page[:limit]
+	}
+	views := make([]JobView, len(page))
+	for i, j := range page {
+		views[i] = s.jobs.view(j, false)
+	}
+	resp := map[string]any{"jobs": views, "total": total}
+	if limit > 0 && offset+len(page) < total {
+		resp["next_cursor"] = encodeCursor(fingerprint, offset+len(page))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -21,6 +21,7 @@
 //	GET    /v1/jobs/{id}          poll one job; includes the result when done
 //	DELETE /v1/jobs/{id}          cancel a queued or running job
 //	GET    /v1/patterns           query a database's latest mined patterns
+//	GET    /v1/patterns/subscribe replay mined patterns, then follow a live run (NDJSON)
 //	GET    /v1/stats              registry / job / cache counters
 //	GET    /metrics               Prometheus text exposition of the same counters
 //	GET    /healthz               liveness probe (200 while the process serves)
@@ -53,8 +54,6 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
-	"sort"
-	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -69,8 +68,14 @@ type Config struct {
 	// Workers bounds how many mining jobs run concurrently (default 4).
 	// Each job itself parallelizes internally via Options.Workers.
 	Workers int
-	// CacheSize is the result cache capacity in entries (default 128;
-	// negative disables caching).
+	// CacheBytes is the result cache's byte budget (default 256 MiB;
+	// negative disables caching). Every cached result is charged its
+	// serving index's exact SizeBytes plus an estimate of the raw result,
+	// and the 8-way sharded LRU evicts once over budget.
+	CacheBytes int64
+	// CacheSize is the deprecated entry-count bound (the old cache
+	// capacity): when positive it additionally caps cached entries;
+	// negative disables caching entirely. Prefer CacheBytes.
 	CacheSize int
 	// JobHistory bounds the retained job records (default 1024; negative
 	// retains everything). Once past the bound, the oldest finished jobs
@@ -136,8 +141,13 @@ func New(cfg Config) *Server {
 	if cfg.Workers == 0 {
 		cfg.Workers = 4
 	}
-	if cfg.CacheSize == 0 {
-		cfg.CacheSize = 128
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 256 << 20
+	}
+	if cfg.CacheBytes < 0 || cfg.CacheSize < 0 {
+		// Either knob at a negative value disables caching outright (the
+		// old CacheSize: -1 contract keeps working).
+		cfg.CacheBytes, cfg.CacheSize = 0, 0
 	}
 	if cfg.JobHistory == 0 {
 		cfg.JobHistory = 1024
@@ -157,7 +167,7 @@ func New(cfg Config) *Server {
 	met := newServerMetrics()
 	s := &Server{
 		registry: newRegistry(cfg.DataDir),
-		jobs:     newManager(cfg.Workers, cfg.CacheSize, cfg.JobHistory, mineFn, streamFn, met, logger),
+		jobs:     newManager(cfg.Workers, cfg.CacheBytes, cfg.CacheSize, cfg.JobHistory, mineFn, streamFn, met, logger),
 		mux:      http.NewServeMux(),
 		metrics:  met,
 		log:      logger,
@@ -174,7 +184,9 @@ func New(cfg Config) *Server {
 	// Gauges whose truth lives elsewhere are refreshed at scrape time.
 	met.reg.OnScrape(func() {
 		met.uptime.Set(int64(time.Since(s.started).Seconds()))
-		met.cacheEntries.Set(int64(s.jobs.cache.stats().Size))
+		cs := s.jobs.cache.stats()
+		met.cacheEntries.Set(int64(cs.Size))
+		met.cacheBytes.Set(cs.Bytes)
 		met.databases.Set(int64(s.registry.len()))
 		if free, ok := diskFree(os.TempDir()); ok {
 			met.spillDirFree.Set(free)
@@ -189,6 +201,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
+	s.mux.HandleFunc("GET /v1/patterns/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// /healthz is pure liveness — 200 for as long as the process serves
@@ -593,15 +606,6 @@ func (j *job) terminal() (JobStatus, bool) {
 	}
 }
 
-func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	jobs := s.jobs.list()
-	views := make([]JobView, len(jobs))
-	for i, j := range jobs {
-		views[i] = s.jobs.view(j, false)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
-}
-
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
@@ -730,106 +734,6 @@ func (s *Server) handleMineStream(w http.ResponseWriter, r *http.Request) {
 	if flusher != nil {
 		flusher.Flush()
 	}
-}
-
-// handlePatterns answers GET /v1/patterns?db=NAME[&job=ID][&top=K]
-// [&contains=ITEM][&min_support=N] from already-mined results: by default
-// the database's most recent successful job, or the named job. Patterns are
-// ordered by support (descending, ties in canonical mining order).
-func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	dbName := q.Get("db")
-	if dbName == "" && q.Get("job") == "" {
-		writeError(w, http.StatusBadRequest, errors.New("db or job query parameter is required"))
-		return
-	}
-
-	var j *job
-	if id := q.Get("job"); id != "" {
-		var ok bool
-		if j, ok = s.jobs.get(id); !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", errJobMissing, id))
-			return
-		}
-		if status, done := j.terminal(); !done || status != JobDone {
-			writeError(w, http.StatusConflict, fmt.Errorf("job %s has no result (status %s)", id, s.jobs.view(j, false).Status))
-			return
-		}
-		if dbName != "" && j.dbName != dbName {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("job %s mined database %q, not %q", id, j.dbName, dbName))
-			return
-		}
-	} else {
-		if _, ok := s.registry.get(dbName); !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no such database %q", dbName))
-			return
-		}
-		var ok bool
-		if j, ok = s.jobs.latestResult(dbName); !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("database %q has no mined results yet (POST /v1/mine first)", dbName))
-			return
-		}
-	}
-
-	top := 0
-	if v := q.Get("top"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", v))
-			return
-		}
-		top = n
-	}
-	var minSupport int64
-	if v := q.Get("min_support"); v != "" {
-		n, err := strconv.ParseInt(v, 10, 64)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad min_support %q", v))
-			return
-		}
-		minSupport = n
-	}
-	contains := q.Get("contains")
-
-	// The job is terminal, so its result is immutable: no lock needed.
-	patterns := j.result.Patterns
-	filtered := make([]PatternView, 0, len(patterns))
-	for _, p := range patterns {
-		if p.Support < minSupport {
-			continue
-		}
-		if contains != "" && !containsItem(p.Items, contains) {
-			continue
-		}
-		filtered = append(filtered, PatternView{Items: p.Items, Support: p.Support})
-	}
-	sortBySupport(filtered)
-	total := len(filtered)
-	if top > 0 && top < len(filtered) {
-		filtered = filtered[:top]
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"database": j.dbName,
-		"job_id":   j.id,
-		"total":    total,
-		"returned": len(filtered),
-		"patterns": filtered,
-	})
-}
-
-func containsItem(items []string, want string) bool {
-	for _, it := range items {
-		if it == want {
-			return true
-		}
-	}
-	return false
-}
-
-// sortBySupport orders patterns by descending support, keeping the miner's
-// canonical order among equals (stable).
-func sortBySupport(ps []PatternView) {
-	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Support > ps[j].Support })
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
