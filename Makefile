@@ -1,8 +1,8 @@
 GO ?= go
 BENCH ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_PR9.json
-BENCH_BASE ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR10.json
+BENCH_BASE ?= BENCH_PR9.json
 MAX_REGRESS ?= 40
 FUZZTIME ?= 60s
 FUZZ_PKGS ?= ./internal/seqenc ./internal/seqdb
@@ -32,8 +32,8 @@ chaos:
 	$(GO) test -race -count=1 -run '^TestChaos' -v .
 
 # lashvet runs the project-invariant analyzer suite (ctxfirst,
-# atomicfield, obshandle, emitgo, errjob, faultpoint) over the root
-# module. The analyzers live in the tools/ module so the root go.mod
+# atomicfield, obshandle, emitgo, errjob, faultpoint, apierr) over the
+# root module. The analyzers live in the tools/ module so the root go.mod
 # stays dependency-free. See "Static analysis" in README.md.
 lashvet:
 	$(GO) -C tools run ./cmd/lashvet -dir .. ./...

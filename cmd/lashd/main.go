@@ -13,8 +13,12 @@
 // identical in-flight requests coalesce onto one run, and finished results
 // are cached so repeats are answered instantly. DELETE /v1/jobs/{id}
 // cancels a queued or running job; POST /v1/mine/stream streams patterns
-// as NDJSON while the run is still mining. See package lash/server for
-// the HTTP API.
+// as NDJSON while the run is still mining. Databases are mutable by
+// append: POST /v1/databases/{name}/sequences installs a new immutable
+// corpus version, later mines resume incrementally from the previous
+// version's captured state, and every non-2xx response carries the
+// uniform {"error": {...}} envelope. See package lash/server for the
+// HTTP API.
 //
 // Robustness: -max-job-time caps every run's mining wall time (requests
 // may tighten it with deadline_ms, never loosen it), -max-queue bounds the

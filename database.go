@@ -11,10 +11,175 @@ import (
 	"lash/internal/seqdb"
 )
 
-// Database is an immutable sequence database over an item hierarchy, ready
-// for mining. Build one with a DatabaseBuilder.
+// Database is an immutable snapshot of a sequence database over an item
+// hierarchy, ready for mining. Build one with a DatabaseBuilder, or derive
+// the next corpus version from an existing snapshot with Append — the old
+// snapshot stays valid and readable (copy-on-append), the new one carries a
+// monotonically increasing Version.
 type Database struct {
 	db *gsm.Database
+	// version is the corpus version of this snapshot (1 for freshly built
+	// databases; the zero value also reads as 1 through Version).
+	version int
+	// idents is the snapshot's ancestry: one unique identity token per
+	// version, idents[v-1] minted by the snapshot that created version v.
+	// Two snapshots share a token at version v exactly when they were
+	// derived by appends from the same version-v snapshot — so a token
+	// match proves the shorter corpus is a byte-identical prefix of the
+	// longer one, which is the invariant MineState reuse (Options.Resume)
+	// depends on. Appending from an older snapshot simply starts a
+	// diverging suffix: both branches keep the common prefix tokens.
+	idents []*corpusID
+}
+
+// corpusID is a unique per-version identity token; only pointer identity
+// matters. The non-zero size guarantees every allocation is distinct.
+type corpusID struct{ _ byte }
+
+// newDatabase wraps a built gsm database as corpus version 1 of a fresh
+// ancestry.
+func newDatabase(db *gsm.Database) *Database {
+	return &Database{db: db, version: 1, idents: []*corpusID{new(corpusID)}}
+}
+
+// identAt returns the snapshot's identity token for version v, or nil if
+// the snapshot's ancestry does not reach v.
+func (d *Database) identAt(v int) *corpusID {
+	if d == nil || v < 1 || v > len(d.idents) {
+		return nil
+	}
+	return d.idents[v-1]
+}
+
+// Version returns the snapshot's corpus version: 1 for a freshly built
+// database, incremented by every Append.
+func (d *Database) Version() int {
+	if d.version == 0 {
+		return 1
+	}
+	return d.version
+}
+
+// Append derives the next corpus version: a new immutable snapshot holding
+// d's sequences followed by the fragment's, with the fragment's vocabulary
+// merged into d's by item name. d itself is not modified and stays fully
+// readable. New items (and new hierarchy edges among them, or attaching new
+// items under existing ones) are allowed; giving an existing item a new or
+// different parent is rejected — ancestor chains of existing items never
+// change, which is what keeps delta re-mining (Options.Resume) sound.
+//
+// Appending twice from the same snapshot forks the history: both results
+// are version d.Version()+1, share d as their common prefix, and diverge
+// from there. A MineState captured at or before the fork point seeds delta
+// re-mines of either branch; states captured on one branch never validate
+// on the other.
+func (d *Database) Append(fragment *Database) (*Database, error) {
+	if d == nil || d.db == nil {
+		return nil, fmt.Errorf("lash: append: nil database")
+	}
+	if fragment == nil || fragment.db == nil {
+		return nil, fmt.Errorf("lash: append: nil fragment")
+	}
+	if len(fragment.db.Seqs) == 0 {
+		return nil, fmt.Errorf("lash: append: fragment has no sequences")
+	}
+	merged, err := mergeAppend(d.db, fragment.db)
+	if err != nil {
+		return nil, err
+	}
+	// The ancestry is copied, never shared as a backing array: two appends
+	// from the same snapshot must each mint their own version token.
+	ids := make([]*corpusID, d.Version()+1)
+	copy(ids, d.idents)
+	ids[len(ids)-1] = new(corpusID)
+	return &Database{db: merged, version: d.Version() + 1, idents: ids}, nil
+}
+
+// AppendBinary is Append with the fragment decoded from the compact binary
+// format (a self-contained .ldb stream: its own dictionary, hierarchy, and
+// sequences; items are matched to the base database by name).
+func (d *Database) AppendBinary(r io.Reader) (*Database, error) {
+	frag, err := ReadBinaryDatabase(r)
+	if err != nil {
+		return nil, err
+	}
+	return d.Append(frag)
+}
+
+// mergeAppend merges fragment into base by item name: existing items keep
+// their ids, levels, and parents (a conflicting fragment parent is an
+// error); new items are interned after the existing vocabulary in fragment
+// id order; base sequences are shared, fragment sequences are remapped and
+// appended.
+func mergeAppend(base, frag *gsm.Database) (*gsm.Database, error) {
+	bf, ff := base.Forest, frag.Forest
+	mapping := make([]hierarchy.Item, ff.Size())
+	needRebuild := false
+	for w := 0; w < ff.Size(); w++ {
+		wi := hierarchy.Item(w)
+		name := ff.Name(wi)
+		bw, ok := bf.Lookup(name)
+		if !ok {
+			needRebuild = true
+			mapping[w] = hierarchy.NoItem // interned by the rebuild below
+			continue
+		}
+		mapping[w] = bw
+		if fp := ff.Parent(wi); fp != hierarchy.NoItem {
+			bp := bf.Parent(bw)
+			if bp == hierarchy.NoItem || bf.Name(bp) != ff.Name(fp) {
+				return nil, fmt.Errorf("lash: append: item %q already exists with a different parent (re-parenting is not allowed)", name)
+			}
+		}
+	}
+	newForest := bf
+	if needRebuild {
+		b := hierarchy.NewBuilder()
+		for w := 0; w < bf.Size(); w++ {
+			b.Add(bf.Name(hierarchy.Item(w)))
+		}
+		for w := 0; w < bf.Size(); w++ {
+			if p := bf.Parent(hierarchy.Item(w)); p != hierarchy.NoItem {
+				b.AddEdge(bf.Name(hierarchy.Item(w)), bf.Name(p))
+			}
+		}
+		for w := 0; w < ff.Size(); w++ {
+			b.Add(ff.Name(hierarchy.Item(w)))
+		}
+		for w := 0; w < ff.Size(); w++ {
+			wi := hierarchy.Item(w)
+			if mapping[w] != hierarchy.NoItem {
+				continue // existing item: parent already verified identical
+			}
+			if p := ff.Parent(wi); p != hierarchy.NoItem {
+				b.AddEdge(ff.Name(wi), ff.Name(p))
+			}
+		}
+		f, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("lash: append: %w", err)
+		}
+		newForest = f
+		for w := range mapping {
+			if mapping[w] == hierarchy.NoItem {
+				id, ok := newForest.Lookup(ff.Name(hierarchy.Item(w)))
+				if !ok {
+					return nil, fmt.Errorf("lash: append: internal error: item %q lost in merge", ff.Name(hierarchy.Item(w)))
+				}
+				mapping[w] = id
+			}
+		}
+	}
+	seqs := make([][]hierarchy.Item, 0, len(base.Seqs)+len(frag.Seqs))
+	seqs = append(seqs, base.Seqs...)
+	for _, t := range frag.Seqs {
+		nt := make([]hierarchy.Item, len(t))
+		for i, w := range t {
+			nt[i] = mapping[w]
+		}
+		seqs = append(seqs, nt)
+	}
+	return &gsm.Database{Seqs: seqs, Forest: newForest}, nil
 }
 
 // NumSequences returns the number of input sequences.
@@ -106,7 +271,7 @@ func (d *DatabaseBuilder) Build() (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Database{db: &gsm.Database{Seqs: d.seqs, Forest: f}}, nil
+	return newDatabase(&gsm.Database{Seqs: d.seqs, Forest: f}), nil
 }
 
 // BinaryMagic is the 8-byte prefix of the binary database format written by
@@ -129,7 +294,7 @@ func ReadBinaryDatabase(r io.Reader) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Database{db: db}, nil
+	return newDatabase(db), nil
 }
 
 // OpenBinaryDatabase reads a binary database file from path.
@@ -138,7 +303,7 @@ func OpenBinaryDatabase(path string) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Database{db: db}, nil
+	return newDatabase(db), nil
 }
 
 // WriteBinary encodes the database (sequences and hierarchy, one file) in

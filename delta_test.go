@@ -1,0 +1,435 @@
+package lash_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lash"
+)
+
+// fragmentOf builds an append fragment out of n of db's own sequences
+// (starting at start, wrapping around) plus the given extra sequences —
+// re-appending existing content shifts frequencies without inventing
+// vocabulary, while extra sequences exercise the new-item paths.
+func fragmentOf(t testing.TB, db *lash.Database, start, n int, extra [][]string) *lash.Database {
+	t.Helper()
+	b := lash.NewDatabaseBuilder()
+	total := db.NumSequences()
+	for i := 0; i < n; i++ {
+		b.AddSequence(db.Sequence((start + i) % total)...)
+	}
+	for _, seq := range extra {
+		b.AddSequence(seq...)
+	}
+	frag, err := b.Build()
+	if err != nil {
+		t.Fatalf("building fragment: %v", err)
+	}
+	return frag
+}
+
+func deltaCorpora(t testing.TB, seed int64) map[string]*lash.Database {
+	t.Helper()
+	text, err := lash.GenerateTextDatabase(lash.TextConfig{Sentences: 400, Lemmas: 120, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	market, err := lash.GenerateMarketDatabase(lash.MarketConfig{Users: 250, Products: 300, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*lash.Database{"text": text, "market": market}
+}
+
+// TestDeltaDifferential is the tentpole guarantee: mining an appended
+// corpus version with Resume must be byte-identical to a from-scratch mine
+// of the same version — across seeds × corpora × all five algorithms.
+func TestDeltaDifferential(t *testing.T) {
+	algos := []lash.Algorithm{
+		lash.AlgorithmLASH, lash.AlgorithmLASHFlat, lash.AlgorithmMGFSM,
+		lash.AlgorithmNaive, lash.AlgorithmSemiNaive,
+	}
+	for _, seed := range []int64{1, 7} {
+		corpora := deltaCorpora(t, seed)
+		for name, base := range corpora {
+			for _, algo := range algos {
+				t.Run(fmt.Sprintf("seed%d/%s/%s", seed, name, algo), func(t *testing.T) {
+					opt := lash.Options{MinSupport: 12, MaxGap: 1, MaxLength: 4, Algorithm: algo}
+					if algo == lash.AlgorithmNaive || algo == lash.AlgorithmSemiNaive {
+						// The baselines explode combinatorially (and never
+						// capture state — delta silently degrades to a cold
+						// mine for them), so their differential checks output
+						// equality, not reuse; keep them tractable,
+						// especially under -race.
+						opt.MinSupport = 40
+						opt.MaxLength = 3
+					}
+
+					capOpt := opt
+					capOpt.Capture = true
+					v1, err := lash.Mine(base, capOpt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					isLASH := algo == lash.AlgorithmLASH || algo == lash.AlgorithmLASHFlat || algo == lash.AlgorithmMGFSM
+					if isLASH && v1.State == nil {
+						t.Fatal("Capture run returned no state")
+					}
+					if !isLASH && v1.State != nil {
+						t.Fatal("baseline run unexpectedly captured state")
+					}
+
+					frag := fragmentOf(t, base, 3, base.NumSequences()/100+2,
+						[][]string{{"nov_x", "nov_y", "nov_x"}, {"nov_y", "nov_z"}})
+					v2db, err := base.Append(frag)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got, want := v2db.Version(), base.Version()+1; got != want {
+						t.Fatalf("appended version = %d, want %d", got, want)
+					}
+
+					cold, err := lash.Mine(v2db, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					deltaOpt := opt
+					deltaOpt.Capture = true
+					deltaOpt.Resume = v1.State
+					delta, err := lash.Mine(v2db, deltaOpt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameMining(t, cold, delta)
+
+					// Chain one more version through the delta-captured state.
+					if isLASH {
+						if delta.State == nil {
+							t.Fatal("delta run with Capture returned no state")
+						}
+						v3db, err := v2db.Append(fragmentOf(t, v2db, 11, 5, nil))
+						if err != nil {
+							t.Fatal(err)
+						}
+						cold3, err := lash.Mine(v3db, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						d3opt := opt
+						d3opt.Resume = delta.State
+						delta3, err := lash.Mine(v3db, d3opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertSameMining(t, cold3, delta3)
+					}
+				})
+			}
+		}
+	}
+}
+
+// assertSameMining checks the full user-visible mining output matches.
+func assertSameMining(t *testing.T, cold, delta *lash.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(cold.Patterns, delta.Patterns) {
+		t.Fatalf("delta patterns differ from cold mine:\ncold:  %d patterns\ndelta: %d patterns", len(cold.Patterns), len(delta.Patterns))
+	}
+	if !reflect.DeepEqual(cold.FrequentItems, delta.FrequentItems) {
+		t.Fatal("delta frequent items differ from cold mine")
+	}
+	if cold.NumPartitions != delta.NumPartitions {
+		t.Fatalf("NumPartitions: cold %d, delta %d", cold.NumPartitions, delta.NumPartitions)
+	}
+	if cold.Explored != delta.Explored {
+		t.Fatalf("Explored: cold %d, delta %d", cold.Explored, delta.Explored)
+	}
+}
+
+// TestDeltaReusesPartitions pins the perf contract on a workload built for
+// it: a localized append (novel vocabulary plus a few head sequences) must
+// leave most partitions spliced, not re-mined.
+func TestDeltaReusesPartitions(t *testing.T) {
+	base, err := lash.GenerateTextDatabase(lash.TextConfig{Sentences: 1500, Lemmas: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := lash.Options{MinSupport: 10, MaxGap: 1, MaxLength: 4, Capture: true}
+	v1, err := lash.Mine(base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A "new topic" append: sequences over fresh vocabulary only. Existing
+	// items keep their frequencies, so every previous partition must be
+	// reusable.
+	frag := fragmentOf(t, base, 0, 0, [][]string{
+		{"topic_a", "topic_b", "topic_a", "topic_c"},
+		{"topic_b", "topic_a", "topic_c"},
+		{"topic_a", "topic_b", "topic_c", "topic_b"},
+	})
+	v2db, err := base.Append(frag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOpt := opt
+	dOpt.Resume = v1.State
+	delta, err := lash.Mine(v2db, dOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := lash.Mine(v2db, lash.Options{MinSupport: 10, MaxGap: 1, MaxLength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMining(t, cold, delta)
+	if delta.Stats.DeltaPartitionsReused == 0 {
+		t.Fatalf("new-topic append reused 0 partitions (dirty %d)", delta.Stats.DeltaPartitionsDirty)
+	}
+	if delta.Stats.DeltaPartitionsDirty > delta.Stats.DeltaPartitionsReused {
+		t.Fatalf("new-topic append re-mined %d partitions but reused only %d",
+			delta.Stats.DeltaPartitionsDirty, delta.Stats.DeltaPartitionsReused)
+	}
+}
+
+// TestDeltaRestrictions: restrictions post-process the spliced pattern set,
+// so closed/maximal outputs must also match a cold mine exactly.
+func TestDeltaRestrictions(t *testing.T) {
+	base, err := lash.GenerateTextDatabase(lash.TextConfig{Sentences: 300, Lemmas: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []lash.Restriction{lash.RestrictClosed, lash.RestrictMaximal} {
+		opt := lash.Options{MinSupport: 8, MaxGap: 1, MaxLength: 4, Restriction: r}
+		capOpt := opt
+		capOpt.Capture = true
+		v1, err := lash.Mine(base, capOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2db, err := base.Append(fragmentOf(t, base, 1, 6, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := lash.Mine(v2db, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dOpt := opt
+		dOpt.Resume = v1.State
+		delta, err := lash.Mine(v2db, dOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold.Patterns, delta.Patterns) {
+			t.Fatalf("restriction %v: delta patterns differ from cold mine", r)
+		}
+	}
+}
+
+// TestAppendSemantics covers the version/lineage contract and the append
+// validation rules.
+func TestAppendSemantics(t *testing.T) {
+	b := lash.NewDatabaseBuilder()
+	b.AddParent("b1", "B").AddParent("b2", "B")
+	b.AddSequence("a", "b1", "a")
+	b.AddSequence("a", "b2", "c")
+	base, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Version() != 1 {
+		t.Fatalf("fresh database version = %d, want 1", base.Version())
+	}
+
+	fb := lash.NewDatabaseBuilder()
+	fb.AddParent("b3", "B")
+	fb.AddSequence("a", "b3", "c")
+	frag, err := fb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := base.Append(frag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Version() != 2 {
+		t.Fatalf("v2 version = %d, want 2", v2.Version())
+	}
+	if base.NumSequences() != 2 || v2.NumSequences() != 3 {
+		t.Fatalf("copy-on-append violated: base has %d sequences, v2 has %d", base.NumSequences(), v2.NumSequences())
+	}
+	if lvl := v2.ItemLevel("b3"); lvl != 1 {
+		t.Fatalf("new item b3 level = %d, want 1", lvl)
+	}
+	if lvl := base.ItemLevel("b3"); lvl != -1 {
+		t.Fatal("append leaked the new item into the old snapshot")
+	}
+
+	// Re-parenting an existing item is rejected: b1 already generalizes to
+	// B, and the base's root "a" cannot gain a parent either.
+	for _, edge := range [][2]string{{"b1", "D"}, {"a", "B"}} {
+		rb := lash.NewDatabaseBuilder()
+		rb.AddParent(edge[0], edge[1])
+		rb.AddSequence(edge[0], edge[0])
+		rfrag, err := rb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := base.Append(rfrag); err == nil {
+			t.Fatalf("append re-parenting %s under %s succeeded, want error", edge[0], edge[1])
+		}
+	}
+
+	// Declaring the existing parent again is fine.
+	ob := lash.NewDatabaseBuilder()
+	ob.AddParent("b1", "B")
+	ob.AddSequence("b1", "a")
+	ofrag, err := ob.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.Append(ofrag); err != nil {
+		t.Fatalf("append re-declaring an existing edge: %v", err)
+	}
+
+	// An empty fragment is rejected.
+	eb := lash.NewDatabaseBuilder()
+	efrag, err := eb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Append(efrag); err == nil {
+		t.Fatal("append of an empty fragment succeeded, want error")
+	}
+}
+
+// TestResumeValidation: states only seed databases descended from the
+// snapshot they were captured on, under equal canonical options. A state
+// captured at or before an append fork seeds both branches; states
+// captured on one branch never validate on the other.
+func TestResumeValidation(t *testing.T) {
+	base, err := lash.GenerateTextDatabase(lash.TextConfig{Sentences: 100, Lemmas: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := lash.Options{MinSupport: 5, MaxGap: 1, MaxLength: 3, Capture: true}
+	v1, err := lash.Mine(base, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag := fragmentOf(t, base, 0, 3, nil)
+	v2a, err := base.Append(frag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.State.ValidFor(v2a, opt) {
+		t.Fatal("state invalid for the lineage tip")
+	}
+	if v1.State.CorpusVersion() != 1 || v1.State.NumSequences() != base.NumSequences() {
+		t.Fatalf("state covers version %d / %d sequences", v1.State.CorpusVersion(), v1.State.NumSequences())
+	}
+
+	// Different options: invalid, and Mine rejects it.
+	other := opt
+	other.MinSupport = 6
+	if v1.State.ValidFor(v2a, other) {
+		t.Fatal("state valid under different options")
+	}
+	badOpt := other
+	badOpt.Resume = v1.State
+	if _, err := lash.Mine(v2a, badOpt); err == nil {
+		t.Fatal("Mine accepted a Resume state with mismatched options")
+	}
+
+	// Fork: appending from base a second time diverges the history. The
+	// pre-fork state seeds both branches (their common prefix is exactly
+	// the corpus it covers), but a state captured on one branch must not
+	// validate against the other — their version-2 contents differ.
+	v2b, err := base.Append(fragmentOf(t, base, 50, 4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.State.ValidFor(v2a, opt) || !v1.State.ValidFor(v2b, opt) {
+		t.Fatal("pre-fork state must validate on both branches")
+	}
+	forkOpt := opt
+	forkOpt.Resume = v1.State
+	vb, err := lash.Mine(v2b, forkOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb.State.ValidFor(v2a, opt) {
+		t.Fatal("state captured on one branch validated against the other")
+	}
+	va, err := lash.Mine(v2a, forkOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.State.ValidFor(v2b, opt) {
+		t.Fatal("state captured on one branch validated against the other")
+	}
+	coldB, err := lash.Mine(v2b, lash.Options{MinSupport: 5, MaxGap: 1, MaxLength: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coldB.Patterns, vb.Patterns) {
+		t.Fatal("delta mine across a fork differs from cold mine")
+	}
+
+	// Streaming rejects Capture and Resume.
+	sOpt := lash.Options{MinSupport: 5, MaxGap: 1, MaxLength: 3, Capture: true}
+	if err := sOpt.ValidateStream(); err == nil {
+		t.Fatal("ValidateStream accepted Capture")
+	}
+	sOpt = lash.Options{MinSupport: 5, MaxGap: 1, MaxLength: 3, Resume: v1.State}
+	if err := sOpt.ValidateStream(); err == nil {
+		t.Fatal("ValidateStream accepted Resume")
+	}
+
+	// CacheKey ignores Capture/Resume: a captured result answers the same
+	// cache lookups a plain mine would.
+	plain := lash.Options{MinSupport: 5, MaxGap: 1, MaxLength: 3}
+	withState := plain
+	withState.Capture = true
+	withState.Resume = v1.State
+	if plain.CacheKey() != withState.CacheKey() {
+		t.Fatal("CacheKey depends on Capture/Resume")
+	}
+}
+
+// TestAppendBinary: a self-contained .ldb fragment appends by item name.
+func TestAppendBinary(t *testing.T) {
+	b := lash.NewDatabaseBuilder()
+	b.AddParent("b1", "B")
+	b.AddSequence("a", "b1", "a")
+	base, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := lash.NewDatabaseBuilder()
+	fb.AddParent("b2", "B")
+	fb.AddSequence("a", "b2")
+	frag, err := fb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := frag.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := base.AppendBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.NumSequences() != 2 || v2.Version() != 2 {
+		t.Fatalf("binary append: %d sequences, version %d", v2.NumSequences(), v2.Version())
+	}
+	if got := v2.Sequence(1); len(got) != 2 || got[0] != "a" || got[1] != "b2" {
+		t.Fatalf("binary append remapped sequence = %v", got)
+	}
+	if p, ok := v2.ItemParent("b2"); !ok || p != "B" {
+		t.Fatalf("b2 parent = %q, %v", p, ok)
+	}
+}

@@ -39,7 +39,7 @@ func GenerateTextDatabase(cfg TextConfig) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Database{db: db}, nil
+	return newDatabase(db), nil
 }
 
 func parseTextHierarchy(s string) (datagen.TextHierarchy, error) {
@@ -88,5 +88,5 @@ func GenerateMarketDatabase(cfg MarketConfig) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Database{db: db}, nil
+	return newDatabase(db), nil
 }

@@ -57,6 +57,23 @@ type Options struct {
 	// MR configures the MapReduce substrate.
 	MR mapreduce.Config
 
+	// Capture, when set, records the run's reusable residue — f-list
+	// counts and per-partition fingerprints, statistics, and pattern sets —
+	// in Result.Delta, for seeding a later delta re-mine via Prev.
+	// Incompatible with Stream (capture needs the full per-partition
+	// output).
+	Capture bool
+
+	// Prev, when non-nil, switches the run to delta mode over an
+	// append-only extension of the corpus the state was captured from:
+	// frequencies are recomputed incrementally from the appended suffix,
+	// provably unchanged partitions are spliced from the state instead of
+	// being shuffled and mined, and the result is byte-identical to a
+	// from-scratch run. The caller must guarantee Prev was captured on a
+	// prefix of db.Seqs under the same Params, Miner, Flat, and Rewrites.
+	// Incompatible with Stream.
+	Prev *DeltaState
+
 	// Stream, when non-nil, receives every mined pattern (translated to
 	// the vocabulary item space) the moment its partition's local miner
 	// emits it, instead of the pattern being collected into
@@ -95,6 +112,12 @@ type Result struct {
 	Jobs JobStats
 	// FList exposes the rank space for downstream analysis.
 	FList *flist.FList
+	// Delta is the captured reusable residue (Options.Capture).
+	Delta *DeltaState
+	// DeltaDirty and DeltaReused count, for delta runs (Options.Prev), the
+	// partitions that were re-mined vs. spliced from the previous state.
+	DeltaDirty  int
+	DeltaReused int
 }
 
 // Mine runs LASH (or one of its flat variants) over the database.
@@ -107,6 +130,9 @@ func Mine(ctx context.Context, db *gsm.Database, opt Options) (*Result, error) {
 	if err := db.Validate(); err != nil {
 		return nil, err
 	}
+	if (opt.Capture || opt.Prev != nil) && opt.Stream != nil {
+		return nil, fmt.Errorf("core: Capture/Prev need the full per-partition output and cannot be combined with Stream")
+	}
 	work := db
 	if opt.Flat {
 		work = &gsm.Database{Seqs: db.Seqs, Forest: flatForest(db.Forest)}
@@ -115,17 +141,33 @@ func Mine(ctx context.Context, db *gsm.Database, opt Options) (*Result, error) {
 	var (
 		fl      *flist.FList
 		flStats *mapreduce.Stats
+		plan    *deltaPlan
 		err     error
 	)
-	if opt.Freqs != nil {
+	switch {
+	case opt.Prev != nil:
+		// Delta mode: frequencies are recomputed incrementally from the
+		// appended suffix (no f-list job), and the reuse plan decides which
+		// partitions can be spliced from the previous state.
+		var freq, add []int64
+		freq, add, err = deltaFrequencies(work, opt.Prev)
+		if err != nil {
+			return nil, err
+		}
+		fl, err = flist.Build(work.Forest, freq, opt.Params.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		plan, err = planDelta(work.Forest, fl, opt.Prev, add)
+	case opt.Freqs != nil:
 		fl, err = flist.Build(work.Forest, opt.Freqs, opt.Params.Sigma)
-	} else {
+	default:
 		fl, flStats, err = FListJob(ctx, work, opt.Params.Sigma, opt.MR)
 	}
 	if err != nil {
 		return nil, err
 	}
-	res, err := mineJob(ctx, work, fl, opt)
+	res, err := mineJob(ctx, work, fl, opt, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -307,18 +349,29 @@ type reduceScratch struct {
 // stream callback as the local miners emit them (serialized by streamMu)
 // instead of being collected; a callback error fails the partition's
 // Reduce, which cancels the rest of the run.
-func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options) (*Result, error) {
+func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options, plan *deltaPlan) (*Result, error) {
 	res := &Result{}
 	var explored, output atomic.Int64
 	var partitions, partSeqs atomic.Int64
 	var maxPart atomic.Int64
 	var streamMu sync.Mutex
 
+	// Capturing and delta runs route everything — statistics, fingerprints,
+	// and each partition's patterns — through pivot-rank-indexed capture
+	// slots (overwrite-idempotent, hence retry-safe); chain carries the
+	// rank→item prefix hashes their fingerprints are seeded with.
+	var capSlots []capPart
+	var chain []uint64
+	if opt.Capture || plan != nil {
+		capSlots = make([]capPart, fl.NumFrequent())
+		chain = rankChain(fl)
+	}
+
 	// Retry-enabled runs route partition statistics through the
 	// re-execution-idempotent slice (see partStat); the default path keeps
 	// the atomics and allocates nothing extra.
 	var partStats []partStat
-	if opt.MR.Retry.MaxAttempts > 1 {
+	if capSlots == nil && opt.MR.Retry.MaxAttempts > 1 {
 		partStats = make([]partStat, fl.NumFrequent())
 	}
 
@@ -357,6 +410,11 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 			defer scratch.Put(s)
 			s.pivots = fl.PivotRanks(s.pivots[:0], t)
 			for _, pivot := range s.pivots {
+				if plan != nil && plan.reuse[pivot] {
+					// Delta: this partition's input is provably unchanged —
+					// its previous result is spliced, nothing is shuffled.
+					continue
+				}
 				s.buf = s.rw.Rewrite(s.buf[:0], t, pivot)
 				if len(s.buf) == 0 {
 					continue
@@ -388,6 +446,24 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 			rs := reducers.Get().(*reduceScratch)
 			defer reducers.Put(rs)
 			sc := rs.sc
+			// Capture/delta: fingerprint the aggregated input first. When a
+			// previous version's partition fingerprints identically, its
+			// result is spliced and the decode and mine are skipped
+			// entirely; a mismatch just falls through to a fresh mine.
+			var fp uint64
+			if capSlots != nil {
+				fp = entriesFingerprint(chain[pivot], entries)
+				if plan != nil {
+					if pp := plan.prev.part(fl.VocabOf(pivot)); pp != nil && pp.Fingerprint == fp {
+						capSlots[pivot] = capPart{
+							mined: true, spliced: true, fingerprint: fp,
+							seqs: pp.Seqs, explored: pp.Explored, output: pp.Output,
+							items: pp.Patterns,
+						}
+						return nil
+					}
+				}
+			}
 			// Decode the whole partition into one grown-once rank arena:
 			// size it exactly, then append every sequence back to back.
 			total := 0
@@ -421,7 +497,7 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 			}
 			rs.part = miner.Partition{Pivot: pivot, Parent: parent, Seqs: sc.Seqs}
 			nseqs := int64(len(sc.Seqs))
-			if partStats == nil {
+			if capSlots == nil && partStats == nil {
 				partitions.Add(1)
 				partSeqs.Add(nseqs)
 				for {
@@ -472,19 +548,35 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 			}
 			// Emitted patterns escape the reduce call, so they cannot live in
 			// pooled scratch; copy them into chunks amortizing one allocation
-			// over many patterns instead of one per pattern.
+			// over many patterns instead of one per pattern. Capturing runs
+			// keep the patterns in their pivot's slot (attempt-overwritten,
+			// hence retry-safe) instead of emitting them, so the post-run
+			// assembly knows which partition produced what.
 			var chunk []flist.Rank
+			var captured []patternOut
 			st := rs.m.Mine(&rs.part, localCfg, sc, func(pat []flist.Rank, sup int64) {
 				if len(chunk)+len(pat) > cap(chunk) {
 					chunk = make([]flist.Rank, 0, max(1024, len(pat)))
 				}
 				start := len(chunk)
 				chunk = append(chunk, pat...)
-				emit(patternOut{ranks: chunk[start:len(chunk):len(chunk)], support: sup})
+				po := patternOut{ranks: chunk[start:len(chunk):len(chunk)], support: sup}
+				if capSlots != nil {
+					captured = append(captured, po)
+				} else {
+					emit(po)
+				}
 			})
-			if partStats != nil {
+			switch {
+			case capSlots != nil:
+				capSlots[pivot] = capPart{
+					mined: true, fingerprint: fp,
+					seqs: nseqs, explored: st.Explored, output: st.Output,
+					ranks: captured,
+				}
+			case partStats != nil:
 				partStats[pivot] = partStat{mined: true, seqs: nseqs, explored: st.Explored, output: st.Output}
-			} else {
+			default:
 				explored.Add(st.Explored)
 				output.Add(st.Output)
 			}
@@ -501,7 +593,12 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 	}
 
 	res.Jobs.Mine = stats
-	if partStats != nil {
+	switch {
+	case capSlots != nil:
+		if err := assembleCapture(res, db, fl, opt, plan, capSlots); err != nil {
+			return nil, err
+		}
+	case partStats != nil:
 		for i := range partStats {
 			ps := &partStats[i]
 			if !ps.mined {
@@ -515,18 +612,20 @@ func mineJob(ctx context.Context, db *gsm.Database, fl *flist.FList, opt Options
 			res.Miner.Explored += ps.explored
 			res.Miner.Output += ps.output
 		}
-	} else {
+	default:
 		res.Miner = miner.Stats{Explored: explored.Load(), Output: output.Load()}
 		res.NumPartitions = int(partitions.Load())
 		res.PartitionSeqs = partSeqs.Load()
 		res.MaxPartitionSeqs = maxPart.Load()
 	}
-	for _, po := range out {
-		items, err := fl.TranslateFromRanks(nil, po.ranks)
-		if err != nil {
-			return nil, err
+	if capSlots == nil {
+		for _, po := range out {
+			items, err := fl.TranslateFromRanks(nil, po.ranks)
+			if err != nil {
+				return nil, err
+			}
+			res.Patterns = append(res.Patterns, gsm.Pattern{Items: items, Support: po.support})
 		}
-		res.Patterns = append(res.Patterns, gsm.Pattern{Items: items, Support: po.support})
 	}
 	return res, nil
 }

@@ -208,6 +208,67 @@ type Options struct {
 	// internal package: it is settable only from inside this module;
 	// external callers leave it nil. Ignored by CacheKey.
 	Faults *faults.Registry
+	// Capture, when set, records the run's reusable residue — the f-list
+	// counts and each partition's input fingerprint, statistics, and
+	// pattern set — in Result.State, so a later run over an appended corpus
+	// version can resume from it (see Resume). Supported by the LASH
+	// variants (AlgorithmLASH, AlgorithmLASHFlat, AlgorithmMGFSM); the
+	// baselines have no partitions to capture and ignore it. Capture does
+	// not affect the mined output and is ignored by CacheKey; streaming
+	// runs reject it (ValidateStream).
+	Capture bool
+	// Resume, when non-nil, seeds a delta re-mine: the run recomputes item
+	// frequencies incrementally from the sequences appended since the state
+	// was captured, re-shuffles only sequences contributing to dirty
+	// pivots, re-mines only dirty partitions, and splices every provably
+	// unchanged partition's pattern set from the state. The output is
+	// byte-identical to a from-scratch mine (Result.Stats reports the
+	// dirty/reused split). The state must come from a Capture run on an
+	// earlier version of the same database lineage with equal canonical
+	// options (see MineState.ValidFor); baselines ignore Resume and mine
+	// from scratch. Ignored by CacheKey; rejected for streaming runs.
+	Resume *MineState
+}
+
+// MineState is the opaque, reusable residue of a Capture mining run: the
+// corpus version it covered, plus the internal f-list counts and
+// per-partition results a Resume run splices from. States are immutable and
+// safe to share across goroutines; they are only meaningful for databases
+// descended (by Append) from the snapshot they were captured on.
+type MineState struct {
+	ident   *corpusID
+	version int
+	numSeqs int
+	key     string
+	delta   *core.DeltaState
+}
+
+// CorpusVersion returns the Database.Version the state was captured at.
+func (s *MineState) CorpusVersion() int {
+	if s == nil {
+		return 0
+	}
+	return s.version
+}
+
+// NumSequences returns the number of input sequences the state covers.
+func (s *MineState) NumSequences() int {
+	if s == nil {
+		return 0
+	}
+	return s.numSeqs
+}
+
+// ValidFor reports whether the state can seed a delta re-mine of db under
+// opt: db must descend from the snapshot the state was captured on (so the
+// state's corpus is a prefix of db's sequences — checked by identity token,
+// which holds across append forks for states captured at or before the fork
+// point), with equal canonical options.
+func (s *MineState) ValidFor(db *Database, opt Options) bool {
+	return s != nil && s.delta != nil && s.ident != nil &&
+		db.identAt(s.version) == s.ident &&
+		s.numSeqs <= db.NumSequences() &&
+		s.key == opt.CacheKey()
 }
 
 // ProgressEvent is one live progress update of a mining run.
@@ -294,6 +355,10 @@ type Result struct {
 	Explored int64
 	// Stats reports MapReduce phase measurements of the main mining job.
 	Stats RunStats
+	// State is the run's captured reusable residue (Options.Capture on a
+	// LASH variant); nil otherwise. Pass it as Options.Resume to delta-mine
+	// a later version of the same database lineage.
+	State *MineState
 
 	// forest is the hierarchy the patterns were named under, stashed by
 	// mine() so Index() can attach level and roll-up tables. nil for
@@ -345,6 +410,11 @@ type RunStats struct {
 	// un-instrumented runs.
 	TaskRetries    int64
 	FaultsInjected int64
+	// DeltaPartitionsDirty and DeltaPartitionsReused report, for delta runs
+	// (Options.Resume), how many partitions were re-mined vs. spliced from
+	// the resumed state. Both zero for from-scratch runs.
+	DeltaPartitionsDirty  int64
+	DeltaPartitionsReused int64
 }
 
 // Mine runs the selected algorithm over the database. It is
@@ -401,6 +471,25 @@ func mine(ctx context.Context, db *Database, opt Options, freqs []int64, emit fu
 	} else if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	// Capture/Resume only apply to the partitioned LASH variants; the
+	// baselines have no per-partition structure to reuse and silently mine
+	// from scratch. An invalid Resume state is an error rather than a
+	// silent cold mine, so a differential harness cannot accidentally
+	// "pass" without exercising the delta path.
+	capture, resume := opt.Capture, opt.Resume
+	switch opt.Algorithm {
+	case AlgorithmLASH, AlgorithmLASHFlat, AlgorithmMGFSM:
+		if resume != nil && !resume.ValidFor(db, opt) {
+			return nil, fmt.Errorf("lash: Resume state is not valid for this database and options (want a Capture state from a snapshot this database descends from, with equal canonical options)")
+		}
+	default:
+		capture, resume = false, nil
+	}
+	var prevDelta *core.DeltaState
+	if resume != nil {
+		prevDelta = resume.delta
+	}
+
 	params := gsm.Params{Sigma: opt.MinSupport, Gamma: opt.MaxGap, Lambda: opt.MaxLength}
 	mr := mapreduce.Config{
 		Workers:      opt.Workers,
@@ -474,11 +563,11 @@ func mine(ctx context.Context, db *Database, opt Options, freqs []int64, emit fu
 	)
 	switch opt.Algorithm {
 	case AlgorithmLASH:
-		res, err = core.Mine(ctx, db.db, core.Options{Params: params, Miner: opt.LocalMiner.kind(), MR: mr, Freqs: freqs, Stream: coreStream})
+		res, err = core.Mine(ctx, db.db, core.Options{Params: params, Miner: opt.LocalMiner.kind(), MR: mr, Freqs: freqs, Stream: coreStream, Capture: capture, Prev: prevDelta})
 	case AlgorithmLASHFlat:
-		res, err = core.Mine(ctx, db.db, core.Options{Params: params, Miner: opt.LocalMiner.kind(), Flat: true, MR: mr, Freqs: freqs, Stream: coreStream})
+		res, err = core.Mine(ctx, db.db, core.Options{Params: params, Miner: opt.LocalMiner.kind(), Flat: true, MR: mr, Freqs: freqs, Stream: coreStream, Capture: capture, Prev: prevDelta})
 	case AlgorithmMGFSM:
-		res, err = core.Mine(ctx, db.db, core.Options{Params: params, Miner: miner.KindBFS, Flat: true, MR: mr, Freqs: freqs, Stream: coreStream})
+		res, err = core.Mine(ctx, db.db, core.Options{Params: params, Miner: miner.KindBFS, Flat: true, MR: mr, Freqs: freqs, Stream: coreStream, Capture: capture, Prev: prevDelta})
 	case AlgorithmNaive:
 		res, err = baseline.MineNaive(ctx, db.db, baseline.Options{Params: params, MR: mr, MaxEmit: opt.MaxIntermediate, Stream: coreStream})
 	case AlgorithmSemiNaive:
@@ -511,6 +600,17 @@ func mine(ctx context.Context, db *Database, opt Options, freqs []int64, emit fu
 	}
 
 	out := &Result{NumPartitions: res.NumPartitions, Explored: res.Miner.Explored, forest: f}
+	if res.Delta != nil {
+		out.State = &MineState{
+			ident:   db.identAt(db.Version()),
+			version: db.Version(),
+			numSeqs: db.NumSequences(),
+			key:     opt.CacheKey(),
+			delta:   res.Delta,
+		}
+	}
+	out.Stats.DeltaPartitionsDirty = int64(res.DeltaDirty)
+	out.Stats.DeltaPartitionsReused = int64(res.DeltaReused)
 	for _, p := range res.Patterns {
 		items := make([]string, len(p.Items))
 		for i, w := range p.Items {

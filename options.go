@@ -78,6 +78,12 @@ func (o Options) ValidateStream() error {
 	if o.Restriction != RestrictNone {
 		return fmt.Errorf("lash: restriction %q needs the full pattern set and cannot be streamed (use MineContext, or RestrictNone)", o.Restriction)
 	}
+	if o.Capture {
+		return fmt.Errorf("lash: Capture needs the full per-partition output and cannot be streamed (use MineContext)")
+	}
+	if o.Resume != nil {
+		return fmt.Errorf("lash: Resume splices previous partition results and cannot be streamed (use MineContext)")
+	}
 	return nil
 }
 
@@ -102,6 +108,10 @@ func (o Options) Canonical() Options {
 	o.Deadline = 0
 	o.MaxAttempts = 0
 	o.Faults = nil
+	// Capture only adds State to the result; Resume is differential-tested
+	// byte-identical to a from-scratch mine. Neither affects the output.
+	o.Capture = false
+	o.Resume = nil
 	switch o.Algorithm {
 	case AlgorithmLASH, AlgorithmLASHFlat:
 		o.MaxIntermediate = 0

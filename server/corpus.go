@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"mime"
+	"net/http"
+	"strings"
+
+	"lash"
+)
+
+// This file is the live-corpora half of the database endpoints: appending
+// new sequences to a registered database (installing the next immutable
+// corpus version) and uploading databases or fragments in the compact
+// binary .ldb format.
+
+// ldbContentType is the media type of a raw binary database body — the
+// format written by lash.Database.WriteBinary and `lash-gen -format
+// binary`. POST /v1/databases and POST /v1/databases/{name}/sequences
+// accept it as an alternative to JSON.
+const ldbContentType = "application/x-lash-ldb"
+
+// isLDBRequest reports whether the request declares a raw .ldb body.
+func isLDBRequest(r *http.Request) bool {
+	ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && ct == ldbContentType
+}
+
+// bodyStatus maps a request-body read failure to its HTTP status: 413 when
+// the size cap cut the body off, 400 for everything else.
+func bodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// readLDB decodes a size-capped raw .ldb request body: the magic is sniffed
+// before any real decoding (a JSON body sent with the wrong Content-Type
+// fails fast with a pointed message), then the stream goes through the
+// seqdb reader, which validates the dictionary, hierarchy, and every
+// sequence before a database is returned.
+func readLDB(w http.ResponseWriter, r *http.Request) (*lash.Database, error) {
+	br := bufio.NewReader(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	head, err := br.Peek(len(lash.BinaryMagic))
+	if err != nil || string(head) != lash.BinaryMagic {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, fmt.Errorf("request body exceeds %d bytes: %w", int64(maxBodyBytes), err)
+		}
+		return nil, fmt.Errorf("body is not a lash binary database (missing %q magic)", lash.BinaryMagic)
+	}
+	db, err := lash.ReadBinaryDatabase(br)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, fmt.Errorf("request body exceeds %d bytes: %w", int64(maxBodyBytes), err)
+		}
+		return nil, fmt.Errorf("invalid .ldb payload: %v", err)
+	}
+	return db, nil
+}
+
+// AppendSpec is the JSON body of POST /v1/databases/{name}/sequences: the
+// sequences to append, with optional new hierarchy edges (same line formats
+// as DatabaseSpec). Alternatively the endpoint accepts a raw self-contained
+// .ldb fragment body under Content-Type application/x-lash-ldb; either way
+// items are matched to the base database by name, and existing items may
+// not change parents.
+type AppendSpec struct {
+	Sequences []string `json:"sequences"`
+	Hierarchy []string `json:"hierarchy,omitempty"`
+}
+
+// buildFragment assembles the append fragment described by spec.
+func buildFragment(spec AppendSpec) (*lash.Database, error) {
+	if len(spec.Sequences) == 0 {
+		return nil, errors.New("sequences is required (or send a raw application/x-lash-ldb fragment body)")
+	}
+	b := lash.NewDatabaseBuilder()
+	if len(spec.Hierarchy) > 0 {
+		if err := b.ReadHierarchy(strings.NewReader(strings.Join(spec.Hierarchy, "\n"))); err != nil {
+			return nil, fmt.Errorf("hierarchy: %v", err)
+		}
+	}
+	if err := b.ReadSequences(strings.NewReader(strings.Join(spec.Sequences, "\n"))); err != nil {
+		return nil, fmt.Errorf("sequences: %v", err)
+	}
+	return b.Build()
+}
+
+// handleAppendSequences answers POST /v1/databases/{name}/sequences: it
+// merges the appended sequences onto the database's latest corpus version
+// and installs the result as the next version. Old versions stay readable —
+// in-flight jobs, version-qualified pattern queries, and cached results
+// keep serving the snapshots they were made against — and the response
+// carries the database's updated metadata including the new version number.
+func (s *Server) handleAppendSequences(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var frag *lash.Database
+	if isLDBRequest(r) {
+		db, err := readLDB(w, r)
+		if err != nil {
+			writeError(w, bodyStatus(err), err)
+			return
+		}
+		frag = db
+	} else {
+		var spec AppendSpec
+		if err := decodeJSON(w, r, &spec); err != nil {
+			writeError(w, bodyStatus(err), err)
+			return
+		}
+		db, err := buildFragment(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		frag = db
+	}
+	info, err := s.registry.append(name, frag)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.log.Info("corpus appended", "request_id", requestIDFrom(r.Context()),
+		"database", name, "version", info.Version, "sequences", info.NumSequences)
+	writeJSON(w, http.StatusOK, info)
+}

@@ -76,6 +76,7 @@ type job struct {
 	id          string
 	key         string
 	dbName      string
+	version     int // corpus version the job mines (immutable snapshot)
 	options     lash.Options
 	done        chan struct{}
 	ctx         context.Context
@@ -126,19 +127,34 @@ type manager struct {
 	mu       sync.Mutex
 	closed   bool
 	jobs     map[string]*job
-	order    []string           // submission order, for stable listings
-	inflight map[string]*job    // key → queued/running job (singleflight)
-	latest   map[string]*job    // database → most recent successful job
-	hubs     map[string]*subHub // job id → live subscription hub (see subscribe.go)
-	maxJobs  int                // retained job records; older terminal jobs are pruned
+	order    []string                // submission order, for stable listings
+	inflight map[string]*job         // key → queued/running job (singleflight)
+	latest   map[string]map[int]*job // database → corpus version → most recent successful job
+	hubs     map[string]*subHub      // job id → live subscription hub (see subscribe.go)
+	maxJobs  int                     // retained job records; older terminal jobs are pruned
 	nextID   uint64
+
+	// states holds the capture state of the most recent successful run per
+	// (database, canonical options), keyed without the corpus version: an
+	// append bumps the version but the old state is exactly what the next
+	// run wants to resume from. stateOrder bounds the store FIFO-by-first-
+	// insert — states are a pure optimization, so evicting one only costs a
+	// future run its delta splice.
+	states     map[string]*lash.MineState
+	stateOrder []string
 }
+
+// maxMineStates bounds the resume-state store. Each state holds the f-list
+// counts and per-partition fingerprints plus captured partition outputs of
+// one run — useful, but strictly droppable.
+const maxMineStates = 256
 
 var (
 	errBadSpec      = errors.New("bad request")
 	errConflict     = errors.New("conflict")
 	errShutdown     = errors.New("server is shutting down")
 	errJobMissing   = errors.New("no such job")
+	errDBMissing    = errors.New("no such database")
 	errJobCancelled = errors.New("job cancelled")
 	// errOverloaded maps to 429 + Retry-After: the request was well-formed
 	// but the server refuses it for now (queue bound or rate limit).
@@ -164,15 +180,26 @@ func newManager(workers int, cacheBytes int64, cacheEntries, maxJobs int, mineFn
 		cancel:   cancel,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
-		latest:   make(map[string]*job),
+		latest:   make(map[string]map[int]*job),
 		hubs:     make(map[string]*subHub),
+		states:   make(map[string]*lash.MineState),
 		maxJobs:  maxJobs,
 	}
 }
 
-// jobKey identifies equivalent mining requests: same database, same
-// canonical options.
-func jobKey(dbName string, opt lash.Options) string {
+// jobKey identifies equivalent mining requests: same database, same corpus
+// version, same canonical options. The version is part of the identity —
+// results mined against an old snapshot stay cached and servable after an
+// append, and a request against the new version is never answered from a
+// stale entry.
+func jobKey(dbName string, version int, opt lash.Options) string {
+	return dbName + "@v" + fmt.Sprint(version) + "|" + opt.CacheKey()
+}
+
+// stateKey identifies resume states: database + canonical options, without
+// the version — the state from version N is the input for delta-mining
+// version N+1.
+func stateKey(dbName string, opt lash.Options) string {
 	return dbName + "|" + opt.CacheKey()
 }
 
@@ -197,7 +224,8 @@ func (m *manager) applyPolicies(opt lash.Options) lash.Options {
 // with errOverloaded (429) instead of letting the backlog grow unbounded.
 func (m *manager) submit(ctx context.Context, dbName string, db *lash.Database, opt lash.Options) (*job, error) {
 	opt = m.applyPolicies(opt)
-	key := jobKey(dbName, opt)
+	version := db.Version()
+	key := jobKey(dbName, version, opt)
 	reqID := requestIDFrom(ctx)
 
 	m.mu.Lock()
@@ -207,7 +235,7 @@ func (m *manager) submit(ctx context.Context, dbName string, db *lash.Database, 
 	}
 
 	if res, ok := m.cache.get(key); ok {
-		j := m.newJobLocked(key, dbName, opt)
+		j := m.newJobLocked(key, dbName, version, opt)
 		j.status = JobDone
 		j.cached = true
 		j.result = res
@@ -238,7 +266,16 @@ func (m *manager) submit(ctx context.Context, dbName string, db *lash.Database, 
 		}
 	}
 
-	j := m.newJobLocked(key, dbName, opt)
+	// Fresh job: capture delta state so a future append can re-mine only
+	// the partitions it dirties, and resume from the previous version's
+	// state when one is valid for this snapshot. Neither affects the job
+	// key or the cached result — Canonical zeroes both, and a delta run is
+	// differentially identical to a cold one.
+	opt.Capture = true
+	if s, ok := m.states[stateKey(dbName, opt)]; ok && s.ValidFor(db, opt) {
+		opt.Resume = s
+	}
+	j := m.newJobLocked(key, dbName, version, opt)
 	m.met.jobsSubmitted.Inc()
 	j.status = JobQueued
 	m.inflight[key] = j
@@ -252,12 +289,13 @@ func (m *manager) submit(ctx context.Context, dbName string, db *lash.Database, 
 // newJobLocked allocates and registers a job record, pruning the oldest
 // terminal records past the retention bound so a long-running server does
 // not accumulate every result ever mined. Caller holds m.mu.
-func (m *manager) newJobLocked(key, dbName string, opt lash.Options) *job {
+func (m *manager) newJobLocked(key, dbName string, version int, opt lash.Options) *job {
 	m.nextID++
 	j := &job{
 		id:      fmt.Sprintf("job-%d", m.nextID),
 		key:     key,
 		dbName:  dbName,
+		version: version,
 		options: opt,
 		done:    make(chan struct{}),
 		created: time.Now().UTC(),
@@ -394,7 +432,15 @@ func (m *manager) finish(j *job, res *lash.Result, err error) {
 		// corrected to the exact size once it exists. The wg.Add is safe
 		// against close(): the caller still holds its own wg count.
 		m.cache.add(j.key, res)
-		m.latest[j.dbName] = j
+		if m.latest[j.dbName] == nil {
+			m.latest[j.dbName] = make(map[int]*job)
+		}
+		m.latest[j.dbName][j.version] = j
+		m.met.deltaDirty.Add(res.Stats.DeltaPartitionsDirty)
+		m.met.deltaReused.Add(res.Stats.DeltaPartitionsReused)
+		if res.State != nil {
+			m.storeStateLocked(stateKey(j.dbName, j.options), res.State)
+		}
 		m.wg.Add(1)
 		go m.buildIndex(j.key, res)
 	case wasCancelled(j.ctx, err):
@@ -571,11 +617,41 @@ func (m *manager) get(id string) (*job, bool) {
 	return j, ok
 }
 
-// latestResult returns the most recent successful result for a database.
+// storeStateLocked publishes a run's capture state for future delta mines,
+// evicting the store's oldest key once the bound is hit. Replacing the
+// state under an existing key keeps its slot. Caller holds m.mu.
+func (m *manager) storeStateLocked(key string, s *lash.MineState) {
+	if _, ok := m.states[key]; !ok {
+		if len(m.stateOrder) >= maxMineStates {
+			oldest := m.stateOrder[0]
+			m.stateOrder = m.stateOrder[1:]
+			delete(m.states, oldest)
+		}
+		m.stateOrder = append(m.stateOrder, key)
+	}
+	m.states[key] = s
+}
+
+// latestResult returns the most recent successful job for a database at its
+// highest mined corpus version — the default the pattern endpoints serve.
 func (m *manager) latestResult(dbName string) (*job, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	j, ok := m.latest[dbName]
+	var best *job
+	for _, j := range m.latest[dbName] {
+		if best == nil || j.version > best.version {
+			best = j
+		}
+	}
+	return best, best != nil
+}
+
+// latestResultAt returns the most recent successful job for a database at
+// one specific corpus version.
+func (m *manager) latestResultAt(dbName string, version int) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.latest[dbName][version]
 	return j, ok
 }
 

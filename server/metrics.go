@@ -66,6 +66,14 @@ type serverMetrics struct {
 	databases  *obs.Gauge
 	uptime     *obs.Gauge
 	streamEmit *obs.Histogram
+
+	// Live-corpora families: corpusVersions counts every corpus version
+	// installed (registrations and appends); deltaDirty/deltaReused split
+	// the partitions of delta re-mines (Options.Resume) into re-mined vs
+	// spliced-from-state.
+	corpusVersions *obs.Counter
+	deltaDirty     *obs.Counter
+	deltaReused    *obs.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -132,6 +140,13 @@ func newServerMetrics() *serverMetrics {
 		streamEmit: r.Histogram("lash_stream_emit_seconds",
 			"Time spent writing one pattern record to a streaming client; long tails mean client backpressure.",
 			obs.DurationBuckets),
+
+		corpusVersions: r.Counter("lash_corpus_versions_total",
+			"Corpus versions installed: database registrations plus appends (POST /v1/databases/{name}/sequences)."),
+		deltaDirty: r.Counter("lash_delta_partitions_dirty_total",
+			"Partitions re-mined by delta runs because an appended sequence could change their output."),
+		deltaReused: r.Counter("lash_delta_partitions_reused_total",
+			"Partitions spliced from a previous run's state by delta runs instead of being re-mined."),
 	}
 	m.pindexQueries = make(map[string]*obs.Counter, len(pindexQueryKinds))
 	for _, kind := range pindexQueryKinds {

@@ -169,12 +169,23 @@ func (pq *patternQuery) fingerprint(jobID string) string {
 
 // resolvePatternsJob picks the job whose result a pattern query reads: the
 // named job (which must be terminal and successful) or the database's most
-// recent successful job. Shared by GET /v1/patterns and /v1/patterns/subscribe.
+// recent successful job — at the requested corpus version when version= is
+// given, otherwise at the highest version with a complete result. Shared by
+// GET /v1/patterns and /v1/patterns/subscribe.
 func (s *Server) resolvePatternsJob(w http.ResponseWriter, v url.Values) (*job, bool) {
 	dbName := v.Get("db")
 	if dbName == "" && v.Get("job") == "" {
 		writeError(w, http.StatusBadRequest, errors.New("db or job query parameter is required"))
 		return nil, false
+	}
+	version := 0 // 0 = latest complete
+	if raw := v.Get("version"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad version %q", raw))
+			return nil, false
+		}
+		version = n
 	}
 	if id := v.Get("job"); id != "" {
 		j, ok := s.jobs.get(id)
@@ -190,11 +201,24 @@ func (s *Server) resolvePatternsJob(w http.ResponseWriter, v url.Values) (*job, 
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %s mined database %q, not %q", id, j.dbName, dbName))
 			return nil, false
 		}
+		if version != 0 && j.version != version {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("job %s mined corpus version %d, not %d", id, j.version, version))
+			return nil, false
+		}
 		return j, true
 	}
 	if _, ok := s.registry.get(dbName); !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such database %q", dbName))
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", errDBMissing, dbName))
 		return nil, false
+	}
+	if version != 0 {
+		j, ok := s.jobs.latestResultAt(dbName, version)
+		if !ok {
+			writeError(w, http.StatusNotFound,
+				fmt.Errorf("database %q has no mined results for corpus version %d", dbName, version))
+			return nil, false
+		}
+		return j, true
 	}
 	j, ok := s.jobs.latestResult(dbName)
 	if !ok {
@@ -239,11 +263,12 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"database": j.dbName,
-			"job_id":   j.id,
-			"total":    len(chain),
-			"returned": len(chain),
-			"patterns": viewIndexPatterns(ix, chain),
+			"database":       j.dbName,
+			"corpus_version": j.version,
+			"job_id":         j.id,
+			"total":          len(chain),
+			"returned":       len(chain),
+			"patterns":       viewIndexPatterns(ix, chain),
 		})
 		return
 	}
@@ -270,11 +295,12 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := map[string]any{
-		"database": j.dbName,
-		"job_id":   j.id,
-		"total":    total,
-		"returned": len(ids),
-		"patterns": viewIndexPatterns(ix, ids),
+		"database":       j.dbName,
+		"corpus_version": j.version,
+		"job_id":         j.id,
+		"total":          total,
+		"returned":       len(ids),
+		"patterns":       viewIndexPatterns(ix, ids),
 	}
 	// A next_cursor appears only when a limited page stopped short of the
 	// (possibly top-capped) result set.

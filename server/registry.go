@@ -47,25 +47,35 @@ type DatabaseSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
-// DatabaseInfo describes a registered database.
+// DatabaseInfo describes a registered database at its latest corpus
+// version. Version starts at 1 and increments with every append
+// (POST /v1/databases/{name}/sequences); the sequence/item counts describe
+// the latest version, while older versions stay readable through
+// version-qualified mining and pattern queries.
 type DatabaseInfo struct {
 	Name           string    `json:"name"`
 	Source         string    `json:"source"`
+	Version        int       `json:"version"`
 	NumSequences   int       `json:"num_sequences"`
 	NumItems       int       `json:"num_items"`
 	HierarchyDepth int       `json:"hierarchy_depth"`
-	LoadedAt       time.Time `json:"loaded_at"`
+	CreatedAt      time.Time `json:"created_at"`
+	UpdatedAt      time.Time `json:"updated_at"`
 }
 
-// registry holds named immutable databases shared by all requests. A
-// database is loaded once at registration and never mutated afterwards, so
-// concurrent mining jobs can read it without locking.
+// registry holds named databases shared by all requests. Every corpus
+// version is an immutable snapshot — an append installs a new version next
+// to the old ones — so concurrent mining jobs read whichever version they
+// were submitted against without locking.
 type registry struct {
 	dataDir string // "" disables file-based specs
 	// loadSeconds, when set, observes how long each registration spent
 	// loading/generating its corpus (nil-safe; server.New wires it to
 	// lash_corpus_load_seconds).
 	loadSeconds *obs.Histogram
+	// versionsTotal, when set, counts every corpus version installed —
+	// registrations and appends alike (lash_corpus_versions_total).
+	versionsTotal *obs.Counter
 	// faults, when non-nil, arms the registry's corpus-loading injection
 	// point for chaos tests (see internal/faults). Nil in production.
 	faults *faults.Registry
@@ -75,9 +85,15 @@ type registry struct {
 	order []string // registration order, for stable listings
 }
 
+// dbEntry is one named database's version history. versions[v-1] is the
+// immutable snapshot of corpus version v; info describes the latest.
+// appendMu serializes appends per database — the merge itself runs outside
+// the registry lock, so a slow append never blocks reads or other
+// databases — while the registry's mu guards versions/info for readers.
 type dbEntry struct {
-	db   *lash.Database
-	info DatabaseInfo
+	appendMu sync.Mutex
+	versions []*lash.Database
+	info     DatabaseInfo
 }
 
 func newRegistry(dataDir string) *registry {
@@ -104,23 +120,69 @@ func (r *registry) add(spec DatabaseSpec) (DatabaseInfo, error) {
 		return DatabaseInfo{}, err
 	}
 	r.loadSeconds.Observe(time.Since(begin).Seconds())
+	return r.install(spec.Name, source, db)
+}
+
+// install registers an already-built database as version 1 under name.
+func (r *registry) install(name, source string, db *lash.Database) (DatabaseInfo, error) {
+	now := time.Now().UTC()
 	info := DatabaseInfo{
-		Name:           spec.Name,
+		Name:           name,
 		Source:         source,
+		Version:        db.Version(),
 		NumSequences:   db.NumSequences(),
 		NumItems:       db.NumItems(),
 		HierarchyDepth: db.HierarchyDepth(),
-		LoadedAt:       time.Now().UTC(),
+		CreatedAt:      now,
+		UpdatedAt:      now,
 	}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, taken := r.dbs[spec.Name]; taken {
-		return DatabaseInfo{}, fmt.Errorf("%w: database %q already exists", errConflict, spec.Name)
+	if _, taken := r.dbs[name]; taken {
+		return DatabaseInfo{}, fmt.Errorf("%w: database %q already exists", errConflict, name)
 	}
-	r.dbs[spec.Name] = &dbEntry{db: db, info: info}
-	r.order = append(r.order, spec.Name)
+	r.dbs[name] = &dbEntry{versions: []*lash.Database{db}, info: info}
+	r.order = append(r.order, name)
+	r.versionsTotal.Inc()
 	return info, nil
+}
+
+// append installs the next corpus version of the named database: the
+// fragment is merged onto the latest version (outside the registry lock —
+// merging can rebuild the vocabulary) and the result published as version
+// latest+1. Appends to one database serialize; every prior version stays
+// readable. The fragment's sequences and vocabulary are validated by
+// lash.Database.Append (errBadSpec on rejection).
+func (r *registry) append(name string, frag *lash.Database) (DatabaseInfo, error) {
+	r.mu.RLock()
+	e, ok := r.dbs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return DatabaseInfo{}, fmt.Errorf("%w %q", errDBMissing, name)
+	}
+
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+	r.mu.RLock()
+	base := e.versions[len(e.versions)-1]
+	r.mu.RUnlock()
+
+	next, err := base.Append(frag)
+	if err != nil {
+		return DatabaseInfo{}, fmt.Errorf("%w: %v", errBadSpec, err)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.versions = append(e.versions, next)
+	e.info.Version = next.Version()
+	e.info.NumSequences = next.NumSequences()
+	e.info.NumItems = next.NumItems()
+	e.info.HierarchyDepth = next.HierarchyDepth()
+	e.info.UpdatedAt = time.Now().UTC()
+	r.versionsTotal.Inc()
+	return e.info, nil
 }
 
 // load builds the database outside the registry lock (loading can be slow).
@@ -239,7 +301,7 @@ func (r *registry) readFile(path string, read func(io.Reader) error) error {
 	return nil
 }
 
-// get returns the named database.
+// get returns the named database's latest corpus version.
 func (r *registry) get(name string) (*lash.Database, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -247,7 +309,26 @@ func (r *registry) get(name string) (*lash.Database, bool) {
 	if !ok {
 		return nil, false
 	}
-	return e.db, true
+	return e.versions[len(e.versions)-1], true
+}
+
+// getVersion returns one specific corpus version of the named database
+// (version 0 means latest). The bool results distinguish "no such database"
+// from "no such version".
+func (r *registry) getVersion(name string, version int) (db *lash.Database, dbOK, verOK bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.dbs[name]
+	if !ok {
+		return nil, false, false
+	}
+	if version == 0 {
+		return e.versions[len(e.versions)-1], true, true
+	}
+	if version < 1 || version > len(e.versions) {
+		return nil, true, false
+	}
+	return e.versions[version-1], true, true
 }
 
 // info returns the named database's metadata.

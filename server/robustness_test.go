@@ -132,8 +132,9 @@ func TestShutdownDrainRefusesSubmissions(t *testing.T) {
 		if resp.Header.Get("Retry-After") == "" {
 			t.Errorf("submit #%d during drain: no Retry-After header", i)
 		}
-		if msg, _ := body["error"].(string); !strings.Contains(msg, "shutting down") {
-			t.Errorf("submit #%d during drain: error %q does not say shutting down", i, msg)
+		code, msg, retryable := errBody(t, body)
+		if code != "shutting_down" || !retryable || !strings.Contains(msg, "shutting down") {
+			t.Errorf("submit #%d during drain: envelope %q/%q retryable=%v", i, code, msg, retryable)
 		}
 	}
 	if resp, _ := callRaw(t, "GET", ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
@@ -231,8 +232,9 @@ func TestRateLimit429(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("rate-limited response carries no Retry-After")
 	}
-	if msg, _ := body["error"].(string); !strings.Contains(msg, "rate") && !strings.Contains(msg, "overloaded") {
-		t.Errorf("rate-limited error %q is opaque", msg)
+	if code, msg, retryable := errBody(t, body); code != "overloaded" || !retryable ||
+		(!strings.Contains(msg, "rate") && !strings.Contains(msg, "overloaded")) {
+		t.Errorf("rate-limited envelope %q/%q retryable=%v is wrong", code, msg, retryable)
 	}
 
 	// Exempt endpoints keep answering, including /metrics — which must now
@@ -374,8 +376,8 @@ func TestCorpusLoadFaultInjection(t *testing.T) {
 	if status != http.StatusInternalServerError {
 		t.Fatalf("faulted registration: %d %v, want 500", status, body)
 	}
-	if msg, _ := body["error"].(string); !strings.Contains(msg, "injected fault") {
-		t.Errorf("error %q does not carry the injection sentinel text", msg)
+	if code, msg, _ := errBody(t, body); code != "internal" || !strings.Contains(msg, "injected fault") {
+		t.Errorf("envelope %q/%q does not carry the injection sentinel text", code, msg)
 	}
 	// The point fired once; the retry loads cleanly under the same name.
 	mustRegister(t, ts, testSpec("paper"))

@@ -12,9 +12,10 @@
 //
 // The HTTP/JSON API (all stdlib) is:
 //
-//	POST   /v1/databases          register a database (DatabaseSpec)
-//	GET    /v1/databases          list registered databases
+//	POST   /v1/databases          register a database (DatabaseSpec JSON or raw .ldb body)
+//	GET    /v1/databases          list registered databases (paginated)
 //	GET    /v1/databases/{name}   one database's metadata
+//	POST   /v1/databases/{name}/sequences  append sequences; installs the next corpus version
 //	POST   /v1/mine               submit a mining job (MineRequest)
 //	POST   /v1/mine/stream        mine and stream patterns as NDJSON
 //	GET    /v1/jobs               list jobs
@@ -174,6 +175,7 @@ func New(cfg Config) *Server {
 		started:  time.Now().UTC(),
 	}
 	s.registry.loadSeconds = met.pm.CorpusLoadSeconds
+	s.registry.versionsTotal = met.corpusVersions
 	s.registry.faults = cfg.Faults
 	s.jobs.maxQueue = cfg.MaxQueue
 	s.jobs.maxJobTime = cfg.MaxJobTime
@@ -195,6 +197,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/databases", s.handleAddDatabase)
 	s.mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
 	s.mux.HandleFunc("GET /v1/databases/{name}", s.handleGetDatabase)
+	s.mux.HandleFunc("POST /v1/databases/{name}/sequences", s.handleAppendSequences)
 	s.mux.HandleFunc("POST /v1/mine", s.handleMine)
 	s.mux.HandleFunc("POST /v1/mine/stream", s.handleMineStream)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
@@ -409,6 +412,9 @@ func (o OptionsSpec) toOptions() (lash.Options, error) {
 type MineRequest struct {
 	// Database names a registered database.
 	Database string `json:"database"`
+	// Version selects the corpus version to mine (0 = latest). Older
+	// versions stay mineable after appends.
+	Version int `json:"version,omitempty"`
 	// Options configures the run.
 	Options OptionsSpec `json:"options"`
 	// Wait blocks the request until the job finishes and returns the full
@@ -424,12 +430,14 @@ type PatternView struct {
 
 // ResultView is a mining result on the wire.
 type ResultView struct {
-	Patterns         []PatternView `json:"patterns"`
-	FrequentItems    []PatternView `json:"frequent_items,omitempty"`
-	NumPartitions    int           `json:"num_partitions"`
-	Explored         int64         `json:"explored"`
-	MapOutputBytes   int64         `json:"map_output_bytes"`
-	MapOutputRecords int64         `json:"map_output_records"`
+	Patterns      []PatternView `json:"patterns"`
+	FrequentItems []PatternView `json:"frequent_items,omitempty"`
+	// CorpusVersion is the corpus version the result was mined from.
+	CorpusVersion    int   `json:"corpus_version"`
+	NumPartitions    int   `json:"num_partitions"`
+	Explored         int64 `json:"explored"`
+	MapOutputBytes   int64 `json:"map_output_bytes"`
+	MapOutputRecords int64 `json:"map_output_records"`
 	// SpillRuns/SpillBytes report shuffle spilling forced by the job's
 	// memory_budget (0 when the run stayed in memory).
 	SpillRuns  int64 `json:"spill_runs,omitempty"`
@@ -439,6 +447,11 @@ type ResultView struct {
 	// synthetic faults injected into the run. Both 0 on healthy runs.
 	TaskRetries    int64 `json:"task_retries,omitempty"`
 	FaultsInjected int64 `json:"faults_injected,omitempty"`
+	// DeltaPartitionsDirty/DeltaPartitionsReused report, for delta re-mines
+	// of an appended corpus, how many partitions were re-mined vs. spliced
+	// from the previous run's state. Both 0 for from-scratch runs.
+	DeltaPartitionsDirty  int64 `json:"delta_partitions_dirty,omitempty"`
+	DeltaPartitionsReused int64 `json:"delta_partitions_reused,omitempty"`
 }
 
 func viewPatterns(ps []lash.Pattern) []PatternView {
@@ -449,18 +462,21 @@ func viewPatterns(ps []lash.Pattern) []PatternView {
 	return out
 }
 
-func viewResult(res *lash.Result) *ResultView {
+func viewResult(res *lash.Result, version int) *ResultView {
 	return &ResultView{
-		Patterns:         viewPatterns(res.Patterns),
-		FrequentItems:    viewPatterns(res.FrequentItems),
-		NumPartitions:    res.NumPartitions,
-		Explored:         res.Explored,
-		MapOutputBytes:   res.Stats.MapOutputBytes,
-		MapOutputRecords: res.Stats.MapOutputRecords,
-		SpillRuns:        res.Stats.SpillRuns,
-		SpillBytes:       res.Stats.SpillBytes,
-		TaskRetries:      res.Stats.TaskRetries,
-		FaultsInjected:   res.Stats.FaultsInjected,
+		Patterns:              viewPatterns(res.Patterns),
+		FrequentItems:         viewPatterns(res.FrequentItems),
+		CorpusVersion:         version,
+		NumPartitions:         res.NumPartitions,
+		Explored:              res.Explored,
+		MapOutputBytes:        res.Stats.MapOutputBytes,
+		MapOutputRecords:      res.Stats.MapOutputRecords,
+		SpillRuns:             res.Stats.SpillRuns,
+		SpillBytes:            res.Stats.SpillBytes,
+		TaskRetries:           res.Stats.TaskRetries,
+		FaultsInjected:        res.Stats.FaultsInjected,
+		DeltaPartitionsDirty:  res.Stats.DeltaPartitionsDirty,
+		DeltaPartitionsReused: res.Stats.DeltaPartitionsReused,
 	}
 }
 
@@ -468,13 +484,16 @@ func viewResult(res *lash.Result) *ResultView {
 // duration: final once the job is terminal, live (time mined so far) while
 // it is running.
 type JobView struct {
-	ID        string    `json:"job_id"`
-	Database  string    `json:"database"`
-	Status    JobStatus `json:"status"`
-	Cached    bool      `json:"cached"`
-	Coalesced int       `json:"coalesced"`
-	Error     string    `json:"error,omitempty"`
-	Created   time.Time `json:"created"`
+	ID       string `json:"job_id"`
+	Database string `json:"database"`
+	// CorpusVersion is the corpus version the job mines (jobs pin the
+	// version current at submission; appends never retarget them).
+	CorpusVersion int       `json:"corpus_version,omitempty"`
+	Status        JobStatus `json:"status"`
+	Cached        bool      `json:"cached"`
+	Coalesced     int       `json:"coalesced"`
+	Error         string    `json:"error,omitempty"`
+	Created       time.Time `json:"created"`
 	// QueueMS is how long the job waited for a worker slot: final once it
 	// started (or terminally never started), live while still queued.
 	QueueMS   int64       `json:"queue_ms,omitempty"`
@@ -488,12 +507,13 @@ func (m *manager) view(j *job, withResult bool) JobView {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	v := JobView{
-		ID:        j.id,
-		Database:  j.dbName,
-		Status:    j.status,
-		Cached:    j.cached,
-		Coalesced: j.coalesced,
-		Created:   j.created,
+		ID:            j.id,
+		Database:      j.dbName,
+		CorpusVersion: j.version,
+		Status:        j.status,
+		Cached:        j.cached,
+		Coalesced:     j.coalesced,
+		Created:       j.created,
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()
@@ -513,7 +533,7 @@ func (m *manager) view(j *job, withResult bool) JobView {
 		v.QueueMS = time.Since(j.created).Milliseconds()
 	}
 	if withResult && j.status == JobDone {
-		v.Result = viewResult(j.result)
+		v.Result = viewResult(j.result, j.version)
 	}
 	return v
 }
@@ -527,9 +547,30 @@ type StatsView struct {
 }
 
 func (s *Server) handleAddDatabase(w http.ResponseWriter, r *http.Request) {
+	// A raw .ldb body registers the uploaded binary database directly; the
+	// name rides the query string since the body is the payload itself.
+	if isLDBRequest(r) {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			writeError(w, http.StatusBadRequest, errors.New("name query parameter is required for .ldb uploads"))
+			return
+		}
+		db, err := readLDB(w, r)
+		if err != nil {
+			writeError(w, bodyStatus(err), err)
+			return
+		}
+		info, err := s.registry.install(name, "upload:ldb", db)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+		return
+	}
 	var spec DatabaseSpec
 	if err := decodeJSON(w, r, &spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyStatus(err), err)
 		return
 	}
 	info, err := s.registry.add(spec)
@@ -540,8 +581,30 @@ func (s *Server) handleAddDatabase(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
+// handleListDatabases answers GET /v1/databases[?limit=N&cursor=C]: all
+// registered databases in registration order, paginated with the same
+// opaque limit/cursor contract as /v1/jobs and /v1/patterns.
 func (s *Server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"databases": s.registry.list()})
+	const fingerprint = "databases"
+	limit, offset, err := parsePage(r.URL.Query(), fingerprint)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	infos := s.registry.list()
+	total := len(infos)
+	if offset > total {
+		offset = total
+	}
+	page := infos[offset:]
+	if limit > 0 && limit < len(page) {
+		page = page[:limit]
+	}
+	resp := map[string]any{"databases": page, "total": total}
+	if limit > 0 && offset+len(page) < total {
+		resp["next_cursor"] = encodeCursor(fingerprint, offset+len(page))
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGetDatabase(w http.ResponseWriter, r *http.Request) {
@@ -553,19 +616,38 @@ func (s *Server) handleGetDatabase(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// resolveMineDB resolves a mine request's database and corpus version,
+// writing the error response itself on failure.
+func (s *Server) resolveMineDB(w http.ResponseWriter, req MineRequest) (*lash.Database, bool) {
+	if req.Database == "" {
+		writeError(w, http.StatusBadRequest, errors.New("database is required"))
+		return nil, false
+	}
+	if req.Version < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad version %d", req.Version))
+		return nil, false
+	}
+	db, dbOK, verOK := s.registry.getVersion(req.Database, req.Version)
+	switch {
+	case !dbOK:
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", errDBMissing, req.Database))
+		return nil, false
+	case !verOK:
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("database %q has no corpus version %d", req.Database, req.Version))
+		return nil, false
+	}
+	return db, true
+}
+
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	var req MineRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyStatus(err), err)
 		return
 	}
-	if req.Database == "" {
-		writeError(w, http.StatusBadRequest, errors.New("database is required"))
-		return
-	}
-	db, ok := s.registry.get(req.Database)
+	db, ok := s.resolveMineDB(w, req)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such database %q", req.Database))
 		return
 	}
 	opt, err := req.Options.toOptions()
@@ -662,16 +744,11 @@ type StreamTrailer struct {
 func (s *Server) handleMineStream(w http.ResponseWriter, r *http.Request) {
 	var req MineRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyStatus(err), err)
 		return
 	}
-	if req.Database == "" {
-		writeError(w, http.StatusBadRequest, errors.New("database is required"))
-		return
-	}
-	db, ok := s.registry.get(req.Database)
+	db, ok := s.resolveMineDB(w, req)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such database %q", req.Database))
 		return
 	}
 	opt, err := req.Options.toOptions()
@@ -767,14 +844,62 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // nothing to do about a broken client pipe
 }
 
+// ErrorBody is the uniform error envelope of every non-2xx JSON response:
+// {"error": {"code": "...", "message": "...", "retryable": bool}}. Code is a
+// stable snake_case identifier clients can switch on (messages are for
+// humans and may change); Retryable marks refusals that a backoff-and-retry
+// loop should retry against this same server (overload, drain — these also
+// carry a Retry-After header).
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// errorCode derives the envelope's stable code: the sentinel in the error
+// chain when one identifies the refusal more precisely than the status.
+func errorCode(status int, err error) string {
+	switch {
+	case errors.Is(err, errShutdown):
+		return "shutting_down"
+	case errors.Is(err, errOverloaded):
+		return "overloaded"
+	case errors.Is(err, errJobMissing):
+		return "job_not_found"
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	case http.StatusServiceUnavailable:
+		return "not_ready"
+	}
+	return "internal"
+}
+
+// writeError is the single chokepoint every handler's non-2xx response goes
+// through (the apierr analyzer enforces this), so the envelope shape cannot
+// drift between endpoints.
 func writeError(w http.ResponseWriter, status int, err error) {
 	// Backoffable refusals (overload, drain) advertise when to come back:
 	// well-behaved clients and load balancers honor Retry-After instead of
 	// hammering a server that already said no.
-	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+	retryable := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+	if retryable {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, map[string]ErrorBody{"error": {
+		Code:      errorCode(status, err),
+		Message:   err.Error(),
+		Retryable: retryable,
+	}})
 }
 
 // statusFor maps the manager/registry sentinel errors to HTTP statuses.
@@ -788,7 +913,7 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, errJobMissing):
+	case errors.Is(err, errJobMissing), errors.Is(err, errDBMissing):
 		return http.StatusNotFound
 	}
 	return http.StatusInternalServerError

@@ -91,6 +91,20 @@ func call(t *testing.T, method, url string, body any) (int, map[string]any) {
 	return resp.StatusCode, out
 }
 
+// errBody unwraps the uniform error envelope every non-2xx response
+// carries: {"error": {"code", "message", "retryable"}}.
+func errBody(t *testing.T, body map[string]any) (code, msg string, retryable bool) {
+	t.Helper()
+	env, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("response carries no error envelope: %v", body)
+	}
+	code, _ = env["code"].(string)
+	msg, _ = env["message"].(string)
+	retryable, _ = env["retryable"].(bool)
+	return code, msg, retryable
+}
+
 func mustRegister(t *testing.T, ts *httptest.Server, spec server.DatabaseSpec) {
 	t.Helper()
 	status, body := call(t, "POST", ts.URL+"/v1/databases", spec)
@@ -308,8 +322,8 @@ func TestInvalidRequests(t *testing.T) {
 		if status != http.StatusBadRequest {
 			t.Errorf("bad options #%d: status %d, body %v", i, status, body)
 		}
-		if body["error"] == nil || body["error"] == "" {
-			t.Errorf("bad options #%d: no error message", i)
+		if code, msg, _ := errBody(t, body); code != "bad_request" || msg == "" {
+			t.Errorf("bad options #%d: envelope code %q message %q", i, code, msg)
 		}
 	}
 

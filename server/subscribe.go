@@ -72,11 +72,23 @@ func (h *subHub) next(ctx context.Context, pos int) (chunk []lash.Pattern, done 
 	return h.log[pos:], h.done, h.err
 }
 
+// streamableOptions strips a job's capture/resume fields — server jobs
+// always capture delta state, but streaming runs cannot (ValidateStream's
+// contract) — leaving the options the feeder stream runs with.
+func streamableOptions(opt lash.Options) lash.Options {
+	opt.Capture = false
+	opt.Resume = nil
+	return opt
+}
+
 // follow attaches to the most recent queued or running job of dbName whose
 // options can stream, creating the job's hub — and the one streaming run
-// that feeds it — on first use. Returns nils when nothing suitable is in
-// flight (or the manager is draining).
-func (m *manager) follow(dbName string, db *lash.Database) (*job, *subHub) {
+// that feeds it — on first use. dbAt resolves the corpus version the job
+// was pinned to (appends never retarget a run, so neither may its live
+// feed); jobs in skip are ignored (a subscriber passes the jobs it already
+// tailed, so re-following after an append can only move forward). Returns
+// nils when nothing suitable is in flight (or the manager is draining).
+func (m *manager) follow(dbName string, dbAt func(version int) *lash.Database, skip map[string]bool) (*job, *subHub) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -85,12 +97,12 @@ func (m *manager) follow(dbName string, db *lash.Database) (*job, *subHub) {
 	var j *job
 	for i := len(m.order) - 1; i >= 0; i-- {
 		cand := m.jobs[m.order[i]]
-		if cand.dbName != dbName || (cand.status != JobQueued && cand.status != JobRunning) {
+		if cand.dbName != dbName || skip[cand.id] || (cand.status != JobQueued && cand.status != JobRunning) {
 			continue
 		}
 		// Restricted runs cannot stream (ValidateStream's contract), so
 		// they cannot be followed live either.
-		if cand.options.ValidateStream() != nil {
+		if streamableOptions(cand.options).ValidateStream() != nil {
 			continue
 		}
 		j = cand
@@ -102,6 +114,10 @@ func (m *manager) follow(dbName string, db *lash.Database) (*job, *subHub) {
 	if hub, ok := m.hubs[j.id]; ok {
 		return j, hub
 	}
+	db := dbAt(j.version)
+	if db == nil {
+		return nil, nil
+	}
 	hub := newSubHub()
 	m.hubs[j.id] = hub
 	// The feeder is one ordinary streaming run through m.stream: it queues
@@ -112,7 +128,7 @@ func (m *manager) follow(dbName string, db *lash.Database) (*job, *subHub) {
 	// completes first. The hub outlives its map entry: removal only stops
 	// NEW subscribers from attaching; attached ones drain the log to done.
 	go func() {
-		_, err := m.stream(m.baseCtx, db, j.options, func(p lash.Pattern) error {
+		_, err := m.stream(m.baseCtx, db, streamableOptions(j.options), func(p lash.Pattern) error {
 			hub.append(p)
 			return nil
 		})
@@ -134,10 +150,22 @@ type SubscribeRecord struct {
 	Replay  bool     `json:"replay"`
 }
 
+// SubscribeMarker is the corpus-version marker line of
+// GET /v1/patterns/subscribe: it precedes the records mined from that
+// version, and a fresh marker mid-stream means an append installed a new
+// version and the subscription is continuing with its live run. Markers are
+// distinguishable from pattern records ("items") and the trailer ("done")
+// by their lone "version" field.
+type SubscribeMarker struct {
+	Version int `json:"version"`
+}
+
 // SubscribeTrailer is the final NDJSON record of GET /v1/patterns/subscribe.
 type SubscribeTrailer struct {
 	Done     bool   `json:"done"` // always true
 	Database string `json:"database"`
+	// CorpusVersion is the last corpus version the subscription served.
+	CorpusVersion int `json:"corpus_version,omitempty"`
 	// ReplayJobID/Replayed identify the replay phase: the completed job
 	// whose index was replayed and how many patterns it held.
 	ReplayJobID string `json:"replay_job_id,omitempty"`
@@ -155,8 +183,13 @@ type SubscribeTrailer struct {
 // if a job for the database is still queued or running — the patterns of
 // that run delivered live as its partitions complete ("replay":false, in
 // partition-completion order), and finally exactly one trailer (marked
-// "done":true). A database with neither a completed result nor an
-// in-flight job answers 404; client disconnect ends the tail cleanly.
+// "done":true). Every phase is preceded by a corpus-version marker line
+// ({"version":N}) whenever the version changes; in particular an append
+// that installs a new version mid-subscription does not end the stream —
+// when a run against the new version is in flight, a fresh marker is
+// emitted and the subscription continues with its live tail. A database
+// with neither a completed result nor an in-flight job answers 404; client
+// disconnect ends the tail cleanly.
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	v := r.URL.Query()
 	dbName := v.Get("db")
@@ -164,15 +197,25 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("db query parameter is required"))
 		return
 	}
-	db, ok := s.registry.get(dbName)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such database %q", dbName))
+	if _, ok := s.registry.get(dbName); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", errDBMissing, dbName))
 		return
 	}
 	s.metrics.pindexQuery("subscribe")
 
+	// dbAt pins each followed run's feeder to the corpus version the run
+	// itself mines — old versions stay resolvable after appends.
+	dbAt := func(version int) *lash.Database {
+		db, _, ok := s.registry.getVersion(dbName, version)
+		if !ok {
+			return nil
+		}
+		return db
+	}
+
+	followed := make(map[string]bool)
 	latest, hasLatest := s.jobs.latestResult(dbName)
-	liveJob, hub := s.jobs.follow(dbName, db)
+	liveJob, hub := s.jobs.follow(dbName, dbAt, followed)
 	if !hasLatest && hub == nil {
 		writeError(w, http.StatusNotFound,
 			fmt.Errorf("database %q has nothing mined and nothing mining (POST /v1/mine first)", dbName))
@@ -184,11 +227,16 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	trailer := SubscribeTrailer{Done: true, Database: dbName}
+	curVer := 0 // last version marker emitted
 
 	// Phase 1: replay. The index is immutable, so the walk needs no locks
 	// and the replay is a consistent snapshot no matter what is mining.
 	if hasLatest {
 		trailer.ReplayJobID = latest.id
+		curVer = latest.version
+		if err := enc.Encode(SubscribeMarker{Version: curVer}); err != nil {
+			return
+		}
 		ix := latest.result.Index()
 		ids, _ := ix.Search(nil, pindex.Query{Level: pindex.NoLevel}, 0, -1)
 		for _, id := range ids {
@@ -205,19 +253,29 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Phase 2: live tail. Positions into the hub's append-only log make
+	// Phase 2: live tails. Positions into each hub's append-only log make
 	// delivery exactly-once per subscription: every loop turn resumes at
-	// the first undelivered position.
-	if hub != nil {
+	// the first undelivered position. After a tail drains, re-following
+	// picks up a run mining the next corpus version (an append arrived
+	// mid-subscription) — the followed set only ever moves forward, so a
+	// job already tailed is never tailed twice.
+	ctx := r.Context()
+	for hub != nil {
+		followed[liveJob.id] = true
 		trailer.LiveJobID = liveJob.id
-		ctx := r.Context()
+		if liveJob.version != curVer {
+			curVer = liveJob.version
+			if err := enc.Encode(SubscribeMarker{Version: curVer}); err != nil {
+				return
+			}
+		}
 		stop := context.AfterFunc(ctx, hub.wake)
-		defer stop()
 		pos := 0
 		for {
 			chunk, done, err := hub.next(ctx, pos)
 			for _, p := range chunk {
 				if encErr := enc.Encode(SubscribeRecord{Items: p.Items, Support: p.Support, Replay: false}); encErr != nil {
+					stop()
 					return
 				}
 				trailer.Live++
@@ -227,6 +285,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 			}
 			if ctx.Err() != nil {
+				stop()
 				return // client gone; the hub keeps feeding other subscribers
 			}
 			if done {
@@ -236,8 +295,14 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 		}
+		stop()
+		if trailer.Error != "" {
+			break
+		}
+		liveJob, hub = s.jobs.follow(dbName, dbAt, followed)
 	}
 
+	trailer.CorpusVersion = curVer
 	enc.Encode(trailer) //nolint:errcheck // nothing to do about a broken client pipe
 	if flusher != nil {
 		flusher.Flush()

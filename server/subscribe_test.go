@@ -20,19 +20,26 @@ type subLine struct {
 	Items   []string `json:"items"`
 	Support int64    `json:"support"`
 	Replay  bool     `json:"replay"`
+	// Marker fields.
+	Version int `json:"version"`
 	// Trailer fields.
-	Done        bool   `json:"done"`
-	Database    string `json:"database"`
-	ReplayJobID string `json:"replay_job_id"`
-	Replayed    int    `json:"replayed"`
-	LiveJobID   string `json:"live_job_id"`
-	Live        int    `json:"live"`
-	Error       string `json:"error"`
+	Done          bool   `json:"done"`
+	Database      string `json:"database"`
+	CorpusVersion int    `json:"corpus_version"`
+	ReplayJobID   string `json:"replay_job_id"`
+	Replayed      int    `json:"replayed"`
+	LiveJobID     string `json:"live_job_id"`
+	Live          int    `json:"live"`
+	Error         string `json:"error"`
 }
 
+// isMarker reports whether the line is a corpus-version marker rather than
+// a pattern record or the trailer.
+func (l subLine) isMarker() bool { return !l.Done && l.Items == nil && l.Version != 0 }
+
 // subscribe reads a full subscription stream to its trailer and returns the
-// records and the trailer.
-func subscribe(t *testing.T, url string) ([]subLine, subLine) {
+// pattern records, the version markers in emission order, and the trailer.
+func subscribe(t *testing.T, url string) ([]subLine, []int, subLine) {
 	t.Helper()
 	resp, err := http.Get(url)
 	if err != nil {
@@ -46,6 +53,7 @@ func subscribe(t *testing.T, url string) ([]subLine, subLine) {
 		t.Fatalf("subscribe: content-type %q", ct)
 	}
 	var records []subLine
+	var markers []int
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -57,12 +65,16 @@ func subscribe(t *testing.T, url string) ([]subLine, subLine) {
 			if sc.Scan() {
 				t.Fatalf("subscribe: data after the trailer: %q", sc.Text())
 			}
-			return records, line
+			return records, markers, line
+		}
+		if line.isMarker() {
+			markers = append(markers, line.Version)
+			continue
 		}
 		records = append(records, line)
 	}
 	t.Fatalf("subscribe: stream ended without a trailer (after %d records): %v", len(records), sc.Err())
-	return nil, subLine{}
+	return nil, nil, subLine{}
 }
 
 func patKey(items []string, support int64) string {
@@ -82,9 +94,12 @@ func TestSubscribeReplayOnly(t *testing.T) {
 	}
 	want := patternsOf(t, full)
 
-	records, trailer := subscribe(t, ts.URL+"/v1/patterns/subscribe?db=db")
+	records, markers, trailer := subscribe(t, ts.URL+"/v1/patterns/subscribe?db=db")
 	if len(records) != len(want) {
 		t.Fatalf("replayed %d records, want %d", len(records), len(want))
+	}
+	if len(markers) != 1 || markers[0] != 1 {
+		t.Errorf("markers = %v, want one marker for corpus version 1", markers)
 	}
 	for i, rec := range records {
 		if !rec.Replay {
@@ -174,7 +189,7 @@ func TestSubscribeReplayAndLive(t *testing.T) {
 		wg.Add(1)
 		go func(sub int) {
 			defer wg.Done()
-			records, trailer := subscribe(t, ts.URL+"/v1/patterns/subscribe?db=db")
+			records, _, trailer := subscribe(t, ts.URL+"/v1/patterns/subscribe?db=db")
 			var gotReplay, gotLive []string
 			for _, rec := range records {
 				if rec.Replay {
@@ -247,9 +262,12 @@ func TestSubscribeLiveOnly(t *testing.T) {
 		t.Fatalf("submit: status %d, body %v", status, body)
 	}
 
-	records, trailer := subscribe(t, ts.URL+"/v1/patterns/subscribe?db=db")
+	records, markers, trailer := subscribe(t, ts.URL+"/v1/patterns/subscribe?db=db")
 	if len(records) != len(livePats) {
 		t.Fatalf("got %d records, want %d", len(records), len(livePats))
+	}
+	if len(markers) != 1 || markers[0] != 1 {
+		t.Errorf("markers = %v, want one marker for corpus version 1", markers)
 	}
 	for i, rec := range records {
 		if rec.Replay {

@@ -6,6 +6,7 @@
 //	emitgo      serialized emit/progress callbacks never cross goroutines
 //	errjob      %w-wrapped, job/phase-annotated errors at the boundary
 //	faultpoint  fault-injection points are constant, package-prefixed, unique names
+//	apierr      server handlers respond non-2xx only through the writeError envelope
 //
 // It runs in two modes:
 //
@@ -45,6 +46,7 @@ import (
 	"strings"
 
 	"lash/tools/internal/analysis"
+	"lash/tools/internal/analysis/apierr"
 	"lash/tools/internal/analysis/atomicfield"
 	"lash/tools/internal/analysis/ctxfirst"
 	"lash/tools/internal/analysis/emitgo"
@@ -64,6 +66,7 @@ var suite = []*analysis.Analyzer{
 	emitgo.Analyzer,
 	errjob.Analyzer,
 	faultpoint.Analyzer,
+	apierr.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,116 @@
+// Package apierr enforces the server package's error-envelope contract
+// (package server doc, "writeError is the single chokepoint"): every
+// non-2xx HTTP response must be produced through the writeError helper, so
+// the uniform {"error": {"code", "message", "retryable"}} envelope cannot
+// drift between endpoints. Mechanically, inside the server package (and
+// outside writeError itself) the analyzer reports:
+//
+//   - calls to http.Error — a plain-text error body bypasses the envelope;
+//   - calls to a WriteHeader method with a constant status ≥ 400 — a bare
+//     error status with a hand-rolled (or missing) body;
+//   - calls to writeJSON with a constant status ≥ 400 — a JSON body of
+//     some other shape under an error status.
+//
+// Non-constant statuses are out of scope: they are how writeError and
+// writeJSON themselves forward the caller's status.
+package apierr
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"lash/tools/internal/analysis"
+)
+
+// Config tunes the analyzer.
+type Config struct {
+	// Packages are import-path bases whose handlers are checked.
+	Packages []string
+	// Allowed are function names exempt from the checks (the envelope
+	// helper itself).
+	Allowed []string
+}
+
+// DefaultConfig matches this repository: the server package, with
+// writeError as the one sanctioned producer of error responses.
+func DefaultConfig() Config {
+	return Config{Packages: []string{"server"}, Allowed: []string{"writeError"}}
+}
+
+// NewAnalyzer returns an apierr analyzer with the given configuration.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "apierr",
+		Doc:  "server handlers produce non-2xx responses only through the writeError envelope helper",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// Analyzer is apierr with DefaultConfig.
+var Analyzer = NewAnalyzer(DefaultConfig())
+
+func run(pass *analysis.Pass, cfg Config) error {
+	applies := false
+	for _, p := range cfg.Packages {
+		if analysis.PathBase(pass.Pkg.Path()) == p {
+			applies = true
+		}
+	}
+	if !applies {
+		return nil
+	}
+	allowed := make(map[string]bool, len(cfg.Allowed))
+	for _, name := range cfg.Allowed {
+		allowed[name] = true
+	}
+
+	analysis.WalkStack(pass.Files, func(stack []ast.Node) bool {
+		call, ok := stack[len(stack)-1].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fd := enclosingFunc(stack); fd != nil && allowed[fd.Name.Name] {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "Error":
+			pass.Reportf(call.Pos(),
+				"http.Error bypasses the error envelope; respond through writeError")
+		case fn.Name() == "WriteHeader" && len(call.Args) == 1:
+			if status, ok := constInt(pass, call.Args[0]); ok && status >= 400 {
+				pass.Reportf(call.Pos(),
+					"WriteHeader(%d) writes an error status without the error envelope; respond through writeError", status)
+			}
+		case fn.Name() == "writeJSON" && fn.Pkg() == pass.Pkg && len(call.Args) >= 2:
+			if status, ok := constInt(pass, call.Args[1]); ok && status >= 400 {
+				pass.Reportf(call.Pos(),
+					"writeJSON with error status %d bypasses the error envelope; respond through writeError", status)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// enclosingFunc returns the innermost function declaration on the stack.
+func enclosingFunc(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// constInt evaluates expr as a constant integer.
+func constInt(pass *analysis.Pass, expr ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

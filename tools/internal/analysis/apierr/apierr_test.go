@@ -1,0 +1,12 @@
+package apierr_test
+
+import (
+	"testing"
+
+	"lash/tools/internal/analysis/apierr"
+	"lash/tools/internal/analysis/vettest"
+)
+
+func TestAPIErr(t *testing.T) {
+	vettest.Run(t, vettest.TestData(t), apierr.Analyzer, "server", "other")
+}

@@ -1,0 +1,10 @@
+// Package other is outside the server package: the envelope contract does
+// not apply, so nothing here is flagged.
+package other
+
+import "net/http"
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "fine here", http.StatusBadRequest)
+	w.WriteHeader(http.StatusInternalServerError)
+}

@@ -1,0 +1,32 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// writeJSON forwards the caller's status: non-constant, never flagged.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+	fmt.Fprintln(w, v)
+}
+
+// writeError is the sanctioned envelope helper: exempt by name.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func handlers(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest)   // want `http.Error bypasses the error envelope`
+	w.WriteHeader(http.StatusNotFound)             // want `WriteHeader\(404\) writes an error status without the error envelope`
+	w.WriteHeader(500)                             // want `WriteHeader\(500\) writes an error status`
+	writeJSON(w, http.StatusConflict, "conflict!") // want `writeJSON with error status 409 bypasses the error envelope`
+
+	w.WriteHeader(http.StatusOK)     // 2xx: fine
+	writeJSON(w, http.StatusOK, nil) // fine
+	writeError(w, http.StatusBadRequest, errors.New("x"))
+
+	//lashvet:ignore apierr probing the suppression path
+	w.WriteHeader(http.StatusTeapot)
+}
